@@ -1,0 +1,80 @@
+//! Criterion bench behind Figure 1 (quality): one full AH/MH/SA
+//! comparison instance at the small preset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use incdes_bench::{build_base_system, current_application};
+use incdes_mapping::{run_strategy, MappingContext, MhConfig, SaConfig, Strategy};
+use incdes_model::time::hyperperiod;
+use incdes_model::AppId;
+use incdes_synth::paper::dac2001_small;
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let preset = dac2001_small();
+    let seed = preset.seeds[0];
+    let base = build_base_system(&preset, seed);
+    let arch = base.system.arch().clone();
+    let size = preset.current_sizes[1];
+    let app = current_application(&preset, size, seed);
+    let mut periods = vec![base.system.horizon()];
+    periods.extend(app.graphs.iter().map(|g| g.period));
+    let horizon = hyperperiod(periods).unwrap();
+    let frozen = base.system.table().replicate_to(&arch, horizon).unwrap();
+    let ctx = MappingContext::new(
+        &arch,
+        AppId(base.system.app_count() as u32),
+        &app,
+        Some(&frozen),
+        horizon,
+        &base.future,
+        &base.weights,
+    );
+
+    let mut group = c.benchmark_group("fig1_quality");
+    group.sample_size(10);
+    group.bench_function("ah", |b| {
+        b.iter(|| {
+            black_box(
+                run_strategy(&ctx, &Strategy::AdHoc)
+                    .unwrap()
+                    .evaluation
+                    .cost
+                    .total,
+            )
+        })
+    });
+    group.bench_function("mh", |b| {
+        let cfg = MhConfig {
+            max_iterations: 12,
+            ..MhConfig::default()
+        };
+        b.iter(|| {
+            black_box(
+                run_strategy(&ctx, &Strategy::MappingHeuristic(cfg))
+                    .unwrap()
+                    .evaluation
+                    .cost
+                    .total,
+            )
+        })
+    });
+    group.bench_function("sa", |b| {
+        let cfg = SaConfig {
+            max_evaluations: 150,
+            ..SaConfig::quick()
+        };
+        b.iter(|| {
+            black_box(
+                run_strategy(&ctx, &Strategy::SimulatedAnnealing(cfg))
+                    .unwrap()
+                    .evaluation
+                    .cost
+                    .total,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

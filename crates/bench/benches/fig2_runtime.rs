@@ -1,0 +1,65 @@
+//! Criterion bench behind Figure 2 (runtime): strategy execution time as
+//! the current application grows — the scaling trend of the paper's
+//! runtime figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incdes_bench::{build_base_system, current_application};
+use incdes_mapping::{run_strategy, MappingContext, MhConfig, Strategy};
+use incdes_model::time::hyperperiod;
+use incdes_model::AppId;
+use incdes_synth::paper::dac2001_small;
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let preset = dac2001_small();
+    let seed = preset.seeds[0];
+    let base = build_base_system(&preset, seed);
+    let arch = base.system.arch().clone();
+
+    let mut group = c.benchmark_group("fig2_runtime");
+    group.sample_size(10);
+    for &size in &preset.current_sizes {
+        let app = current_application(&preset, size, seed);
+        let mut periods = vec![base.system.horizon()];
+        periods.extend(app.graphs.iter().map(|g| g.period));
+        let horizon = hyperperiod(periods).unwrap();
+        let frozen = base.system.table().replicate_to(&arch, horizon).unwrap();
+        let ctx = MappingContext::new(
+            &arch,
+            AppId(base.system.app_count() as u32),
+            &app,
+            Some(&frozen),
+            horizon,
+            &base.future,
+            &base.weights,
+        );
+        group.bench_with_input(BenchmarkId::new("ah", size), &size, |b, _| {
+            b.iter(|| {
+                black_box(
+                    run_strategy(&ctx, &Strategy::AdHoc)
+                        .unwrap()
+                        .stats
+                        .evaluations,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mh", size), &size, |b, _| {
+            let cfg = MhConfig {
+                max_iterations: 8,
+                ..MhConfig::default()
+            };
+            b.iter(|| {
+                black_box(
+                    run_strategy(&ctx, &Strategy::MappingHeuristic(cfg))
+                        .unwrap()
+                        .stats
+                        .evaluations,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

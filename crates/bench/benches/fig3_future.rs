@@ -1,0 +1,47 @@
+//! Criterion bench behind Figure 3 (future mappability): committing the
+//! current application and probing one future application, AH vs MH.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use incdes_bench::{build_base_system, current_application, future_application};
+use incdes_mapping::{MhConfig, Strategy};
+use incdes_synth::paper::dac2001_small;
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let preset = dac2001_small();
+    let seed = preset.seeds[0];
+    let size = preset.current_sizes[1];
+    let app = current_application(&preset, size, seed);
+    let fut = future_application(&preset, seed, 0);
+
+    let mut group = c.benchmark_group("fig3_future");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("commit-ah-probe", Strategy::AdHoc),
+        (
+            "commit-mh-probe",
+            Strategy::MappingHeuristic(MhConfig {
+                max_iterations: 8,
+                ..MhConfig::default()
+            }),
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut base = build_base_system(&preset, seed);
+                base.system
+                    .add_application(app.clone(), &base.future, &base.weights, &strategy)
+                    .unwrap();
+                let probe = base
+                    .system
+                    .probe_application(&fut, &base.future, &base.weights, &Strategy::AdHoc)
+                    .unwrap();
+                black_box(probe.feasible)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Micro-benchmarks of the substrates: list scheduling, slack extraction,
+//! metric evaluation and bin packing. Not a paper figure — used to keep
+//! the evaluation loop fast (every MH/SA step pays one schedule + one
+//! metric evaluation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use incdes_bench::build_base_system;
+use incdes_metrics::{evaluate, pack, FitPolicy, Weights};
+use incdes_model::Time;
+use incdes_sched::SlackProfile;
+use incdes_synth::paper::dac2001_small;
+use std::hint::black_box;
+
+fn bench_substrate(c: &mut Criterion) {
+    let preset = dac2001_small();
+    let base = build_base_system(&preset, preset.seeds[0]);
+    let arch = base.system.arch().clone();
+    let table = base.system.table().clone();
+
+    let mut group = c.benchmark_group("substrate");
+    group.bench_function("slack_profile", |b| {
+        b.iter(|| black_box(SlackProfile::from_table(&arch, &table)))
+    });
+    let slack = SlackProfile::from_table(&arch, &table);
+    group.bench_function("objective_evaluate", |b| {
+        b.iter(|| black_box(evaluate(&arch, &slack, &base.future, &Weights::default())))
+    });
+    for n in [50usize, 200, 800] {
+        let items: Vec<Time> = (0..n).map(|i| Time::new(1 + (i as u64 % 13))).collect();
+        let bins: Vec<Time> = (0..n / 2).map(|i| Time::new(5 + (i as u64 % 29))).collect();
+        group.bench_with_input(BenchmarkId::new("binpack_best_fit", n), &n, |b, _| {
+            b.iter(|| black_box(pack(&items, &bins, FitPolicy::BestFit)))
+        });
+    }
+    group.bench_function("pe_timelines_rebuild", |b| {
+        b.iter(|| black_box(table.pe_timelines(&arch)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,195 @@
+//! Regenerates the figures of Pop et al., DAC 2001.
+//!
+//! ```text
+//! figures [f1|f2|f3|t1|ablate-fit|ablate-mh|all] [--small]
+//! ```
+//!
+//! `--small` switches to the scaled-down preset (seconds instead of
+//! minutes). Output is plain text tables; `EXPERIMENTS.md` records the
+//! paper-vs-measured comparison.
+
+use incdes_bench::{
+    run_fit_ablation, run_future, run_mh_ablation, run_quality, scaled_future, QualityRow,
+};
+use incdes_mapping::{MhConfig, SaConfig};
+use incdes_synth::paper::{dac2001, dac2001_small, PaperPreset};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    let preset = if small { dac2001_small() } else { dac2001() };
+    let (mh_cfg, sa_cfg) = configs(small);
+
+    println!(
+        "# incdes figures — preset: {} (existing {} processes, seeds {:?})",
+        if small { "small" } else { "dac2001" },
+        preset.existing_processes,
+        preset.seeds,
+    );
+    let f = scaled_future(&preset);
+    println!(
+        "# future profile: Tmin={} tneed={} bneed={}\n",
+        f.t_min, f.t_need, f.b_need
+    );
+
+    let t0 = Instant::now();
+    match what.as_str() {
+        "f1" => fig1(&preset, &mh_cfg, &sa_cfg),
+        "f2" => fig2(&preset, &mh_cfg, &sa_cfg),
+        "f3" => fig3(&preset, &mh_cfg),
+        "t1" => table1(&preset),
+        "ablate-fit" => ablate_fit(&preset),
+        "ablate-mh" => ablate_mh(&preset),
+        "all" => {
+            let rows = run_quality(&preset, &mh_cfg, &sa_cfg);
+            print_fig1(&rows);
+            print_fig2(&rows);
+            fig3(&preset, &mh_cfg);
+            table1(&preset);
+            ablate_fit(&preset);
+            ablate_mh(&preset);
+        }
+        other => {
+            eprintln!("unknown figure '{other}' (expected f1|f2|f3|t1|ablate-fit|ablate-mh|all)");
+            std::process::exit(2);
+        }
+    }
+    println!("\n# total wall-clock: {:.1?}", t0.elapsed());
+}
+
+fn configs(small: bool) -> (MhConfig, SaConfig) {
+    if small {
+        (
+            MhConfig {
+                max_iterations: 24,
+                ..MhConfig::default()
+            },
+            SaConfig::quick(),
+        )
+    } else {
+        (
+            MhConfig::default(),
+            SaConfig {
+                max_evaluations: 4000,
+                ..SaConfig::default()
+            },
+        )
+    }
+}
+
+fn fig1(preset: &PaperPreset, mh: &MhConfig, sa: &SaConfig) {
+    print_fig1(&run_quality(preset, mh, sa));
+}
+
+fn fig2(preset: &PaperPreset, mh: &MhConfig, sa: &SaConfig) {
+    print_fig2(&run_quality(preset, mh, sa));
+}
+
+fn print_fig1(rows: &[QualityRow]) {
+    println!("## Figure 1 — avg % deviation of cost C from near-optimal (SA)");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10} {:>5}",
+        "size", "AH dev%", "MH dev%", "SA dev%", "AH cost", "MH cost", "SA cost", "n"
+    );
+    for r in rows {
+        println!(
+            "{:>6} {:>10.1} {:>10.1} {:>10.1} | {:>10.1} {:>10.1} {:>10.1} {:>5}",
+            r.size,
+            r.ah_deviation,
+            r.mh_deviation,
+            0.0,
+            r.ah_cost,
+            r.mh_cost,
+            r.sa_cost,
+            r.instances
+        );
+    }
+    println!();
+}
+
+fn print_fig2(rows: &[QualityRow]) {
+    println!("## Figure 2 — avg execution time per strategy");
+    println!("{:>6} {:>12} {:>12} {:>12}", "size", "AH", "MH", "SA");
+    for r in rows {
+        println!(
+            "{:>6} {:>12.3?} {:>12.3?} {:>12.3?}",
+            r.size, r.ah_time, r.mh_time, r.sa_time
+        );
+    }
+    println!();
+}
+
+fn fig3(preset: &PaperPreset, mh: &MhConfig) {
+    println!("## Figure 3 — % of future applications mappable after the current app");
+    let rows = run_future(preset, mh, 4);
+    println!(
+        "{:>6} {:>10} {:>10} {:>7}",
+        "size", "AH %", "MH %", "probes"
+    );
+    for r in &rows {
+        println!(
+            "{:>6} {:>10.1} {:>10.1} {:>7}",
+            r.size, r.ah_mapped_percent, r.mh_mapped_percent, r.probes
+        );
+    }
+    println!();
+}
+
+fn table1(preset: &PaperPreset) {
+    println!("## Table 1 — metric sanity on the frozen base system (per seed)");
+    println!(
+        "{:>6} {:>8} {:>8} {:>10} {:>10}",
+        "seed", "C1P%", "C1m%", "C2P", "C2m"
+    );
+    let f = scaled_future(preset);
+    for &seed in &preset.seeds {
+        let base = incdes_bench::build_base_system(preset, seed);
+        let slack = base.system.slack();
+        let c1p = incdes_metrics::c1_processes(&slack, &f, incdes_metrics::FitPolicy::BestFit);
+        let c1m = incdes_metrics::c1_messages(
+            base.system.arch(),
+            &slack,
+            &f,
+            incdes_metrics::FitPolicy::BestFit,
+        );
+        let c2p = incdes_metrics::c2_processes(&slack, f.t_min);
+        let c2m = incdes_metrics::c2_messages(&slack, f.t_min);
+        println!(
+            "{:>6} {:>8.1} {:>8.1} {:>10} {:>10}",
+            seed, c1p, c1m, c2p, c2m
+        );
+    }
+    println!();
+}
+
+fn ablate_fit(preset: &PaperPreset) {
+    println!("## Ablation — C1 bin-packing policy");
+    println!("{:>10} {:>10} {:>10}", "policy", "C1P%", "C1m%");
+    for (name, c1p, c1m) in run_fit_ablation(preset) {
+        println!("{:>10} {:>10.1} {:>10.1}", name, c1p, c1m);
+    }
+    println!();
+}
+
+fn ablate_mh(preset: &PaperPreset) {
+    let size = preset.current_sizes[preset.current_sizes.len() / 2];
+    println!("## Ablation — MH candidate filtering (size {size})");
+    println!(
+        "{:>6} {:>12} {:>10} {:>12} {:>10}",
+        "seed", "filt cost", "filt evals", "exh cost", "exh evals"
+    );
+    for (seed, fc, fe, ec, ee) in run_mh_ablation(preset, size) {
+        println!(
+            "{:>6} {:>12.1} {:>10} {:>12.1} {:>10}",
+            seed, fc, fe, ec, ee
+        );
+    }
+    println!();
+}

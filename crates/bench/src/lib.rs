@@ -1,0 +1,391 @@
+//! Experiment drivers for the DAC 2001 reproduction.
+//!
+//! Each public function regenerates the data behind one figure of the
+//! paper's evaluation (slides 15–17):
+//!
+//! * [`run_quality`] — figure 1: average % deviation of the objective `C`
+//!   from the near-optimal (SA) value, for AH and MH, versus the size of
+//!   the current application;
+//! * [`run_runtime`] — figure 2: average strategy execution time versus
+//!   size (measured on the same instances as figure 1);
+//! * [`run_future`] — figure 3: percentage of future applications that can
+//!   still be mapped after the current application was committed with AH
+//!   versus MH;
+//! * [`run_fit_ablation`] / [`run_mh_ablation`] — the ablations called out
+//!   in `DESIGN.md` (bin-packing policy; MH candidate filtering).
+//!
+//! The drivers are deterministic given the preset's seeds; the `figures`
+//! binary prints the rows, and the criterion benches wrap the same
+//! functions at reduced scale.
+
+#![forbid(unsafe_code)]
+
+use incdes_core::System;
+use incdes_mapping::{run_strategy, MapError, MappingContext, MhConfig, SaConfig, Strategy};
+use incdes_metrics::{FitPolicy, Weights};
+use incdes_model::time::hyperperiod;
+use incdes_model::{AppId, Application, Architecture, FutureProfile, Time};
+use incdes_sched::ScheduleTable;
+use incdes_synth::paper::PaperPreset;
+use incdes_synth::{future_profile_for, generate_application, generate_architecture};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+/// How demanding the future-application family is relative to the
+/// generator's natural scale. Values above 1 make the objective strictly
+/// positive on loaded systems so percentage deviations are well defined.
+pub const DEMAND_FACTOR: f64 = 4.0;
+
+/// One row of figure 1 + 2 (they share instances).
+#[derive(Debug, Clone)]
+pub struct QualityRow {
+    /// Processes in the current application.
+    pub size: usize,
+    /// Average % deviation of AH's cost from SA's.
+    pub ah_deviation: f64,
+    /// Average % deviation of MH's cost from SA's.
+    pub mh_deviation: f64,
+    /// Average absolute costs (diagnostics).
+    pub ah_cost: f64,
+    /// Average MH cost.
+    pub mh_cost: f64,
+    /// Average SA cost.
+    pub sa_cost: f64,
+    /// Average wall-clock time of AH.
+    pub ah_time: Duration,
+    /// Average wall-clock time of MH.
+    pub mh_time: Duration,
+    /// Average wall-clock time of SA.
+    pub sa_time: Duration,
+    /// Instances that were feasible for all three strategies.
+    pub instances: usize,
+}
+
+/// One row of figure 3.
+#[derive(Debug, Clone)]
+pub struct FutureRow {
+    /// Processes in the current application.
+    pub size: usize,
+    /// % of future applications mappable after an AH commit.
+    pub ah_mapped_percent: f64,
+    /// % of future applications mappable after an MH commit.
+    pub mh_mapped_percent: f64,
+    /// Future applications probed per strategy.
+    pub probes: usize,
+}
+
+/// The frozen base system: architecture plus the existing applications'
+/// schedule, built by committing them one at a time (AH keeps it fast and
+/// identical across strategies).
+pub struct BaseSystem {
+    /// The session holding the existing applications.
+    pub system: System,
+    /// The future profile the experiments optimize for.
+    pub future: FutureProfile,
+    /// Objective weights.
+    pub weights: Weights,
+}
+
+/// Builds the base system of a preset for one seed.
+///
+/// # Panics
+///
+/// Panics if the preset cannot generate or commit its own existing
+/// applications — presets are validated by tests, so this indicates a
+/// broken preset.
+pub fn build_base_system(preset: &PaperPreset, seed: u64) -> BaseSystem {
+    let arch = generate_architecture(&preset.cfg).expect("preset architecture is valid");
+    let future = scaled_future(preset);
+    let weights = Weights::default();
+    let mut system = System::new(arch);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut remaining = preset.existing_processes;
+    let mut i = 0usize;
+    while remaining > 0 {
+        let n = preset.existing_app_size.min(remaining);
+        let app = generate_application(&preset.cfg, &format!("existing{i}"), n, &mut rng)
+            .expect("preset generates valid applications");
+        system
+            .add_application(app, &future, &weights, &Strategy::AdHoc)
+            .expect("preset existing applications must fit");
+        remaining -= n;
+        i += 1;
+    }
+    BaseSystem {
+        system,
+        future,
+        weights,
+    }
+}
+
+/// The experiment's future profile: the preset's natural profile with
+/// `t_need`/`b_need` scaled by [`DEMAND_FACTOR`].
+pub fn scaled_future(preset: &PaperPreset) -> FutureProfile {
+    let mut f = future_profile_for(&preset.cfg, preset.future_processes);
+    f.t_need = Time::new((f.t_need.as_f64() * DEMAND_FACTOR) as u64);
+    f.b_need = Time::new((f.b_need.as_f64() * DEMAND_FACTOR) as u64);
+    f
+}
+
+/// The current application of one `(size, seed)` instance.
+pub fn current_application(preset: &PaperPreset, size: usize, seed: u64) -> Application {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC0FFEE);
+    generate_application(&preset.cfg, "current", size, &mut rng)
+        .expect("preset generates valid applications")
+}
+
+/// A future application drawn from the family (for figure 3's probes).
+pub fn future_application(preset: &PaperPreset, seed: u64, index: u64) -> Application {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0xF0_07 + index * 7919));
+    generate_application(
+        &preset.future_cfg(),
+        "future",
+        preset.future_processes,
+        &mut rng,
+    )
+    .expect("preset generates valid applications")
+}
+
+/// Prepares the mapping context ingredients for a current application on
+/// a base system: `(frozen table, horizon)`.
+fn frozen_for(base: &BaseSystem, app: &Application) -> (ScheduleTable, Time) {
+    let mut periods = vec![base.system.horizon()];
+    periods.extend(app.graphs.iter().map(|g| g.period));
+    let horizon = hyperperiod(periods).expect("periods are harmonic and small");
+    let frozen = base
+        .system
+        .table()
+        .replicate_to(base.system.arch(), horizon)
+        .expect("horizon is a multiple of the committed horizon");
+    (frozen, horizon)
+}
+
+/// Strategy costs/timings of one instance.
+struct InstanceResult {
+    ah: (f64, Duration),
+    mh: (f64, Duration),
+    sa: (f64, Duration),
+}
+
+fn run_instance(
+    base: &BaseSystem,
+    arch: &Architecture,
+    app: &Application,
+    mh_cfg: &MhConfig,
+    sa_cfg: &SaConfig,
+) -> Result<InstanceResult, MapError> {
+    let (frozen, horizon) = frozen_for(base, app);
+    let id = AppId(base.system.app_count() as u32);
+    let ctx = MappingContext::new(
+        arch,
+        id,
+        app,
+        Some(&frozen),
+        horizon,
+        &base.future,
+        &base.weights,
+    );
+    let ah = run_strategy(&ctx, &Strategy::AdHoc)?;
+    let mh = run_strategy(&ctx, &Strategy::MappingHeuristic(*mh_cfg))?;
+    let sa = run_strategy(&ctx, &Strategy::SimulatedAnnealing(*sa_cfg))?;
+    Ok(InstanceResult {
+        ah: (ah.evaluation.cost.total, ah.stats.elapsed),
+        mh: (mh.evaluation.cost.total, mh.stats.elapsed),
+        sa: (sa.evaluation.cost.total, sa.stats.elapsed),
+    })
+}
+
+/// Percentage deviation of `cost` from the reference `sa`.
+///
+/// When the reference is (near) zero the deviation is measured against a
+/// floor of 1 cost unit — documented in `EXPERIMENTS.md`.
+pub fn deviation_percent(cost: f64, sa: f64) -> f64 {
+    100.0 * (cost - sa) / sa.max(1.0)
+}
+
+/// Figures 1 and 2: quality and runtime of AH/MH/SA per current size.
+pub fn run_quality(preset: &PaperPreset, mh_cfg: &MhConfig, sa_cfg: &SaConfig) -> Vec<QualityRow> {
+    let mut rows = Vec::new();
+    for &size in &preset.current_sizes {
+        let mut dev_ah = 0.0;
+        let mut dev_mh = 0.0;
+        let mut sums = [0.0f64; 3];
+        let mut times = [Duration::ZERO; 3];
+        let mut n = 0usize;
+        for &seed in &preset.seeds {
+            let base = build_base_system(preset, seed);
+            let arch = base.system.arch().clone();
+            let app = current_application(preset, size, seed);
+            let r = match run_instance(&base, &arch, &app, mh_cfg, sa_cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("# skipped size={size} seed={seed}: {e}");
+                    continue;
+                }
+            };
+            dev_ah += deviation_percent(r.ah.0, r.sa.0);
+            dev_mh += deviation_percent(r.mh.0, r.sa.0);
+            sums[0] += r.ah.0;
+            sums[1] += r.mh.0;
+            sums[2] += r.sa.0;
+            times[0] += r.ah.1;
+            times[1] += r.mh.1;
+            times[2] += r.sa.1;
+            n += 1;
+        }
+        let n_f = n.max(1) as f64;
+        rows.push(QualityRow {
+            size,
+            ah_deviation: dev_ah / n_f,
+            mh_deviation: dev_mh / n_f,
+            ah_cost: sums[0] / n_f,
+            mh_cost: sums[1] / n_f,
+            sa_cost: sums[2] / n_f,
+            ah_time: times[0] / n.max(1) as u32,
+            mh_time: times[1] / n.max(1) as u32,
+            sa_time: times[2] / n.max(1) as u32,
+            instances: n,
+        });
+    }
+    rows
+}
+
+/// Figure 2 is the runtime view of the figure-1 instances.
+pub fn run_runtime(preset: &PaperPreset, mh_cfg: &MhConfig, sa_cfg: &SaConfig) -> Vec<QualityRow> {
+    run_quality(preset, mh_cfg, sa_cfg)
+}
+
+/// Figure 3: future-application mappability after AH vs MH commits.
+///
+/// `futures_per_seed` future applications are probed per instance.
+pub fn run_future(
+    preset: &PaperPreset,
+    mh_cfg: &MhConfig,
+    futures_per_seed: u64,
+) -> Vec<FutureRow> {
+    let mut rows = Vec::new();
+    for &size in &preset.current_sizes {
+        let mut mapped = [0usize; 2];
+        let mut probes = 0usize;
+        for &seed in &preset.seeds {
+            let app = current_application(preset, size, seed);
+            for (si, strategy) in [Strategy::AdHoc, Strategy::MappingHeuristic(*mh_cfg)]
+                .iter()
+                .enumerate()
+            {
+                let mut base = build_base_system(preset, seed);
+                if base
+                    .system
+                    .add_application(app.clone(), &base.future, &base.weights, strategy)
+                    .is_err()
+                {
+                    continue; // current app itself infeasible: counts as 0 mapped
+                }
+                for fi in 0..futures_per_seed {
+                    let fut = future_application(preset, seed, fi);
+                    let probe = base
+                        .system
+                        .probe_application(&fut, &base.future, &base.weights, &Strategy::AdHoc)
+                        .expect("probe inputs are valid");
+                    if probe.feasible {
+                        mapped[si] += 1;
+                    }
+                }
+            }
+            probes += futures_per_seed as usize;
+        }
+        rows.push(FutureRow {
+            size,
+            ah_mapped_percent: 100.0 * mapped[0] as f64 / probes.max(1) as f64,
+            mh_mapped_percent: 100.0 * mapped[1] as f64 / probes.max(1) as f64,
+            probes,
+        });
+    }
+    rows
+}
+
+/// Ablation: C1 bin-packing policy (best/first/worst fit) on identical
+/// *loaded* slack profiles (base system plus the largest current
+/// application committed with AH). Returns
+/// `(policy name, average C1P, average C1m)`.
+pub fn run_fit_ablation(preset: &PaperPreset) -> Vec<(&'static str, f64, f64)> {
+    let policies = [
+        ("best-fit", FitPolicy::BestFit),
+        ("first-fit", FitPolicy::FirstFit),
+        ("worst-fit", FitPolicy::WorstFit),
+    ];
+    let size = *preset.current_sizes.last().expect("presets have sizes");
+    // Collect the loaded slack profiles once; policies only change the
+    // packing, not the schedule.
+    let mut profiles = Vec::new();
+    for &seed in &preset.seeds {
+        let mut base = build_base_system(preset, seed);
+        let app = current_application(preset, size, seed);
+        let future = base.future.clone();
+        let weights = base.weights;
+        if base
+            .system
+            .add_application(app, &future, &weights, &Strategy::AdHoc)
+            .is_err()
+        {
+            continue;
+        }
+        profiles.push((base.system.arch().clone(), base.system.slack(), future));
+    }
+    let mut out = Vec::new();
+    for (name, policy) in policies {
+        let mut c1p = 0.0;
+        let mut c1m = 0.0;
+        for (arch, slack, future) in &profiles {
+            c1p += incdes_metrics::c1_processes(slack, future, policy);
+            c1m += incdes_metrics::c1_messages(arch, slack, future, policy);
+        }
+        let n = profiles.len().max(1) as f64;
+        out.push((name, c1p / n, c1m / n));
+    }
+    out
+}
+
+/// Ablation: MH candidate filtering (highest-potential subset) versus an
+/// exhaustive neighborhood. Returns rows of
+/// `(size, filtered cost, filtered evals, exhaustive cost, exhaustive evals)`.
+pub fn run_mh_ablation(preset: &PaperPreset, size: usize) -> Vec<(u64, f64, usize, f64, usize)> {
+    let filtered = MhConfig::default();
+    let exhaustive = MhConfig {
+        process_candidates: usize::MAX,
+        message_candidates: usize::MAX,
+        ..MhConfig::default()
+    };
+    let mut rows = Vec::new();
+    for &seed in &preset.seeds {
+        let base = build_base_system(preset, seed);
+        let arch = base.system.arch().clone();
+        let app = current_application(preset, size, seed);
+        let (frozen, horizon) = frozen_for(&base, &app);
+        let id = AppId(base.system.app_count() as u32);
+        let ctx = MappingContext::new(
+            &arch,
+            id,
+            &app,
+            Some(&frozen),
+            horizon,
+            &base.future,
+            &base.weights,
+        );
+        let Ok(a) = run_strategy(&ctx, &Strategy::MappingHeuristic(filtered)) else {
+            continue;
+        };
+        let Ok(b) = run_strategy(&ctx, &Strategy::MappingHeuristic(exhaustive)) else {
+            continue;
+        };
+        rows.push((
+            seed,
+            a.evaluation.cost.total,
+            a.stats.evaluations,
+            b.evaluation.cost.total,
+            b.stats.evaluations,
+        ));
+    }
+    rows
+}

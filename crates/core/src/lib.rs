@@ -1,0 +1,72 @@
+//! Incremental design sessions (Pop et al., DAC 2001).
+//!
+//! A [`System`] is the long-lived object of the incremental design
+//! process: an architecture plus the applications committed so far, each
+//! frozen in the system-wide static cyclic schedule. Adding the next
+//! increment ([`System::add_application`]) runs a mapping strategy (AH,
+//! MH or SA from `incdes-mapping`) against the frozen schedule and, on
+//! success, commits the result — the new application in turn becomes
+//! untouchable for later increments.
+//!
+//! [`System::probe_application`] answers the question behind the paper's
+//! third experiment: *would this (future) application fit right now?* —
+//! without committing anything.
+//!
+//! The optional [`ModificationPolicy`] implements the direction announced
+//! in the paper's conclusions (the CODES 2001 follow-up): allowing a
+//! *subset* of existing applications to be remapped, at a per-application
+//! modification cost, when the current application cannot fit otherwise.
+//!
+//! # Example
+//!
+//! ```
+//! use incdes_core::System;
+//! use incdes_mapping::Strategy;
+//! use incdes_metrics::Weights;
+//! use incdes_model::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let arch = Architecture::builder()
+//!     .pe("N1")
+//!     .pe("N2")
+//!     .bus(BusConfig::uniform_round(2, Time::new(10), 1)?)
+//!     .build()?;
+//! let mut system = System::new(arch);
+//!
+//! let mut g = ProcessGraph::new("g", Time::new(120), Time::new(120));
+//! let a = g.add_process(Process::new("a").wcet(PeId(0), Time::new(8)));
+//! let b = g.add_process(Process::new("b").wcet(PeId(1), Time::new(6)));
+//! g.add_message(a, b, Message::new("m", 4))?;
+//! let app = Application::new("v1", vec![g]);
+//!
+//! let report = system.add_application(
+//!     app,
+//!     &FutureProfile::slide_example(),
+//!     &Weights::default(),
+//!     &Strategy::mh(),
+//! )?;
+//! assert_eq!(report.app_id, AppId(0));
+//! assert!(system.table().is_deadline_clean());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod modification;
+pub mod persist;
+pub mod system;
+
+pub use modification::ModificationPolicy;
+pub use persist::{RestoreError, SystemSnapshot};
+pub use system::{CommitReport, CommittedApp, CoreError, ProbeReport, System};
+
+/// Convenient glob import of the workspace's most used types.
+pub mod prelude {
+    pub use crate::{CommitReport, CoreError, ModificationPolicy, ProbeReport, System};
+    pub use incdes_mapping::{MhConfig, SaConfig, Strategy};
+    pub use incdes_metrics::{DesignCost, FitPolicy, Weights};
+    pub use incdes_model::prelude::*;
+    pub use incdes_sched::{ScheduleTable, SlackProfile};
+}

@@ -1,0 +1,311 @@
+//! Modification-tolerant commits — the paper's announced follow-up.
+//!
+//! DAC 2001 forbids touching existing applications (requirement *a*). The
+//! conclusions announce the CODES 2001 extension: when the current
+//! application cannot fit, allow a subset of existing applications to be
+//! re-mapped, choosing the subset so the *modification cost* (re-design
+//! and re-testing effort) is minimized.
+//!
+//! [`ModificationPolicy`] implements a greedy version: existing
+//! applications are considered for re-mapping in increasing
+//! modification-cost order; the first subset that makes the current
+//! application schedulable wins. Disabled scenarios (the DAC 2001
+//! semantics) simply never call
+//! [`ModificationPolicy::add_application_with_policy`].
+
+use crate::system::{CommitReport, CommittedApp, CoreError, System};
+use incdes_mapping::{run_strategy, MapError, MappingContext, Strategy};
+use incdes_metrics::Weights;
+use incdes_model::{validate, AppId, Application, FutureProfile};
+use serde::{Deserialize, Serialize};
+
+/// Policy for commits that may modify existing applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModificationPolicy {
+    /// Largest number of existing applications that may be re-mapped for
+    /// one commit.
+    pub max_modified: usize,
+}
+
+impl Default for ModificationPolicy {
+    fn default() -> Self {
+        ModificationPolicy { max_modified: 1 }
+    }
+}
+
+impl ModificationPolicy {
+    /// Creates a policy allowing up to `max_modified` re-mapped
+    /// applications per commit.
+    pub fn new(max_modified: usize) -> Self {
+        ModificationPolicy { max_modified }
+    }
+
+    /// Like [`System::add_application`], but when the plain commit is
+    /// infeasible, tries re-mapping existing applications (cheapest
+    /// modification cost first, up to [`max_modified`](Self::max_modified)
+    /// of them) to make room.
+    ///
+    /// On success the report lists the re-mapped applications and the
+    /// total modification cost incurred. On failure the system state is
+    /// unchanged.
+    ///
+    /// # Errors
+    ///
+    /// As [`System::add_application`]; [`CoreError::Mapping`] with an
+    /// infeasible inner error means even modifications could not help.
+    pub fn add_application_with_policy(
+        &self,
+        system: &mut System,
+        app: Application,
+        future: &FutureProfile,
+        weights: &Weights,
+        strategy: &Strategy,
+    ) -> Result<CommitReport, CoreError> {
+        // Fast path: the DAC 2001 commit.
+        let plain = system.add_application(app.clone(), future, weights, strategy);
+        match plain {
+            Ok(r) => return Ok(r),
+            Err(CoreError::Mapping(MapError::Infeasible { .. })) => {}
+            Err(e) => return Err(e),
+        }
+
+        validate::check_application(&app, system.arch())?;
+
+        // Candidate existing applications, cheapest first.
+        let mut order: Vec<(f64, AppId)> = system
+            .active()
+            .map(|c| (c.modification_cost, c.id))
+            .collect();
+        order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        let mut last_err = CoreError::Mapping(MapError::Infeasible {
+            last: incdes_sched::SchedError::BadHorizon {
+                horizon: system.horizon(),
+            },
+        });
+        for k in 1..=self.max_modified.min(order.len()) {
+            let evicted: Vec<AppId> = order.iter().take(k).map(|&(_, id)| id).collect();
+            match self.try_with_evictions(system, &evicted, &app, future, weights, strategy) {
+                Ok(report) => return Ok(report),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Attempts the commit with `evicted` applications unfrozen. Only
+    /// mutates `system` on success.
+    fn try_with_evictions(
+        &self,
+        system: &mut System,
+        evicted: &[AppId],
+        app: &Application,
+        future: &FutureProfile,
+        weights: &Weights,
+        strategy: &Strategy,
+    ) -> Result<CommitReport, CoreError> {
+        let arch = system.arch().clone();
+        let new_id = AppId(system.app_count() as u32);
+
+        // Horizon covering everything (old horizon already covers evicted
+        // apps' periods).
+        let mut periods = vec![system.horizon()];
+        periods.extend(app.graphs.iter().map(|g| g.period));
+        let horizon = incdes_model::time::hyperperiod(periods)?;
+
+        // Start from the table without the evicted apps and place the
+        // *current* application first — it is the constrained one; the
+        // evicted applications are then re-fitted around it.
+        let table = system.table_without(evicted).replicate_to(&arch, horizon)?;
+        let ctx = MappingContext::new(&arch, new_id, app, Some(&table), horizon, future, weights);
+        let current_outcome = run_strategy(&ctx, strategy)?;
+        let mut table = current_outcome.evaluation.table.clone();
+
+        let mut solutions = Vec::new();
+        for &id in evicted {
+            let committed = &system.committed()[id.index()];
+            let ctx = MappingContext::new(
+                &arch,
+                id,
+                &committed.app,
+                Some(&table),
+                horizon,
+                future,
+                weights,
+            );
+            let outcome = run_strategy(&ctx, strategy)?;
+            table = outcome.evaluation.table;
+            solutions.push((id, outcome.solution));
+        }
+        let outcome = current_outcome;
+        // The reported cost reflects the *final* state (current app plus
+        // re-fitted evicted apps), not the intermediate table.
+        let slack = incdes_sched::SlackProfile::from_table(&arch, &table);
+        let final_cost = incdes_metrics::evaluate(&arch, &slack, future, weights);
+
+        // Commit everything atomically.
+        let modification_cost: f64 = evicted
+            .iter()
+            .map(|id| system.committed()[id.index()].modification_cost)
+            .sum();
+        for (id, sol) in solutions {
+            system.committed_mut(id).solution = sol;
+        }
+        system.replace_state(table);
+        system.push_committed(CommittedApp {
+            id: new_id,
+            app: app.clone(),
+            solution: outcome.solution,
+            modification_cost: 1.0,
+            retired: false,
+        });
+        Ok(CommitReport {
+            app_id: new_id,
+            horizon,
+            cost: final_cost,
+            stats: outcome.stats,
+            modified: evicted.to_vec(),
+            modification_cost,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdes_model::prelude::*;
+
+    fn arch2() -> Architecture {
+        Architecture::builder()
+            .pe("N1")
+            .pe("N2")
+            .bus(BusConfig::uniform_round(2, Time::new(10), 1).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    /// One process per PE-restricted app so placements are predictable.
+    fn restricted_app(name: &str, pe: u32, wcet: u64) -> Application {
+        let mut g = ProcessGraph::new(format!("{name}.g0"), Time::new(120), Time::new(120));
+        g.add_process(Process::new(format!("{name}.p0")).wcet(PeId(pe), Time::new(wcet)));
+        Application::new(name, vec![g])
+    }
+
+    /// A flexible app allowed on both PEs.
+    fn flexible_app(name: &str, wcet: u64) -> Application {
+        let mut g = ProcessGraph::new(format!("{name}.g0"), Time::new(120), Time::new(120));
+        g.add_process(
+            Process::new(format!("{name}.p0"))
+                .wcet(PeId(0), Time::new(wcet))
+                .wcet(PeId(1), Time::new(wcet)),
+        );
+        Application::new(name, vec![g])
+    }
+
+    #[test]
+    fn falls_back_to_plain_commit_when_feasible() {
+        let mut sys = System::new(arch2());
+        let policy = ModificationPolicy::default();
+        let r = policy
+            .add_application_with_policy(
+                &mut sys,
+                flexible_app("v1", 10),
+                &FutureProfile::slide_example(),
+                &Weights::default(),
+                &Strategy::AdHoc,
+            )
+            .unwrap();
+        assert!(r.modified.is_empty());
+        assert_eq!(r.modification_cost, 0.0);
+    }
+
+    #[test]
+    fn eviction_makes_room() {
+        let mut sys = System::new(arch2());
+        let w = Weights::default();
+        let f = FutureProfile::slide_example();
+        // v1 is flexible (could run anywhere) but gets committed onto some
+        // PE and fills 100/120 of it.
+        sys.add_application(flexible_app("v1", 100), &f, &w, &Strategy::AdHoc)
+            .unwrap();
+        let v1_pe = sys.committed()[0].solution.mapping.iter().next().unwrap().1;
+        // v2 needs 100 ticks *specifically* on the PE v1 occupies, plus v1
+        // can move to the other PE.
+        let v2 = restricted_app("v2", v1_pe.0, 100);
+        // Plain commit fails...
+        assert!(matches!(
+            sys.clone()
+                .add_application(v2.clone(), &f, &w, &Strategy::AdHoc),
+            Err(CoreError::Mapping(MapError::Infeasible { .. }))
+        ));
+        // ...but the policy moves v1 out of the way.
+        let policy = ModificationPolicy::new(1);
+        let r = policy
+            .add_application_with_policy(&mut sys, v2, &f, &w, &Strategy::AdHoc)
+            .unwrap();
+        assert_eq!(r.modified, vec![AppId(0)]);
+        assert_eq!(r.modification_cost, 1.0);
+        assert_eq!(sys.app_count(), 2);
+        assert!(sys.table().is_deadline_clean());
+        // v1 now lives on the other PE.
+        let new_pe = sys.committed()[0].solution.mapping.iter().next().unwrap().1;
+        assert_ne!(new_pe, v1_pe);
+    }
+
+    #[test]
+    fn impossible_even_with_evictions() {
+        let mut sys = System::new(arch2());
+        let w = Weights::default();
+        let f = FutureProfile::slide_example();
+        sys.add_application(flexible_app("v1", 50), &f, &w, &Strategy::AdHoc)
+            .unwrap();
+        // 3 × 110 ticks in a 120 period on 2 PEs can never fit.
+        let mut g = ProcessGraph::new("huge.g0", Time::new(120), Time::new(120));
+        for i in 0..3 {
+            g.add_process(
+                Process::new(format!("huge.p{i}"))
+                    .wcet(PeId(0), Time::new(110))
+                    .wcet(PeId(1), Time::new(110)),
+            );
+        }
+        let huge = Application::new("huge", vec![g]);
+        let policy = ModificationPolicy::new(1);
+        let before = sys.table().clone();
+        let err = policy
+            .add_application_with_policy(&mut sys, huge, &f, &w, &Strategy::AdHoc)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Mapping(MapError::Infeasible { .. })
+        ));
+        assert_eq!(sys.app_count(), 1);
+        assert_eq!(sys.table(), &before);
+    }
+
+    #[test]
+    fn cheapest_application_evicted_first() {
+        let mut sys = System::new(arch2());
+        let w = Weights::default();
+        let f = FutureProfile::slide_example();
+        sys.add_application(restricted_app("v1", 0, 100), &f, &w, &Strategy::AdHoc)
+            .unwrap();
+        sys.add_application(restricted_app("v2", 1, 100), &f, &w, &Strategy::AdHoc)
+            .unwrap();
+        sys.set_modification_cost(AppId(0), 10.0);
+        sys.set_modification_cost(AppId(1), 2.0);
+        // Neither PE has 50 free... v3 needs 50 on either PE; each has 20
+        // free. Evicting v2 (cheaper) can't help (it can only live on PE1).
+        // Evicting it still gets tried first; the commit of v2 back onto
+        // PE1 leaves the same 20 free, so k=1 with v2 fails and the policy
+        // gives up (max_modified = 1).
+        let v3 = flexible_app("v3", 50);
+        let policy = ModificationPolicy::new(1);
+        let err = policy
+            .add_application_with_policy(&mut sys, v3, &f, &w, &Strategy::AdHoc)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Mapping(MapError::Infeasible { .. })
+        ));
+    }
+}

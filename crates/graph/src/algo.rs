@@ -1,0 +1,404 @@
+//! Graph algorithms used by the mapping and scheduling layers.
+//!
+//! All algorithms are linear or near-linear in the size of the graph and
+//! operate on the dense node indices of [`Dag`], returning plain vectors
+//! indexed by [`NodeId::index`].
+
+use crate::dag::{Dag, NodeId};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Error returned by [`topological_order`] when the graph contains a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleError {
+    /// A node known to participate in (or be downstream of) a cycle.
+    pub witness: NodeId,
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph contains a cycle (witness node {})", self.witness)
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+/// Kahn topological ordering.
+///
+/// Returns the nodes in an order where every edge goes from an earlier to
+/// a later position.
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if the graph is not acyclic; the witness is one
+/// of the nodes left unprocessed.
+pub fn topological_order<N, E>(g: &Dag<N, E>) -> Result<Vec<NodeId>, CycleError> {
+    let n = g.node_count();
+    let mut indeg: Vec<usize> = (0..n).map(|i| g.in_degree(NodeId(i as u32))).collect();
+    let mut queue: VecDeque<NodeId> = g.node_ids().filter(|&v| indeg[v.index()] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for s in g.successors(v) {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                queue.push_back(s);
+            }
+        }
+    }
+    if order.len() != n {
+        let witness = g
+            .node_ids()
+            .find(|v| indeg[v.index()] > 0)
+            .expect("some node must have positive residual in-degree");
+        return Err(CycleError { witness });
+    }
+    Ok(order)
+}
+
+/// True if the graph has no directed cycle.
+pub fn is_acyclic<N, E>(g: &Dag<N, E>) -> bool {
+    topological_order(g).is_ok()
+}
+
+/// Longest weighted path from each node to any sink, where the length of a
+/// path counts `node_cost` of every node on it plus `edge_cost` of every
+/// edge. This is the *partial critical path* priority of list scheduling:
+/// a node's value is the worst-case remaining work if it is started now.
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if the graph is cyclic.
+pub fn longest_path_to_sink<N, E>(
+    g: &Dag<N, E>,
+    mut node_cost: impl FnMut(NodeId) -> u64,
+    mut edge_cost: impl FnMut(crate::dag::EdgeId) -> u64,
+) -> Result<Vec<u64>, CycleError> {
+    let order = topological_order(g)?;
+    let mut dist = vec![0u64; g.node_count()];
+    for &v in order.iter().rev() {
+        let own = node_cost(v);
+        let mut best = 0u64;
+        for &e in g.out_edges(v) {
+            let t = g.target(e);
+            best = best.max(edge_cost(e) + dist[t.index()]);
+        }
+        dist[v.index()] = own + best;
+    }
+    Ok(dist)
+}
+
+/// Longest weighted path from any source to each node, counting node and
+/// edge costs of everything strictly *before* the node (the node's own
+/// cost is excluded). This is the ASAP lower bound on a node's start time.
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if the graph is cyclic.
+pub fn longest_path_from_source<N, E>(
+    g: &Dag<N, E>,
+    mut node_cost: impl FnMut(NodeId) -> u64,
+    mut edge_cost: impl FnMut(crate::dag::EdgeId) -> u64,
+) -> Result<Vec<u64>, CycleError> {
+    let order = topological_order(g)?;
+    let mut dist = vec![0u64; g.node_count()];
+    for &v in order.iter() {
+        let mut best = 0u64;
+        for &e in g.in_edges(v) {
+            let s = g.source(e);
+            best = best.max(dist[s.index()] + node_cost(s) + edge_cost(e));
+        }
+        dist[v.index()] = best;
+    }
+    Ok(dist)
+}
+
+/// The critical-path length of the whole graph: the maximum over nodes of
+/// [`longest_path_to_sink`]. Zero for an empty graph.
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if the graph is cyclic.
+pub fn critical_path_length<N, E>(
+    g: &Dag<N, E>,
+    node_cost: impl FnMut(NodeId) -> u64,
+    edge_cost: impl FnMut(crate::dag::EdgeId) -> u64,
+) -> Result<u64, CycleError> {
+    let d = longest_path_to_sink(g, node_cost, edge_cost)?;
+    Ok(d.into_iter().max().unwrap_or(0))
+}
+
+/// Set of nodes reachable from `start` (including `start`), as a boolean
+/// table indexed by [`NodeId::index`]. BFS over successor edges.
+pub fn reachable_from<N, E>(g: &Dag<N, E>, start: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; g.node_count()];
+    let mut queue = VecDeque::new();
+    seen[start.index()] = true;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        for s in g.successors(v) {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                queue.push_back(s);
+            }
+        }
+    }
+    seen
+}
+
+/// Set of nodes from which `end` is reachable (including `end`), as a
+/// boolean table. BFS over predecessor edges.
+pub fn ancestors_of<N, E>(g: &Dag<N, E>, end: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; g.node_count()];
+    let mut queue = VecDeque::new();
+    seen[end.index()] = true;
+    queue.push_back(end);
+    while let Some(v) = queue.pop_front() {
+        for p in g.predecessors(v) {
+            if !seen[p.index()] {
+                seen[p.index()] = true;
+                queue.push_back(p);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::EdgeId;
+
+    /// a -> b -> d, a -> c -> d
+    fn diamond() -> (Dag<(), ()>, Vec<NodeId>) {
+        let mut g = Dag::new();
+        let ids: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(ids[0], ids[1], ()).unwrap();
+        g.add_edge(ids[0], ids[2], ()).unwrap();
+        g.add_edge(ids[1], ids[3], ()).unwrap();
+        g.add_edge(ids[2], ids[3], ()).unwrap();
+        (g, ids)
+    }
+
+    #[test]
+    fn topo_order_diamond() {
+        let (g, ids) = diamond();
+        let order = topological_order(&g).unwrap();
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], ids[0]);
+        assert_eq!(order[3], ids[3]);
+    }
+
+    #[test]
+    fn topo_order_respects_all_edges() {
+        let (g, _) = diamond();
+        let order = topological_order(&g).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.node_count()];
+            for (i, v) in order.iter().enumerate() {
+                p[v.index()] = i;
+            }
+            p
+        };
+        for e in g.edge_ids() {
+            let (s, t) = g.endpoints(e);
+            assert!(pos[s.index()] < pos[t.index()]);
+        }
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g: Dag<(), ()> = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, a, ()).unwrap();
+        let err = topological_order(&g).unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+        assert!(!is_acyclic(&g));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g: Dag<(), ()> = Dag::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, ()).unwrap();
+        assert!(!is_acyclic(&g));
+    }
+
+    #[test]
+    fn empty_graph_is_acyclic() {
+        let g: Dag<(), ()> = Dag::new();
+        assert!(is_acyclic(&g));
+        assert_eq!(critical_path_length(&g, |_| 1, |_| 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn longest_path_to_sink_chain() {
+        let mut g: Dag<u64, u64> = Dag::new();
+        let a = g.add_node(3);
+        let b = g.add_node(5);
+        let c = g.add_node(2);
+        g.add_edge(a, b, 10).unwrap();
+        g.add_edge(b, c, 20).unwrap();
+        let d = longest_path_to_sink(&g, |n| *g.node(n), |e| *g.edge(e)).unwrap();
+        assert_eq!(d[c.index()], 2);
+        assert_eq!(d[b.index()], 5 + 20 + 2);
+        assert_eq!(d[a.index()], 3 + 10 + 27);
+    }
+
+    #[test]
+    fn longest_path_picks_heavier_branch() {
+        let (g, ids) = diamond();
+        // Node costs: a=1,b=10,c=2,d=1; edges zero.
+        let costs = [1u64, 10, 2, 1];
+        let d = longest_path_to_sink(&g, |n| costs[n.index()], |_| 0).unwrap();
+        assert_eq!(d[ids[0].index()], 1 + 10 + 1);
+        let cp = critical_path_length(&g, |n| costs[n.index()], |_| 0).unwrap();
+        assert_eq!(cp, 12);
+    }
+
+    #[test]
+    fn longest_path_from_source_excludes_own_cost() {
+        let mut g: Dag<u64, u64> = Dag::new();
+        let a = g.add_node(3);
+        let b = g.add_node(5);
+        g.add_edge(a, b, 7).unwrap();
+        let d = longest_path_from_source(&g, |n| *g.node(n), |e| *g.edge(e)).unwrap();
+        assert_eq!(d[a.index()], 0);
+        assert_eq!(d[b.index()], 3 + 7);
+    }
+
+    #[test]
+    fn reachability_diamond() {
+        let (g, ids) = diamond();
+        let r = reachable_from(&g, ids[1]);
+        assert!(r[ids[1].index()]);
+        assert!(r[ids[3].index()]);
+        assert!(!r[ids[0].index()]);
+        assert!(!r[ids[2].index()]);
+    }
+
+    #[test]
+    fn ancestors_diamond() {
+        let (g, ids) = diamond();
+        let a = ancestors_of(&g, ids[2]);
+        assert!(a[ids[2].index()]);
+        assert!(a[ids[0].index()]);
+        assert!(!a[ids[1].index()]);
+        assert!(!a[ids[3].index()]);
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let mut g: Dag<(), ()> = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        let order = topological_order(&g).unwrap();
+        assert_eq!(order.len(), 3);
+        let r = reachable_from(&g, a);
+        assert!(!r[c.index()]);
+    }
+
+    #[test]
+    fn edge_cost_only_critical_path() {
+        let mut g: Dag<(), u64> = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, 5).unwrap();
+        g.add_edge(a, c, 9).unwrap();
+        let cp = critical_path_length(&g, |_| 0, |e: EdgeId| *g.edge(e)).unwrap();
+        assert_eq!(cp, 9);
+    }
+}
+
+/// The *level* (longest path length in edges from any source) of every
+/// node — the layering used to draw and to generate process graphs.
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if the graph is cyclic.
+pub fn levels<N, E>(g: &Dag<N, E>) -> Result<Vec<usize>, CycleError> {
+    let order = topological_order(g)?;
+    let mut level = vec![0usize; g.node_count()];
+    for &v in &order {
+        for s in g.successors(v) {
+            level[s.index()] = level[s.index()].max(level[v.index()] + 1);
+        }
+    }
+    Ok(level)
+}
+
+/// `(depth, max_width)` of a DAG: the number of levels and the size of
+/// the largest level. `(0, 0)` for an empty graph.
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if the graph is cyclic.
+pub fn shape<N, E>(g: &Dag<N, E>) -> Result<(usize, usize), CycleError> {
+    if g.is_empty() {
+        return Ok((0, 0));
+    }
+    let lv = levels(g)?;
+    let depth = lv.iter().max().copied().unwrap_or(0) + 1;
+    let mut widths = vec![0usize; depth];
+    for &l in &lv {
+        widths[l] += 1;
+    }
+    Ok((depth, widths.into_iter().max().unwrap_or(0)))
+}
+
+#[cfg(test)]
+mod level_tests {
+    use super::*;
+
+    #[test]
+    fn levels_of_diamond() {
+        let mut g: Dag<(), ()> = Dag::new();
+        let ids: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(ids[0], ids[1], ()).unwrap();
+        g.add_edge(ids[0], ids[2], ()).unwrap();
+        g.add_edge(ids[1], ids[3], ()).unwrap();
+        g.add_edge(ids[2], ids[3], ()).unwrap();
+        assert_eq!(levels(&g).unwrap(), vec![0, 1, 1, 2]);
+        assert_eq!(shape(&g).unwrap(), (3, 2));
+    }
+
+    #[test]
+    fn levels_take_longest_path() {
+        // a -> b -> c and a -> c: c sits at level 2, not 1.
+        let mut g: Dag<(), ()> = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, c, ()).unwrap();
+        g.add_edge(a, c, ()).unwrap();
+        assert_eq!(levels(&g).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g: Dag<(), ()> = Dag::new();
+        assert_eq!(shape(&g).unwrap(), (0, 0));
+        let mut g2: Dag<(), ()> = Dag::new();
+        g2.add_node(());
+        g2.add_node(());
+        assert_eq!(levels(&g2).unwrap(), vec![0, 0]);
+        assert_eq!(shape(&g2).unwrap(), (1, 2));
+    }
+
+    #[test]
+    fn cyclic_rejected() {
+        let mut g: Dag<(), ()> = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        g.add_edge(b, a, ()).unwrap();
+        assert!(levels(&g).is_err());
+        assert!(shape(&g).is_err());
+    }
+}

@@ -1,0 +1,394 @@
+//! Compact adjacency-list directed graph.
+//!
+//! The structure is append-only: nodes and edges can be added but not
+//! removed. This matches how process graphs are used in the workspace
+//! (they are built once by a generator or a front-end and then treated as
+//! immutable inputs to mapping and scheduling).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node inside a [`Dag`].
+///
+/// Indices are dense: the `k`-th added node has index `k`, which lets
+/// callers use plain vectors as node-keyed side tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an edge inside a [`Dag`]. Dense, like [`NodeId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize`, for indexing side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The id as a `usize`, for indexing side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Error returned when an edge refers to a node that does not exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidNodeError {
+    /// The offending node id.
+    pub node: NodeId,
+    /// Number of nodes currently in the graph.
+    pub len: usize,
+}
+
+impl fmt::Display for InvalidNodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "node {} is out of bounds for graph with {} nodes",
+            self.node, self.len
+        )
+    }
+}
+
+impl std::error::Error for InvalidNodeError {}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct EdgeRecord<E> {
+    src: NodeId,
+    dst: NodeId,
+    weight: E,
+}
+
+/// A directed graph stored as adjacency lists, intended to hold DAGs.
+///
+/// `N` is the node payload, `E` the edge payload. Acyclicity is *not*
+/// enforced on insertion (that would cost a search per edge); callers that
+/// need the guarantee run [`crate::algo::topological_order`] once after
+/// construction, which detects cycles.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dag<N, E> {
+    nodes: Vec<N>,
+    edges: Vec<EdgeRecord<E>>,
+    /// Outgoing edge ids per node.
+    succ: Vec<Vec<EdgeId>>,
+    /// Incoming edge ids per node.
+    pred: Vec<Vec<EdgeId>>,
+}
+
+impl<N, E> Default for Dag<N, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N, E> Dag<N, E> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Dag {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            succ: Vec::new(),
+            pred: Vec::new(),
+        }
+    }
+
+    /// Creates an empty graph with capacity for `nodes` nodes and `edges` edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Dag {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            succ: Vec::with_capacity(nodes),
+            pred: Vec::with_capacity(nodes),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, weight: N) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(weight);
+        self.succ.push(Vec::new());
+        self.pred.push(Vec::new());
+        id
+    }
+
+    /// Adds a directed edge `src -> dst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidNodeError`] if either endpoint is out of bounds.
+    pub fn add_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        weight: E,
+    ) -> Result<EdgeId, InvalidNodeError> {
+        let len = self.nodes.len();
+        for n in [src, dst] {
+            if n.index() >= len {
+                return Err(InvalidNodeError { node: n, len });
+            }
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(EdgeRecord { src, dst, weight });
+        self.succ[src.index()].push(id);
+        self.pred[dst.index()].push(id);
+        Ok(id)
+    }
+
+    /// Payload of node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of bounds.
+    pub fn node(&self, n: NodeId) -> &N {
+        &self.nodes[n.index()]
+    }
+
+    /// Mutable payload of node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of bounds.
+    pub fn node_mut(&mut self, n: NodeId) -> &mut N {
+        &mut self.nodes[n.index()]
+    }
+
+    /// Payload of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    pub fn edge(&self, e: EdgeId) -> &E {
+        &self.edges[e.index()].weight
+    }
+
+    /// Mutable payload of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of bounds.
+    pub fn edge_mut(&mut self, e: EdgeId) -> &mut E {
+        &mut self.edges[e.index()].weight
+    }
+
+    /// Source node of edge `e`.
+    pub fn source(&self, e: EdgeId) -> NodeId {
+        self.edges[e.index()].src
+    }
+
+    /// Destination node of edge `e`.
+    pub fn target(&self, e: EdgeId) -> NodeId {
+        self.edges[e.index()].dst
+    }
+
+    /// `(source, target)` of edge `e`.
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        let r = &self.edges[e.index()];
+        (r.src, r.dst)
+    }
+
+    /// Iterator over all node ids, in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over all edge ids, in insertion order.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Iterator over node payloads, in insertion order.
+    pub fn node_weights(&self) -> impl Iterator<Item = &N> {
+        self.nodes.iter()
+    }
+
+    /// Outgoing edges of node `n`.
+    pub fn out_edges(&self, n: NodeId) -> &[EdgeId] {
+        &self.succ[n.index()]
+    }
+
+    /// Incoming edges of node `n`.
+    pub fn in_edges(&self, n: NodeId) -> &[EdgeId] {
+        &self.pred[n.index()]
+    }
+
+    /// Successor node ids of `n` (one entry per out-edge; duplicates possible).
+    pub fn successors(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.succ[n.index()].iter().map(move |&e| self.target(e))
+    }
+
+    /// Predecessor node ids of `n` (one entry per in-edge; duplicates possible).
+    pub fn predecessors(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.pred[n.index()].iter().map(move |&e| self.source(e))
+    }
+
+    /// Out-degree of `n`.
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        self.succ[n.index()].len()
+    }
+
+    /// In-degree of `n`.
+    pub fn in_degree(&self, n: NodeId) -> usize {
+        self.pred[n.index()].len()
+    }
+
+    /// Nodes with in-degree 0 (entry processes of a process graph).
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&n| self.in_degree(n) == 0)
+            .collect()
+    }
+
+    /// Nodes with out-degree 0 (exit processes of a process graph).
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&n| self.out_degree(n) == 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag<&'static str, u32> {
+        let mut g = Dag::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b, 1).unwrap();
+        g.add_edge(a, c, 2).unwrap();
+        g.add_edge(b, d, 3).unwrap();
+        g.add_edge(c, d, 4).unwrap();
+        g
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: Dag<(), ()> = Dag::new();
+        assert!(g.is_empty());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.sources().is_empty());
+        assert!(g.sinks().is_empty());
+    }
+
+    #[test]
+    fn add_nodes_dense_ids() {
+        let mut g: Dag<u32, ()> = Dag::new();
+        for i in 0..10 {
+            let id = g.add_node(i);
+            assert_eq!(id.index(), i as usize);
+        }
+        assert_eq!(g.node_count(), 10);
+    }
+
+    #[test]
+    fn diamond_degrees() {
+        let g = diamond();
+        let ids: Vec<_> = g.node_ids().collect();
+        assert_eq!(g.out_degree(ids[0]), 2);
+        assert_eq!(g.in_degree(ids[0]), 0);
+        assert_eq!(g.in_degree(ids[3]), 2);
+        assert_eq!(g.out_degree(ids[3]), 0);
+        assert_eq!(g.sources(), vec![ids[0]]);
+        assert_eq!(g.sinks(), vec![ids[3]]);
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let g = diamond();
+        let ids: Vec<_> = g.node_ids().collect();
+        let succ_a: Vec<_> = g.successors(ids[0]).collect();
+        assert_eq!(succ_a, vec![ids[1], ids[2]]);
+        let pred_d: Vec<_> = g.predecessors(ids[3]).collect();
+        assert_eq!(pred_d, vec![ids[1], ids[2]]);
+    }
+
+    #[test]
+    fn edge_endpoints_and_weights() {
+        let g = diamond();
+        let e0 = EdgeId(0);
+        assert_eq!(g.endpoints(e0), (NodeId(0), NodeId(1)));
+        assert_eq!(*g.edge(e0), 1);
+    }
+
+    #[test]
+    fn edge_out_of_bounds_rejected() {
+        let mut g: Dag<(), ()> = Dag::new();
+        let a = g.add_node(());
+        let err = g.add_edge(a, NodeId(7), ()).unwrap_err();
+        assert_eq!(err.node, NodeId(7));
+        assert_eq!(err.len, 1);
+        assert!(err.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn node_mut_updates_payload() {
+        let mut g: Dag<u32, ()> = Dag::new();
+        let a = g.add_node(1);
+        *g.node_mut(a) = 42;
+        assert_eq!(*g.node(a), 42);
+    }
+
+    #[test]
+    fn edge_mut_updates_payload() {
+        let mut g = diamond();
+        *g.edge_mut(EdgeId(0)) = 99;
+        assert_eq!(*g.edge(EdgeId(0)), 99);
+    }
+
+    #[test]
+    fn parallel_edges_allowed() {
+        let mut g: Dag<(), u8> = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1).unwrap();
+        g.add_edge(a, b, 2).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.in_degree(b), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = diamond();
+        let json = serde_json::to_string(&g).unwrap();
+        let g2: Dag<String, u32> = serde_json::from_str(&json).unwrap();
+        assert_eq!(g2.node_count(), 4);
+        assert_eq!(g2.edge_count(), 4);
+        assert_eq!(g2.endpoints(EdgeId(3)), (NodeId(2), NodeId(3)));
+    }
+}

@@ -1,0 +1,116 @@
+//! Graphviz DOT export, for debugging generated process graphs.
+
+use crate::dag::{Dag, EdgeId, NodeId};
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// `node_label` and `edge_label` produce the display labels; they are free
+/// to return empty strings. The output is deterministic (insertion order).
+///
+/// # Example
+///
+/// ```
+/// use incdes_graph::{Dag, dot};
+///
+/// let mut g: Dag<&str, u32> = Dag::new();
+/// let a = g.add_node("src");
+/// let b = g.add_node("dst");
+/// g.add_edge(a, b, 8).unwrap();
+/// let out = dot::to_dot(&g, "demo", |_, w| w.to_string(), |_, w| w.to_string());
+/// assert!(out.contains("digraph demo"));
+/// assert!(out.contains("n0 -> n1"));
+/// ```
+pub fn to_dot<N, E>(
+    g: &Dag<N, E>,
+    name: &str,
+    mut node_label: impl FnMut(NodeId, &N) -> String,
+    mut edge_label: impl FnMut(EdgeId, &E) -> String,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(name));
+    let _ = writeln!(out, "  rankdir=TB;");
+    for v in g.node_ids() {
+        let label = escape(&node_label(v, g.node(v)));
+        let _ = writeln!(out, "  {} [label=\"{}\"];", v, label);
+    }
+    for e in g.edge_ids() {
+        let (s, t) = g.endpoints(e);
+        let label = escape(&edge_label(e, g.edge(e)));
+        if label.is_empty() {
+            let _ = writeln!(out, "  {} -> {};", s, t);
+        } else {
+            let _ = writeln!(out, "  {} -> {} [label=\"{}\"];", s, t, label);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "g".to_string()
+    } else {
+        cleaned
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut g: Dag<u32, u32> = Dag::new();
+        let a = g.add_node(1);
+        let b = g.add_node(2);
+        let c = g.add_node(3);
+        g.add_edge(a, b, 10).unwrap();
+        g.add_edge(b, c, 20).unwrap();
+        let s = to_dot(&g, "t", |_, w| format!("P{w}"), |_, w| format!("m{w}"));
+        assert!(s.contains("digraph t {"));
+        assert!(s.contains("n0 [label=\"P1\"]"));
+        assert!(s.contains("n2 [label=\"P3\"]"));
+        assert!(s.contains("n0 -> n1 [label=\"m10\"]"));
+        assert!(s.contains("n1 -> n2 [label=\"m20\"]"));
+    }
+
+    #[test]
+    fn empty_labels_omit_attribute() {
+        let mut g: Dag<(), ()> = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ()).unwrap();
+        let s = to_dot(&g, "t", |_, _| String::new(), |_, _| String::new());
+        assert!(s.contains("n0 -> n1;"));
+    }
+
+    #[test]
+    fn name_sanitized() {
+        let g: Dag<(), ()> = Dag::new();
+        let s = to_dot(&g, "my graph/1", |_, _| String::new(), |_, _| String::new());
+        assert!(s.starts_with("digraph my_graph_1 {"));
+    }
+
+    #[test]
+    fn quotes_escaped_in_labels() {
+        let mut g: Dag<&'static str, ()> = Dag::new();
+        g.add_node("say \"hi\"");
+        let s = to_dot(&g, "t", |_, w| w.to_string(), |_, _| String::new());
+        assert!(s.contains("say \\\"hi\\\""));
+    }
+}

@@ -1,0 +1,190 @@
+//! Evaluation context shared by all mapping strategies.
+
+use crate::solution::Solution;
+use incdes_metrics::objective::{self, DesignCost, Weights};
+use incdes_model::{AppId, Application, Architecture, FutureProfile, Time};
+use incdes_sched::{schedule, AppSpec, SchedError, ScheduleTable, SlackProfile};
+use std::cell::Cell;
+use std::fmt;
+
+/// Error from a mapping strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// The application has no processes to map.
+    EmptyApplication,
+    /// No feasible design alternative was found (requirement *a* cannot be
+    /// met on this system within the strategy's search budget).
+    Infeasible {
+        /// The scheduler error of the last attempt.
+        last: SchedError,
+    },
+    /// The inputs are malformed (bad horizon, disallowed PE in a caller-
+    /// provided mapping, ...).
+    InvalidInput(SchedError),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::EmptyApplication => write!(f, "application has no processes"),
+            MapError::Infeasible { last } => {
+                write!(
+                    f,
+                    "no feasible mapping found (last scheduler error: {last})"
+                )
+            }
+            MapError::InvalidInput(e) => write!(f, "invalid mapping input: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// A fully evaluated design alternative.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// The complete schedule (frozen applications + current application).
+    pub table: ScheduleTable,
+    /// The slack profile of that schedule.
+    pub slack: SlackProfile,
+    /// The objective-function value.
+    pub cost: DesignCost,
+}
+
+/// Everything a strategy needs to evaluate design alternatives for one
+/// *current application* on one system state.
+#[derive(Debug)]
+pub struct MappingContext<'a> {
+    /// The hardware platform.
+    pub arch: &'a Architecture,
+    /// Id the current application's jobs will carry.
+    pub app_id: AppId,
+    /// The current application.
+    pub app: &'a Application,
+    /// Frozen schedule of the existing applications, already replicated to
+    /// `horizon`. `None` for an empty system.
+    pub frozen: Option<&'a ScheduleTable>,
+    /// The system hyperperiod (LCM of all periods, old and new).
+    pub horizon: Time,
+    /// Characterization of the future applications.
+    pub future: &'a FutureProfile,
+    /// Objective-function weights.
+    pub weights: &'a Weights,
+    evaluations: Cell<usize>,
+}
+
+impl<'a> MappingContext<'a> {
+    /// Creates a context.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        arch: &'a Architecture,
+        app_id: AppId,
+        app: &'a Application,
+        frozen: Option<&'a ScheduleTable>,
+        horizon: Time,
+        future: &'a FutureProfile,
+        weights: &'a Weights,
+    ) -> Self {
+        MappingContext {
+            arch,
+            app_id,
+            app,
+            frozen,
+            horizon,
+            future,
+            weights,
+            evaluations: Cell::new(0),
+        }
+    }
+
+    /// Schedules and scores one design alternative.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`SchedError`]; use
+    /// [`SchedError::is_infeasible`] to distinguish "does not fit" from
+    /// "malformed input".
+    pub fn evaluate(&self, solution: &Solution) -> Result<Evaluation, SchedError> {
+        self.evaluations.set(self.evaluations.get() + 1);
+        let spec = AppSpec::new(self.app_id, self.app, &solution.mapping, &solution.hints);
+        let table = schedule(self.arch, &[spec], self.frozen, self.horizon)?;
+        let slack = SlackProfile::from_table(self.arch, &table);
+        let cost = objective::evaluate(self.arch, &slack, self.future, self.weights);
+        Ok(Evaluation { table, slack, cost })
+    }
+
+    /// Number of schedule evaluations performed through this context.
+    pub fn evaluation_count(&self) -> usize {
+        self.evaluations.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdes_model::prelude::*;
+    use incdes_sched::Mapping;
+
+    fn arch2() -> Architecture {
+        Architecture::builder()
+            .pe("N1")
+            .pe("N2")
+            .bus(BusConfig::uniform_round(2, Time::new(10), 1).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    fn one_proc_app() -> Application {
+        let mut g = ProcessGraph::new("g", Time::new(120), Time::new(120));
+        g.add_process(Process::new("a").wcet(PeId(0), Time::new(8)));
+        Application::new("app", vec![g])
+    }
+
+    #[test]
+    fn evaluate_counts_and_scores() {
+        let arch = arch2();
+        let app = one_proc_app();
+        let future = FutureProfile::slide_example();
+        let weights = Weights::default();
+        let ctx = MappingContext::new(
+            &arch,
+            AppId(0),
+            &app,
+            None,
+            Time::new(120),
+            &future,
+            &weights,
+        );
+        let mut mapping = Mapping::new();
+        mapping.assign(ProcRef::new(0, NodeId(0)), PeId(0));
+        let sol = Solution::from_mapping(mapping);
+        assert_eq!(ctx.evaluation_count(), 0);
+        let eval = ctx.evaluate(&sol).unwrap();
+        assert_eq!(ctx.evaluation_count(), 1);
+        assert!(eval.cost.is_feasible());
+        assert_eq!(eval.table.jobs().len(), 1);
+    }
+
+    #[test]
+    fn evaluate_surfaces_infeasibility() {
+        let arch = arch2();
+        let mut g = ProcessGraph::new("g", Time::new(120), Time::new(4));
+        g.add_process(Process::new("a").wcet(PeId(0), Time::new(8)));
+        let app = Application::new("app", vec![g]);
+        let future = FutureProfile::slide_example();
+        let weights = Weights::default();
+        let ctx = MappingContext::new(
+            &arch,
+            AppId(0),
+            &app,
+            None,
+            Time::new(120),
+            &future,
+            &weights,
+        );
+        let mut mapping = Mapping::new();
+        mapping.assign(ProcRef::new(0, NodeId(0)), PeId(0));
+        let err = ctx.evaluate(&Solution::from_mapping(mapping)).unwrap_err();
+        assert!(err.is_infeasible());
+    }
+}

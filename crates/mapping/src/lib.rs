@@ -1,0 +1,69 @@
+//! Mapping strategies for incremental design (Pop et al., DAC 2001).
+//!
+//! Given a system whose *existing* applications are frozen in a schedule
+//! table, this crate maps and schedules the *current* application so that
+//!
+//! * (a) its deadlines hold without touching the existing applications, and
+//! * (b) the remaining slack is shaped so that *future* applications —
+//!   known only through a [`incdes_model::FutureProfile`] — are likely to
+//!   fit, as measured by the objective function of `incdes-metrics`.
+//!
+//! Three strategies are provided, matching the paper's evaluation:
+//!
+//! * [`Strategy::AdHoc`] (AH) — the initial mapping ([`im::initial_mapping`],
+//!   derived from the Heterogeneous Critical Path algorithm) taken as-is:
+//!   a good design for the current application alone, with *little support
+//!   for incremental design*.
+//! * [`Strategy::MappingHeuristic`] (MH) — iterative improvement that
+//!   examines only the design transformations with the highest potential
+//!   to improve the objective: moving a process to a different slack on
+//!   the same or a different processor, and moving a message to a
+//!   different slack on the bus ([`mh::mapping_heuristic`]).
+//! * [`Strategy::SimulatedAnnealing`] (SA) — a slow-cooling annealer over
+//!   the same design space ([`sa::simulated_annealing`]); with a generous
+//!   budget it approaches the optimum and serves as the reference point
+//!   of the experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use incdes_mapping::{run_strategy, MappingContext, Strategy};
+//! use incdes_model::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let arch = Architecture::builder()
+//!     .pe("N1")
+//!     .pe("N2")
+//!     .bus(BusConfig::uniform_round(2, Time::new(10), 1)?)
+//!     .build()?;
+//! let mut g = ProcessGraph::new("g", Time::new(120), Time::new(120));
+//! let a = g.add_process(Process::new("a").wcet(PeId(0), Time::new(8)).wcet(PeId(1), Time::new(9)));
+//! let b = g.add_process(Process::new("b").wcet(PeId(1), Time::new(6)));
+//! g.add_message(a, b, Message::new("m", 4))?;
+//! let app = Application::new("demo", vec![g]);
+//!
+//! let future = FutureProfile::slide_example();
+//! let weights = incdes_metrics::Weights::default();
+//! let ctx = MappingContext::new(&arch, AppId(0), &app, None, Time::new(120), &future, &weights);
+//! let outcome = run_strategy(&ctx, &Strategy::AdHoc)?;
+//! assert!(outcome.evaluation.cost.is_feasible());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod im;
+pub mod mh;
+pub mod sa;
+pub mod solution;
+pub mod strategy;
+
+pub use context::{Evaluation, MapError, MappingContext};
+pub use im::initial_mapping;
+pub use mh::{mapping_heuristic, MhConfig};
+pub use sa::{simulated_annealing, SaConfig};
+pub use solution::{Move, Solution};
+pub use strategy::{run_strategy, Outcome, RunStats, Strategy};

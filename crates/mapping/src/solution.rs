@@ -1,0 +1,157 @@
+//! Design alternatives and design transformations.
+
+use incdes_model::{PeId, ProcRef};
+use incdes_sched::{Hints, Mapping, MsgRef};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One design alternative: a mapping plus placement hints.
+///
+/// Together with the deterministic list scheduler this fully determines
+/// the schedule, so comparing two `Solution`s compares two schedules.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Solution {
+    /// Process → PE assignment of the current application.
+    pub mapping: Mapping,
+    /// Slack-placement hints of the current application.
+    pub hints: Hints,
+}
+
+impl Solution {
+    /// An empty solution (nothing mapped yet).
+    pub fn new() -> Self {
+        Solution::default()
+    }
+
+    /// Creates a solution from a mapping with no hints.
+    pub fn from_mapping(mapping: Mapping) -> Self {
+        Solution {
+            mapping,
+            hints: Hints::empty(),
+        }
+    }
+
+    /// Applies a design transformation in place.
+    pub fn apply(&mut self, mv: &Move) {
+        match *mv {
+            Move::Remap { proc_ref, to } => {
+                self.mapping.assign(proc_ref, to);
+                // A process moved to another PE starts fresh in the
+                // earliest slack there.
+                self.hints.set_proc_gap(proc_ref, 0);
+            }
+            Move::ProcSlack { proc_ref, gap } => {
+                self.hints.set_proc_gap(proc_ref, gap);
+            }
+            Move::MsgSlack { msg, slot } => {
+                self.hints.set_msg_slot(msg, slot);
+            }
+        }
+    }
+
+    /// Returns a copy with `mv` applied.
+    pub fn with_move(&self, mv: &Move) -> Solution {
+        let mut s = self.clone();
+        s.apply(mv);
+        s
+    }
+}
+
+/// A design transformation (slide 14): move a process to a different slack
+/// on the same or a different processor, or move a message to a different
+/// slack on the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Move {
+    /// Map `proc_ref` onto PE `to` (a different processor's slack).
+    Remap {
+        /// The process to move.
+        proc_ref: ProcRef,
+        /// The destination PE.
+        to: PeId,
+    },
+    /// Keep the processor but place the process into its `gap`-th feasible
+    /// slack instead of the first.
+    ProcSlack {
+        /// The process to move.
+        proc_ref: ProcRef,
+        /// The new gap hint.
+        gap: u32,
+    },
+    /// Place the message into its `slot`-th feasible TDMA slot occurrence
+    /// instead of the first.
+    MsgSlack {
+        /// The message to move.
+        msg: MsgRef,
+        /// The new slot hint.
+        slot: u32,
+    },
+}
+
+impl fmt::Display for Move {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Move::Remap { proc_ref, to } => write!(f, "remap {proc_ref} -> {to}"),
+            Move::ProcSlack { proc_ref, gap } => write!(f, "proc-slack {proc_ref} -> gap {gap}"),
+            Move::MsgSlack { msg, slot } => write!(f, "msg-slack {msg} -> slot {slot}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdes_graph::{EdgeId, NodeId};
+
+    #[test]
+    fn apply_remap_resets_gap_hint() {
+        let mut s = Solution::new();
+        let p = ProcRef::new(0, NodeId(0));
+        s.mapping.assign(p, PeId(0));
+        s.hints.set_proc_gap(p, 3);
+        s.apply(&Move::Remap {
+            proc_ref: p,
+            to: PeId(1),
+        });
+        assert_eq!(s.mapping.pe_of(p), Some(PeId(1)));
+        assert_eq!(s.hints.proc_gap(p), 0);
+    }
+
+    #[test]
+    fn apply_slack_moves() {
+        let mut s = Solution::new();
+        let p = ProcRef::new(0, NodeId(1));
+        let m = MsgRef::new(0, EdgeId(2));
+        s.apply(&Move::ProcSlack {
+            proc_ref: p,
+            gap: 2,
+        });
+        s.apply(&Move::MsgSlack { msg: m, slot: 4 });
+        assert_eq!(s.hints.proc_gap(p), 2);
+        assert_eq!(s.hints.msg_slot(m), 4);
+    }
+
+    #[test]
+    fn with_move_leaves_original_untouched() {
+        let s = Solution::new();
+        let p = ProcRef::new(0, NodeId(0));
+        let s2 = s.with_move(&Move::ProcSlack {
+            proc_ref: p,
+            gap: 1,
+        });
+        assert_eq!(s.hints.proc_gap(p), 0);
+        assert_eq!(s2.hints.proc_gap(p), 1);
+    }
+
+    #[test]
+    fn move_display() {
+        let p = ProcRef::new(1, NodeId(2));
+        assert_eq!(
+            Move::Remap {
+                proc_ref: p,
+                to: PeId(3)
+            }
+            .to_string(),
+            "remap g1/n2 -> pe3"
+        );
+    }
+}

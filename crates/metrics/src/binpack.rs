@@ -1,0 +1,262 @@
+//! Bin packing of future-application items into slack containers.
+//!
+//! The paper computes the C1 metrics with a "bin-packing algorithm using
+//! the best-fit policy: processes as objects to be packed, and the slack
+//! as containers". First-fit and worst-fit are provided as ablation
+//! baselines.
+
+use incdes_model::Time;
+use serde::{Deserialize, Serialize};
+
+/// Which bin an item is placed into among those it fits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FitPolicy {
+    /// The fitting bin with the *least* remaining capacity (paper default).
+    BestFit,
+    /// The first fitting bin in container order.
+    FirstFit,
+    /// The fitting bin with the *most* remaining capacity.
+    WorstFit,
+}
+
+/// Result of a packing run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackOutcome {
+    /// For each item (in the order given): the container index it was
+    /// packed into, or `None` if it did not fit anywhere.
+    pub placement: Vec<Option<usize>>,
+    /// Total size of packed items.
+    pub packed: Time,
+    /// Total size of items that did not fit.
+    pub unpacked: Time,
+    /// Remaining capacity of every container after packing.
+    pub remaining: Vec<Time>,
+}
+
+impl PackOutcome {
+    /// Fraction (in percent) of total item size left unpacked; 0 if there
+    /// were no items.
+    pub fn unpacked_percent(&self) -> f64 {
+        let total = self.packed + self.unpacked;
+        if total.is_zero() {
+            0.0
+        } else {
+            100.0 * self.unpacked.as_f64() / total.as_f64()
+        }
+    }
+}
+
+/// Packs `items` into `containers` (given as capacities) with `policy`,
+/// considering items in decreasing size order (best-fit-decreasing when
+/// combined with [`FitPolicy::BestFit`]).
+///
+/// Zero-sized items are "packed" trivially (they consume nothing);
+/// zero-capacity containers never receive anything.
+pub fn pack(items: &[Time], containers: &[Time], policy: FitPolicy) -> PackOutcome {
+    let mut remaining: Vec<Time> = containers.to_vec();
+    let mut placement: Vec<Option<usize>> = vec![None; items.len()];
+
+    // Indices of items sorted by decreasing size (stable for determinism).
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| items[b].cmp(&items[a]).then(a.cmp(&b)));
+
+    let mut packed = Time::ZERO;
+    let mut unpacked = Time::ZERO;
+    for idx in order {
+        let size = items[idx];
+        if size.is_zero() {
+            placement[idx] = Some(usize::MAX); // marker: trivially packed
+            continue;
+        }
+        let candidate = match policy {
+            FitPolicy::BestFit => remaining
+                .iter()
+                .enumerate()
+                .filter(|&(_, &cap)| cap >= size)
+                .min_by_key(|&(i, &cap)| (cap, i))
+                .map(|(i, _)| i),
+            FitPolicy::FirstFit => remaining.iter().position(|&cap| cap >= size),
+            FitPolicy::WorstFit => remaining
+                .iter()
+                .enumerate()
+                .filter(|&(_, &cap)| cap >= size)
+                .max_by(|&(i, &a), &(j, &b)| a.cmp(&b).then(j.cmp(&i)))
+                .map(|(i, _)| i),
+        };
+        match candidate {
+            Some(bin) => {
+                remaining[bin] -= size;
+                placement[idx] = Some(bin);
+                packed += size;
+            }
+            None => {
+                unpacked += size;
+            }
+        }
+    }
+    // Normalize the zero-size marker to container 0 when possible, else None.
+    for p in placement.iter_mut() {
+        if *p == Some(usize::MAX) {
+            *p = if containers.is_empty() { None } else { Some(0) };
+        }
+    }
+    PackOutcome {
+        placement,
+        packed,
+        unpacked,
+        remaining,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(v: u64) -> Time {
+        Time::new(v)
+    }
+
+    fn ts(vs: &[u64]) -> Vec<Time> {
+        vs.iter().copied().map(Time::new).collect()
+    }
+
+    #[test]
+    fn everything_fits_one_big_bin() {
+        let out = pack(&ts(&[3, 5, 2]), &ts(&[20]), FitPolicy::BestFit);
+        assert_eq!(out.unpacked, t(0));
+        assert_eq!(out.packed, t(10));
+        assert_eq!(out.remaining, vec![t(10)]);
+        assert_eq!(out.unpacked_percent(), 0.0);
+        assert!(out.placement.iter().all(|p| *p == Some(0)));
+    }
+
+    #[test]
+    fn best_fit_prefers_tight_bin() {
+        // Item 5 fits bins of 6 and 10 → best-fit picks 6.
+        let out = pack(&ts(&[5]), &ts(&[10, 6]), FitPolicy::BestFit);
+        assert_eq!(out.placement, vec![Some(1)]);
+        assert_eq!(out.remaining, vec![t(10), t(1)]);
+    }
+
+    #[test]
+    fn first_fit_takes_first() {
+        let out = pack(&ts(&[5]), &ts(&[10, 6]), FitPolicy::FirstFit);
+        assert_eq!(out.placement, vec![Some(0)]);
+    }
+
+    #[test]
+    fn worst_fit_takes_roomiest() {
+        let out = pack(&ts(&[5]), &ts(&[6, 10]), FitPolicy::WorstFit);
+        assert_eq!(out.placement, vec![Some(1)]);
+    }
+
+    #[test]
+    fn decreasing_order_packs_better() {
+        // Classic case: items 6,5,4,3 into bins 9,9. Decreasing order
+        // packs (6,3) and (5,4); increasing/greedy could fail.
+        let out = pack(&ts(&[3, 4, 5, 6]), &ts(&[9, 9]), FitPolicy::BestFit);
+        assert_eq!(out.unpacked, t(0));
+    }
+
+    #[test]
+    fn overflow_reported() {
+        let out = pack(&ts(&[8, 8]), &ts(&[10]), FitPolicy::BestFit);
+        assert_eq!(out.packed, t(8));
+        assert_eq!(out.unpacked, t(8));
+        assert!((out.unpacked_percent() - 50.0).abs() < 1e-12);
+        assert_eq!(out.placement.iter().filter(|p| p.is_none()).count(), 1);
+    }
+
+    #[test]
+    fn no_containers() {
+        let out = pack(&ts(&[4, 2]), &[], FitPolicy::BestFit);
+        assert_eq!(out.unpacked, t(6));
+        assert_eq!(out.unpacked_percent(), 100.0);
+        assert_eq!(out.placement, vec![None, None]);
+    }
+
+    #[test]
+    fn no_items() {
+        let out = pack(&[], &ts(&[5]), FitPolicy::BestFit);
+        assert_eq!(out.unpacked_percent(), 0.0);
+        assert_eq!(out.packed, t(0));
+    }
+
+    #[test]
+    fn zero_sized_items_trivially_packed() {
+        let out = pack(&ts(&[0, 3]), &ts(&[3]), FitPolicy::BestFit);
+        assert_eq!(out.unpacked, t(0));
+        assert_eq!(out.placement[0], Some(0));
+        assert_eq!(out.remaining, vec![t(0)]);
+    }
+
+    #[test]
+    fn best_fit_beats_or_ties_worst_fit_here() {
+        // Items (decreasing) 5,3,3 into bins {6,5}: best-fit puts the 5
+        // into the 5-bin and both 3s into the 6-bin; worst-fit burns the
+        // 6-bin on the 5 and strands the last 3.
+        let items = ts(&[5, 3, 3]);
+        let bins = ts(&[6, 5]);
+        let best = pack(&items, &bins, FitPolicy::BestFit);
+        let worst = pack(&items, &bins, FitPolicy::WorstFit);
+        assert_eq!(best.unpacked, t(0));
+        assert_eq!(worst.unpacked, t(3));
+    }
+
+    proptest! {
+        /// Conservation: packed + unpacked equals the item total, and
+        /// remaining capacities never go negative or exceed originals.
+        #[test]
+        fn prop_conservation(
+            items in proptest::collection::vec(0u64..50, 0..30),
+            bins in proptest::collection::vec(0u64..80, 0..15),
+            policy in prop_oneof![
+                Just(FitPolicy::BestFit),
+                Just(FitPolicy::FirstFit),
+                Just(FitPolicy::WorstFit)
+            ],
+        ) {
+            let items = ts(&items);
+            let bins_t = ts(&bins);
+            let out = pack(&items, &bins_t, policy);
+            let total: Time = items.iter().copied().sum();
+            prop_assert_eq!(out.packed + out.unpacked, total);
+            for (i, &rem) in out.remaining.iter().enumerate() {
+                prop_assert!(rem <= bins_t[i]);
+            }
+            // Per-bin usage equals capacity - remaining.
+            let mut used = vec![Time::ZERO; bins.len()];
+            for (idx, p) in out.placement.iter().enumerate() {
+                if let Some(b) = p {
+                    if !items[idx].is_zero() {
+                        used[*b] += items[idx];
+                    }
+                }
+            }
+            for (i, &u) in used.iter().enumerate() {
+                prop_assert_eq!(u, bins_t[i] - out.remaining[i]);
+            }
+        }
+
+        /// Best-fit-decreasing never leaves an item unpacked if some bin
+        /// could still hold it.
+        #[test]
+        fn prop_no_fitting_item_stranded(
+            items in proptest::collection::vec(1u64..50, 1..25),
+            bins in proptest::collection::vec(1u64..80, 1..10),
+        ) {
+            let items = ts(&items);
+            let bins_t = ts(&bins);
+            let out = pack(&items, &bins_t, FitPolicy::BestFit);
+            for (idx, p) in out.placement.iter().enumerate() {
+                if p.is_none() {
+                    let max_rem = out.remaining.iter().copied().max().unwrap();
+                    prop_assert!(items[idx] > max_rem,
+                        "item {} of size {} stranded with max remaining {}",
+                        idx, items[idx], max_rem);
+                }
+            }
+        }
+    }
+}

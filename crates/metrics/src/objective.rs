@@ -1,0 +1,217 @@
+//! The combined objective function (slide 14).
+//!
+//! ```text
+//! C = w1P·C1P + w1m·C1m + w2P·max(0, tneed − C2P) + w2m·max(0, bneed − C2m)
+//! ```
+//!
+//! The C1 terms are percentages; the C2 penalties are time deficits. The
+//! weights calibrate the two scales against each other — the paper leaves
+//! them as designer inputs, and our default weighs a 1 % packing failure
+//! like a one-tick periodic deficit.
+
+use crate::binpack::FitPolicy;
+use crate::criteria::{c1_messages, c1_processes, c2_messages, c2_processes};
+use incdes_model::{Architecture, FutureProfile, Time};
+use incdes_sched::SlackProfile;
+use serde::{Deserialize, Serialize};
+
+/// Weights of the objective function.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Weights {
+    /// Weight of `C1P` (process packing failure, %).
+    pub w1_processes: f64,
+    /// Weight of `C1m` (message packing failure, %).
+    pub w1_messages: f64,
+    /// Weight of `max(0, tneed − C2P)` (periodic processor deficit, ticks).
+    pub w2_processes: f64,
+    /// Weight of `max(0, bneed − C2m)` (periodic bus deficit, ticks).
+    pub w2_messages: f64,
+    /// Bin-packing policy used inside the C1 metrics (best-fit in the
+    /// paper; exposed for the ablation study).
+    pub fit_policy: FitPolicy,
+}
+
+impl Default for Weights {
+    fn default() -> Self {
+        Weights {
+            w1_processes: 1.0,
+            w1_messages: 1.0,
+            w2_processes: 1.0,
+            w2_messages: 1.0,
+            fit_policy: FitPolicy::BestFit,
+        }
+    }
+}
+
+/// The evaluated cost of one design alternative.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignCost {
+    /// C1P: % of future process time that does not pack.
+    pub c1_processes: f64,
+    /// C1m: % of future bus time that does not pack.
+    pub c1_messages: f64,
+    /// C2P: sum of per-processor minimum window slack (ticks).
+    pub c2_processes: Time,
+    /// C2m: minimum bus window slack (ticks).
+    pub c2_messages: Time,
+    /// `max(0, tneed − C2P)` in ticks.
+    pub penalty_processes: Time,
+    /// `max(0, bneed − C2m)` in ticks.
+    pub penalty_messages: Time,
+    /// The weighted total `C`.
+    pub total: f64,
+}
+
+impl DesignCost {
+    /// A cost representing an infeasible design alternative (`+∞`): any
+    /// feasible alternative compares better.
+    pub fn infeasible() -> Self {
+        DesignCost {
+            c1_processes: f64::INFINITY,
+            c1_messages: f64::INFINITY,
+            c2_processes: Time::ZERO,
+            c2_messages: Time::ZERO,
+            penalty_processes: Time::MAX,
+            penalty_messages: Time::MAX,
+            total: f64::INFINITY,
+        }
+    }
+
+    /// True if this cost stems from a feasible schedule.
+    pub fn is_feasible(&self) -> bool {
+        self.total.is_finite()
+    }
+}
+
+/// Evaluates the objective on a slack profile.
+pub fn evaluate(
+    arch: &Architecture,
+    slack: &SlackProfile,
+    future: &FutureProfile,
+    weights: &Weights,
+) -> DesignCost {
+    let c1p = c1_processes(slack, future, weights.fit_policy);
+    let c1m = c1_messages(arch, slack, future, weights.fit_policy);
+    let c2p = c2_processes(slack, future.t_min);
+    let c2m = c2_messages(slack, future.t_min);
+    let pen_p = future.t_need.saturating_sub(c2p);
+    let pen_m = future.b_need.saturating_sub(c2m);
+    let total = weights.w1_processes * c1p
+        + weights.w1_messages * c1m
+        + weights.w2_processes * pen_p.as_f64()
+        + weights.w2_messages * pen_m.as_f64();
+    DesignCost {
+        c1_processes: c1p,
+        c1_messages: c1m,
+        c2_processes: c2p,
+        c2_messages: c2m,
+        penalty_processes: pen_p,
+        penalty_messages: pen_m,
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdes_graph::NodeId;
+    use incdes_model::{AppId, BusConfig, Histogram, PeId};
+    use incdes_sched::{JobId, ScheduleTable, ScheduledJob, SlackProfile};
+
+    fn t(v: u64) -> Time {
+        Time::new(v)
+    }
+
+    fn arch2() -> Architecture {
+        Architecture::builder()
+            .pe("N1")
+            .pe("N2")
+            .bus(BusConfig::uniform_round(2, t(10), 1).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    fn profile() -> FutureProfile {
+        FutureProfile::new(
+            t(120),
+            t(40),
+            t(10),
+            Histogram::point(t(20)),
+            Histogram::point(4u32),
+        )
+    }
+
+    #[test]
+    fn empty_system_costs_zero() {
+        let arch = arch2();
+        let slack = SlackProfile::from_table(&arch, &ScheduleTable::empty(t(480)));
+        let cost = evaluate(&arch, &slack, &profile(), &Weights::default());
+        assert_eq!(cost.total, 0.0);
+        assert!(cost.is_feasible());
+        assert_eq!(cost.penalty_processes, Time::ZERO);
+        assert_eq!(cost.penalty_messages, Time::ZERO);
+    }
+
+    #[test]
+    fn saturated_system_costs_everything() {
+        let arch = arch2();
+        // Both PEs fully busy.
+        let jobs = vec![
+            ScheduledJob {
+                job: JobId::new(AppId(0), 0, 0, NodeId(0)),
+                pe: PeId(0),
+                start: t(0),
+                end: t(480),
+                release: t(0),
+                deadline: t(480),
+            },
+            ScheduledJob {
+                job: JobId::new(AppId(0), 0, 0, NodeId(1)),
+                pe: PeId(1),
+                start: t(0),
+                end: t(480),
+                release: t(0),
+                deadline: t(480),
+            },
+        ];
+        let slack = SlackProfile::from_table(&arch, &ScheduleTable::new(t(480), jobs, vec![]));
+        let cost = evaluate(&arch, &slack, &profile(), &Weights::default());
+        // All process items unpacked → C1P = 100; C2P = 0 → deficit 40.
+        assert_eq!(cost.c1_processes, 100.0);
+        assert_eq!(cost.penalty_processes, t(40));
+        // Bus untouched: no message cost.
+        assert_eq!(cost.c1_messages, 0.0);
+        assert_eq!(cost.penalty_messages, Time::ZERO);
+        assert_eq!(cost.total, 100.0 + 40.0);
+    }
+
+    #[test]
+    fn weights_scale_terms() {
+        let arch = arch2();
+        let jobs = vec![ScheduledJob {
+            job: JobId::new(AppId(0), 0, 0, NodeId(0)),
+            pe: PeId(0),
+            start: t(0),
+            end: t(480),
+            release: t(0),
+            deadline: t(480),
+        }];
+        // PE1 free: everything packs, no penalty → only check scaling on a
+        // saturated variant instead.
+        let slack = SlackProfile::from_table(&arch, &ScheduleTable::new(t(480), jobs, vec![]));
+        let w = Weights {
+            w1_processes: 2.0,
+            ..Weights::default()
+        };
+        let base = evaluate(&arch, &slack, &profile(), &Weights::default());
+        let scaled = evaluate(&arch, &slack, &profile(), &w);
+        assert!((scaled.total - (base.total + base.c1_processes)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_compares_worse() {
+        let inf = DesignCost::infeasible();
+        assert!(!inf.is_feasible());
+        assert!(inf.total > 1e300);
+    }
+}

@@ -1,0 +1,477 @@
+//! Software model: processes, messages, process graphs and applications.
+//!
+//! Following the paper's problem formulation (slide 9):
+//!
+//! * an application is modeled by one or more **process graphs**;
+//! * each process graph has its **own period and deadline**;
+//! * each **process** has a set of potential nodes it may be mapped to and
+//!   a worst-case execution time (WCET) on each of them;
+//! * graph edges are **messages** with a size in bytes; messages between
+//!   processes on different nodes travel over the TDMA bus.
+
+use crate::arch::PeId;
+use crate::time::Time;
+use incdes_graph::{algo, Dag, EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an application within a system (dense, commit order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AppId(pub u32);
+
+impl AppId {
+    /// The id as a `usize`, for indexing side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app{}", self.0)
+    }
+}
+
+/// Reference to a process within one application: graph index + node id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcRef {
+    /// Index of the process graph inside the application.
+    pub graph: usize,
+    /// Node inside that graph.
+    pub node: NodeId,
+}
+
+impl ProcRef {
+    /// Creates a process reference.
+    pub fn new(graph: usize, node: NodeId) -> Self {
+        ProcRef { graph, node }
+    }
+}
+
+impl fmt::Display for ProcRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}/{}", self.graph, self.node)
+    }
+}
+
+/// Reference to a process across the whole system: application + graph + node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskRef {
+    /// The owning application.
+    pub app: AppId,
+    /// The process within the application.
+    pub proc_ref: ProcRef,
+}
+
+impl TaskRef {
+    /// Creates a system-wide task reference.
+    pub fn new(app: AppId, proc_ref: ProcRef) -> Self {
+        TaskRef { app, proc_ref }
+    }
+}
+
+impl fmt::Display for TaskRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.app, self.proc_ref)
+    }
+}
+
+/// Per-PE worst-case execution times of a process.
+///
+/// `None` means the process may not be mapped to that PE (it lacks the
+/// needed peripheral, instruction set, ...). The table is sparse: PEs
+/// beyond the stored length are implicitly disallowed, so a table built
+/// against a small architecture stays valid if PEs are appended.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WcetTable {
+    entries: Vec<Option<Time>>,
+}
+
+impl WcetTable {
+    /// Creates an empty table (process allowed nowhere).
+    pub fn new() -> Self {
+        WcetTable::default()
+    }
+
+    /// Sets the WCET of the process on `pe`.
+    pub fn set(&mut self, pe: PeId, wcet: Time) {
+        if self.entries.len() <= pe.index() {
+            self.entries.resize(pe.index() + 1, None);
+        }
+        self.entries[pe.index()] = Some(wcet);
+    }
+
+    /// WCET on `pe`, or `None` if the process may not run there.
+    pub fn get(&self, pe: PeId) -> Option<Time> {
+        self.entries.get(pe.index()).copied().flatten()
+    }
+
+    /// True if the process may be mapped to `pe`.
+    pub fn allows(&self, pe: PeId) -> bool {
+        self.get(pe).is_some()
+    }
+
+    /// Iterator over `(pe, wcet)` pairs for allowed PEs.
+    pub fn iter(&self) -> impl Iterator<Item = (PeId, Time)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| w.map(|w| (PeId(i as u32), w)))
+    }
+
+    /// Number of PEs the process may be mapped to.
+    pub fn allowed_count(&self) -> usize {
+        self.entries.iter().filter(|w| w.is_some()).count()
+    }
+
+    /// Mean WCET over allowed PEs, or `None` if allowed nowhere.
+    ///
+    /// Used as the PE-independent execution estimate in partial-critical-
+    /// path priorities.
+    pub fn average(&self) -> Option<Time> {
+        let (mut sum, mut n) = (0u64, 0u64);
+        for (_, w) in self.iter() {
+            sum += w.ticks();
+            n += 1;
+        }
+        sum.checked_div(n).map(Time::new)
+    }
+
+    /// Smallest WCET over allowed PEs, or `None` if allowed nowhere.
+    pub fn min(&self) -> Option<Time> {
+        self.iter().map(|(_, w)| w).min()
+    }
+
+    /// Largest WCET over allowed PEs, or `None` if allowed nowhere.
+    pub fn max(&self) -> Option<Time> {
+        self.iter().map(|(_, w)| w).max()
+    }
+}
+
+impl FromIterator<(PeId, Time)> for WcetTable {
+    fn from_iter<I: IntoIterator<Item = (PeId, Time)>>(iter: I) -> Self {
+        let mut t = WcetTable::new();
+        for (pe, w) in iter {
+            t.set(pe, w);
+        }
+        t
+    }
+}
+
+/// A process: the unit of mapping and scheduling.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Process {
+    /// Human-readable name.
+    pub name: String,
+    /// WCET per allowed PE.
+    pub wcets: WcetTable,
+}
+
+impl Process {
+    /// Creates a process with no allowed PEs yet.
+    pub fn new(name: impl Into<String>) -> Self {
+        Process {
+            name: name.into(),
+            wcets: WcetTable::new(),
+        }
+    }
+
+    /// Adds an allowed PE with its WCET (builder style).
+    pub fn wcet(mut self, pe: PeId, wcet: Time) -> Self {
+        self.wcets.set(pe, wcet);
+        self
+    }
+}
+
+/// A message: data passed between two processes.
+///
+/// If sender and receiver are mapped to the same PE the transfer is
+/// considered free (shared memory); otherwise the message occupies bus
+/// time inside one of the sender's TDMA slots.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    /// Human-readable name.
+    pub name: String,
+    /// Payload size in bytes.
+    pub bytes: u32,
+}
+
+impl Message {
+    /// Creates a message of `bytes` bytes.
+    pub fn new(name: impl Into<String>, bytes: u32) -> Self {
+        Message {
+            name: name.into(),
+            bytes,
+        }
+    }
+}
+
+/// A process graph: a DAG of processes and messages released periodically
+/// with a relative deadline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProcessGraph {
+    /// Human-readable name.
+    pub name: String,
+    /// Release period.
+    pub period: Time,
+    /// Relative deadline (≤ period in this model).
+    pub deadline: Time,
+    dag: Dag<Process, Message>,
+}
+
+impl ProcessGraph {
+    /// Creates an empty process graph.
+    pub fn new(name: impl Into<String>, period: Time, deadline: Time) -> Self {
+        ProcessGraph {
+            name: name.into(),
+            period,
+            deadline,
+            dag: Dag::new(),
+        }
+    }
+
+    /// Adds a process and returns its node id.
+    pub fn add_process(&mut self, p: Process) -> NodeId {
+        self.dag.add_node(p)
+    }
+
+    /// Adds a message (a data dependency) from `src` to `dst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either node id is out of bounds.
+    pub fn add_message(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        m: Message,
+    ) -> Result<EdgeId, incdes_graph::dag::InvalidNodeError> {
+        self.dag.add_edge(src, dst, m)
+    }
+
+    /// The underlying DAG.
+    pub fn dag(&self) -> &Dag<Process, Message> {
+        &self.dag
+    }
+
+    /// The process at `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn process(&self, node: NodeId) -> &Process {
+        self.dag.node(node)
+    }
+
+    /// The message on `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of bounds.
+    pub fn message(&self, edge: EdgeId) -> &Message {
+        self.dag.edge(edge)
+    }
+
+    /// Number of processes.
+    pub fn process_count(&self) -> usize {
+        self.dag.node_count()
+    }
+
+    /// Number of messages.
+    pub fn message_count(&self) -> usize {
+        self.dag.edge_count()
+    }
+
+    /// True if the graph is a DAG (no dependency cycles).
+    pub fn is_acyclic(&self) -> bool {
+        algo::is_acyclic(&self.dag)
+    }
+
+    /// Sum over processes of the mean WCET — a PE-independent estimate of
+    /// the processor time one instance of this graph consumes.
+    pub fn average_load(&self) -> Time {
+        self.dag
+            .node_weights()
+            .filter_map(|p| p.wcets.average())
+            .sum()
+    }
+}
+
+/// An application: a set of process graphs designed, delivered and (in the
+/// incremental flow) committed together.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Application {
+    /// Human-readable name.
+    pub name: String,
+    /// The process graphs; index = `ProcRef::graph`.
+    pub graphs: Vec<ProcessGraph>,
+}
+
+impl Application {
+    /// Creates an application from its process graphs.
+    pub fn new(name: impl Into<String>, graphs: Vec<ProcessGraph>) -> Self {
+        Application {
+            name: name.into(),
+            graphs,
+        }
+    }
+
+    /// Total number of processes across all graphs.
+    pub fn process_count(&self) -> usize {
+        self.graphs.iter().map(|g| g.process_count()).sum()
+    }
+
+    /// Total number of messages across all graphs.
+    pub fn message_count(&self) -> usize {
+        self.graphs.iter().map(|g| g.message_count()).sum()
+    }
+
+    /// Iterator over every process in the application as
+    /// `(ProcRef, &Process)`.
+    pub fn processes(&self) -> impl Iterator<Item = (ProcRef, &Process)> + '_ {
+        self.graphs.iter().enumerate().flat_map(|(gi, g)| {
+            g.dag()
+                .node_ids()
+                .map(move |n| (ProcRef::new(gi, n), g.process(n)))
+        })
+    }
+
+    /// The process referenced by `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is out of bounds.
+    pub fn process(&self, r: ProcRef) -> &Process {
+        self.graphs[r.graph].process(r.node)
+    }
+
+    /// The graph containing `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r.graph` is out of bounds.
+    pub fn graph_of(&self, r: ProcRef) -> &ProcessGraph {
+        &self.graphs[r.graph]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> ProcessGraph {
+        let mut g = ProcessGraph::new("g", Time::new(100), Time::new(90));
+        let a = g.add_process(
+            Process::new("a")
+                .wcet(PeId(0), Time::new(5))
+                .wcet(PeId(1), Time::new(7)),
+        );
+        let b = g.add_process(Process::new("b").wcet(PeId(1), Time::new(3)));
+        g.add_message(a, b, Message::new("m", 8)).unwrap();
+        g
+    }
+
+    #[test]
+    fn wcet_table_sparse_set_get() {
+        let mut t = WcetTable::new();
+        assert_eq!(t.get(PeId(0)), None);
+        t.set(PeId(2), Time::new(9));
+        assert_eq!(t.get(PeId(2)), Some(Time::new(9)));
+        assert_eq!(t.get(PeId(0)), None);
+        assert_eq!(t.get(PeId(99)), None);
+        assert!(!t.allows(PeId(1)));
+        assert!(t.allows(PeId(2)));
+        assert_eq!(t.allowed_count(), 1);
+    }
+
+    #[test]
+    fn wcet_table_overwrite() {
+        let mut t = WcetTable::new();
+        t.set(PeId(0), Time::new(5));
+        t.set(PeId(0), Time::new(8));
+        assert_eq!(t.get(PeId(0)), Some(Time::new(8)));
+    }
+
+    #[test]
+    fn wcet_table_stats() {
+        let t: WcetTable = [(PeId(0), Time::new(4)), (PeId(2), Time::new(10))]
+            .into_iter()
+            .collect();
+        assert_eq!(t.average(), Some(Time::new(7)));
+        assert_eq!(t.min(), Some(Time::new(4)));
+        assert_eq!(t.max(), Some(Time::new(10)));
+        let pairs: Vec<_> = t.iter().collect();
+        assert_eq!(
+            pairs,
+            vec![(PeId(0), Time::new(4)), (PeId(2), Time::new(10))]
+        );
+        assert_eq!(WcetTable::new().average(), None);
+    }
+
+    #[test]
+    fn process_builder() {
+        let p = Process::new("p").wcet(PeId(1), Time::new(12));
+        assert_eq!(p.name, "p");
+        assert_eq!(p.wcets.get(PeId(1)), Some(Time::new(12)));
+        assert_eq!(p.wcets.allowed_count(), 1);
+    }
+
+    #[test]
+    fn graph_counts_and_access() {
+        let g = sample_graph();
+        assert_eq!(g.process_count(), 2);
+        assert_eq!(g.message_count(), 1);
+        assert!(g.is_acyclic());
+        assert_eq!(g.process(NodeId(1)).name, "b");
+        assert_eq!(g.message(EdgeId(0)).bytes, 8);
+    }
+
+    #[test]
+    fn graph_average_load() {
+        let g = sample_graph();
+        // a: (5+7)/2 = 6, b: 3 → 9.
+        assert_eq!(g.average_load(), Time::new(9));
+    }
+
+    #[test]
+    fn cyclic_graph_detected() {
+        let mut g = ProcessGraph::new("g", Time::new(10), Time::new(10));
+        let a = g.add_process(Process::new("a"));
+        let b = g.add_process(Process::new("b"));
+        g.add_message(a, b, Message::new("m1", 1)).unwrap();
+        g.add_message(b, a, Message::new("m2", 1)).unwrap();
+        assert!(!g.is_acyclic());
+    }
+
+    #[test]
+    fn application_iteration() {
+        let app = Application::new("app", vec![sample_graph(), sample_graph()]);
+        assert_eq!(app.process_count(), 4);
+        assert_eq!(app.message_count(), 2);
+        let refs: Vec<_> = app.processes().map(|(r, _)| r).collect();
+        assert_eq!(refs.len(), 4);
+        assert_eq!(refs[0], ProcRef::new(0, NodeId(0)));
+        assert_eq!(refs[3], ProcRef::new(1, NodeId(1)));
+        assert_eq!(app.process(refs[3]).name, "b");
+        assert_eq!(app.graph_of(refs[3]).name, "g");
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = TaskRef::new(AppId(2), ProcRef::new(1, NodeId(3)));
+        assert_eq!(t.to_string(), "app2/g1/n3");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let app = Application::new("app", vec![sample_graph()]);
+        let json = serde_json::to_string(&app).unwrap();
+        let back: Application = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.process_count(), 2);
+        assert_eq!(
+            back.graphs[0].process(NodeId(0)).wcets.get(PeId(1)),
+            Some(Time::new(7))
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Data model for the `incdes` workspace.
+//!
+//! This crate holds the *structural* description of the systems from
+//! Pop et al., DAC 2001 — it contains no algorithms beyond validation:
+//!
+//! * [`time`] — integer time ([`Time`]) with exact arithmetic, GCD/LCM and
+//!   hyperperiod helpers. Static cyclic schedules must be exact, so the
+//!   whole workspace works in integer ticks.
+//! * [`arch`] — the hardware platform: processing elements ([`PeId`],
+//!   [`ProcessingElement`]) and the TDMA bus configuration ([`BusConfig`],
+//!   [`Round`], [`Slot`]) in the style of the time-triggered protocol.
+//! * [`app`] — software: [`Process`], [`Message`], [`ProcessGraph`] (a DAG
+//!   with a period and a deadline) and [`Application`] (a set of graphs
+//!   delivered together).
+//! * [`future`] — the paper's characterization of *future applications*:
+//!   [`FutureProfile`] with `Tmin`, `tneed`, `bneed` and histograms of
+//!   typical process WCETs and message sizes.
+//! * [`validate`] — structural validation of an application against an
+//!   architecture.
+//!
+//! # Example
+//!
+//! ```
+//! use incdes_model::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let arch = Architecture::builder()
+//!     .pe("N1")
+//!     .pe("N2")
+//!     .bus(BusConfig::uniform_round(2, Time::new(10), 1)?)
+//!     .build()?;
+//!
+//! let mut g = ProcessGraph::new("sensor-chain", Time::new(100), Time::new(100));
+//! let read = g.add_process(Process::new("read").wcet(PeId(0), Time::new(8)));
+//! let act = g.add_process(Process::new("act").wcet(PeId(1), Time::new(6)));
+//! g.add_message(read, act, Message::new("m", 4))?;
+//!
+//! let app = Application::new("cruise", vec![g]);
+//! validate::check_application(&app, &arch)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod arch;
+pub mod future;
+pub mod time;
+pub mod validate;
+
+pub use app::{AppId, Application, Message, ProcRef, Process, ProcessGraph, TaskRef, WcetTable};
+pub use arch::{
+    Architecture, ArchitectureBuilder, BusConfig, PeId, ProcessingElement, Round, Slot,
+};
+pub use future::{FutureProfile, Histogram};
+pub use time::Time;
+pub use validate::ModelError;
+
+/// Convenient glob import of the most used model types.
+pub mod prelude {
+    pub use crate::app::{AppId, Application, Message, ProcRef, Process, ProcessGraph, TaskRef};
+    pub use crate::arch::{Architecture, BusConfig, PeId, ProcessingElement, Round, Slot};
+    pub use crate::future::{FutureProfile, Histogram};
+    pub use crate::time::Time;
+    pub use crate::validate::{self, ModelError};
+    pub use incdes_graph::NodeId;
+}

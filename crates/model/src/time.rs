@@ -1,0 +1,399 @@
+//! Integer time.
+//!
+//! Static cyclic schedules are tables of exact start times; floating point
+//! would accumulate rounding error across a hyperperiod. All durations and
+//! instants in the workspace are therefore integer *ticks* wrapped in the
+//! [`Time`] newtype. The physical meaning of a tick (µs, bus macrotick,
+//! ...) is up to the caller and never interpreted by the library.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// A duration or instant in integer ticks.
+///
+/// Arithmetic panics on overflow in debug builds like the underlying
+/// `u64`; the checked and saturating variants are provided for the few
+/// places where overflow is a data error rather than a bug.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// Zero ticks.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable time; used as "never" / "+infinity".
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from raw ticks.
+    #[inline]
+    pub const fn new(ticks: u64) -> Self {
+        Time(ticks)
+    }
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// `self + rhs`, or `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, rhs: Time) -> Option<Time> {
+        self.0.checked_add(rhs.0).map(Time)
+    }
+
+    /// `self - rhs`, or `None` if `rhs > self`.
+    #[inline]
+    pub fn checked_sub(self, rhs: Time) -> Option<Time> {
+        self.0.checked_sub(rhs.0).map(Time)
+    }
+
+    /// `self - rhs`, clamped at zero.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// `self + rhs`, clamped at [`Time::MAX`].
+    #[inline]
+    pub fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// `self * k`, or `None` on overflow.
+    #[inline]
+    pub fn checked_mul(self, k: u64) -> Option<Time> {
+        self.0.checked_mul(k).map(Time)
+    }
+
+    /// True if zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The smaller of two times.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+
+    /// The larger of two times.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// Ceiling division: the least `q` with `q * divisor >= self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    #[inline]
+    pub fn div_ceil(self, divisor: Time) -> u64 {
+        assert!(divisor.0 > 0, "division by zero time");
+        self.0.div_ceil(divisor.0)
+    }
+
+    /// Rounds down to the previous multiple of `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    #[inline]
+    pub fn align_down(self, step: Time) -> Time {
+        assert!(step.0 > 0, "alignment step must be positive");
+        Time(self.0 / step.0 * step.0)
+    }
+
+    /// Rounds up to the next multiple of `step`, saturating at `MAX`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    #[inline]
+    pub fn align_up(self, step: Time) -> Time {
+        assert!(step.0 > 0, "alignment step must be positive");
+        match self.0 % step.0 {
+            0 => self,
+            r => Time(self.0.saturating_add(step.0 - r)),
+        }
+    }
+
+    /// Converts to `f64` ticks (for metrics and reporting only).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+impl From<u64> for Time {
+    fn from(v: u64) -> Self {
+        Time(v)
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Rem for Time {
+    type Output = Time;
+    #[inline]
+    fn rem(self, rhs: Time) -> Time {
+        Time(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+/// Greatest common divisor of two tick counts.
+pub fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Least common multiple, or `None` on overflow or if either input is zero.
+pub fn lcm(a: u64, b: u64) -> Option<u64> {
+    if a == 0 || b == 0 {
+        return None;
+    }
+    (a / gcd(a, b)).checked_mul(b)
+}
+
+/// The hyperperiod (least common multiple) of a set of periods.
+///
+/// This is the length of the static cyclic schedule covering all process
+/// graphs in the system.
+///
+/// # Errors
+///
+/// Returns [`HyperperiodError`] if the set is empty, contains a zero
+/// period, or the LCM overflows `u64`.
+pub fn hyperperiod<I: IntoIterator<Item = Time>>(periods: I) -> Result<Time, HyperperiodError> {
+    let mut acc: Option<u64> = None;
+    for p in periods {
+        if p.is_zero() {
+            return Err(HyperperiodError::ZeroPeriod);
+        }
+        acc = Some(match acc {
+            None => p.0,
+            Some(a) => lcm(a, p.0).ok_or(HyperperiodError::Overflow)?,
+        });
+    }
+    acc.map(Time).ok_or(HyperperiodError::Empty)
+}
+
+/// Error computing a hyperperiod.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HyperperiodError {
+    /// The period set was empty.
+    Empty,
+    /// A period of zero ticks was supplied.
+    ZeroPeriod,
+    /// The least common multiple exceeds `u64`.
+    Overflow,
+}
+
+impl fmt::Display for HyperperiodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HyperperiodError::Empty => write!(f, "cannot take hyperperiod of an empty set"),
+            HyperperiodError::ZeroPeriod => write!(f, "period of zero ticks"),
+            HyperperiodError::Overflow => write!(f, "hyperperiod overflows u64"),
+        }
+    }
+}
+
+impl std::error::Error for HyperperiodError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(Time::new(42).to_string(), "42t");
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Time::new(10);
+        let b = Time::new(4);
+        assert_eq!(a + b, Time::new(14));
+        assert_eq!(a - b, Time::new(6));
+        assert_eq!(a * 3, Time::new(30));
+        assert_eq!(a / 3, Time::new(3));
+        assert_eq!(a % b, Time::new(2));
+    }
+
+    #[test]
+    fn saturating_and_checked() {
+        assert_eq!(Time::new(3).saturating_sub(Time::new(5)), Time::ZERO);
+        assert_eq!(Time::MAX.saturating_add(Time::new(1)), Time::MAX);
+        assert_eq!(Time::new(3).checked_sub(Time::new(5)), None);
+        assert_eq!(Time::MAX.checked_add(Time::new(1)), None);
+        assert_eq!(Time::MAX.checked_mul(2), None);
+        assert_eq!(Time::new(5).checked_mul(3), Some(Time::new(15)));
+    }
+
+    #[test]
+    fn alignment() {
+        let step = Time::new(10);
+        assert_eq!(Time::new(0).align_up(step), Time::ZERO);
+        assert_eq!(Time::new(1).align_up(step), Time::new(10));
+        assert_eq!(Time::new(10).align_up(step), Time::new(10));
+        assert_eq!(Time::new(11).align_down(step), Time::new(10));
+        assert_eq!(Time::new(9).align_down(step), Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment step")]
+    fn align_zero_step_panics() {
+        let _ = Time::new(5).align_up(Time::ZERO);
+    }
+
+    #[test]
+    fn div_ceil_rounds_up() {
+        assert_eq!(Time::new(10).div_ceil(Time::new(4)), 3);
+        assert_eq!(Time::new(8).div_ceil(Time::new(4)), 2);
+        assert_eq!(Time::ZERO.div_ceil(Time::new(4)), 0);
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: Time = [1u64, 2, 3].into_iter().map(Time::new).sum();
+        assert_eq!(total, Time::new(6));
+    }
+
+    #[test]
+    fn gcd_lcm_small() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(lcm(4, 6), Some(12));
+        assert_eq!(lcm(0, 6), None);
+        assert_eq!(lcm(u64::MAX, 2), None);
+    }
+
+    #[test]
+    fn hyperperiod_of_harmonic_set() {
+        let h = hyperperiod([Time::new(50), Time::new(100), Time::new(200)]).unwrap();
+        assert_eq!(h, Time::new(200));
+    }
+
+    #[test]
+    fn hyperperiod_of_coprime_set() {
+        let h = hyperperiod([Time::new(3), Time::new(5), Time::new(7)]).unwrap();
+        assert_eq!(h, Time::new(105));
+    }
+
+    #[test]
+    fn hyperperiod_errors() {
+        assert_eq!(hyperperiod([]), Err(HyperperiodError::Empty));
+        assert_eq!(hyperperiod([Time::ZERO]), Err(HyperperiodError::ZeroPeriod));
+        assert_eq!(
+            hyperperiod([Time::new(u64::MAX), Time::new(u64::MAX - 1)]),
+            Err(HyperperiodError::Overflow)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_gcd_divides_both(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+            let g = gcd(a, b);
+            prop_assert!(g > 0);
+            prop_assert_eq!(a % g, 0);
+            prop_assert_eq!(b % g, 0);
+        }
+
+        #[test]
+        fn prop_lcm_is_common_multiple(a in 1u64..100_000, b in 1u64..100_000) {
+            let l = lcm(a, b).unwrap();
+            prop_assert_eq!(l % a, 0);
+            prop_assert_eq!(l % b, 0);
+            // Minimality: l / a and b / gcd agree.
+            prop_assert_eq!(l, a / gcd(a, b) * b);
+        }
+
+        #[test]
+        fn prop_align_up_ge_and_multiple(v in 0u64..1_000_000, step in 1u64..1000) {
+            let t = Time::new(v).align_up(Time::new(step));
+            prop_assert!(t.ticks() >= v);
+            prop_assert_eq!(t.ticks() % step, 0);
+            prop_assert!(t.ticks() - v < step);
+        }
+
+        #[test]
+        fn prop_hyperperiod_divisible_by_each(
+            periods in proptest::collection::vec(1u64..64, 1..6)
+        ) {
+            let h = hyperperiod(periods.iter().copied().map(Time::new)).unwrap();
+            for p in periods {
+                prop_assert_eq!(h.ticks() % p, 0);
+            }
+        }
+    }
+}

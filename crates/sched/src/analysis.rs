@@ -1,0 +1,335 @@
+//! Schedule analysis: response times, laxity and utilization reports.
+//!
+//! The scheduler guarantees feasibility; this module answers the
+//! follow-up questions a designer asks of a finished schedule table —
+//! how close to its deadline does each graph instance finish, how loaded
+//! is each resource, and where is the system's bottleneck.
+
+use crate::table::ScheduleTable;
+use incdes_model::{AppId, Architecture, PeId, Time};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Completion statistics of one process-graph instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceResponse {
+    /// Owning application.
+    pub app: AppId,
+    /// Graph index within the application.
+    pub graph: usize,
+    /// Instance (release) number.
+    pub instance: u32,
+    /// Absolute release.
+    pub release: Time,
+    /// Absolute deadline.
+    pub deadline: Time,
+    /// Completion time (latest job end of the instance).
+    pub finish: Time,
+}
+
+impl InstanceResponse {
+    /// Response time: completion relative to release.
+    pub fn response_time(&self) -> Time {
+        self.finish - self.release
+    }
+
+    /// Laxity: time to spare before the deadline (zero if missed).
+    pub fn laxity(&self) -> Time {
+        self.deadline.saturating_sub(self.finish)
+    }
+
+    /// True if the instance met its deadline.
+    pub fn met_deadline(&self) -> bool {
+        self.finish <= self.deadline
+    }
+}
+
+/// Per-PE load numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeLoad {
+    /// The PE.
+    pub pe: PeId,
+    /// Busy time over the horizon.
+    pub busy: Time,
+    /// Fraction of the horizon busy, in `[0, 1]`.
+    pub utilization: f64,
+    /// Number of jobs.
+    pub jobs: usize,
+}
+
+/// A complete analysis of one schedule table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleReport {
+    /// The analyzed horizon.
+    pub horizon: Time,
+    /// Response statistics per graph instance, in `(app, graph, instance)`
+    /// order.
+    pub instances: Vec<InstanceResponse>,
+    /// Load per PE, in PE order.
+    pub pe_loads: Vec<PeLoad>,
+    /// Bus slot time in use over the horizon.
+    pub bus_busy: Time,
+    /// Bus utilization (used slot time / total slot time), in `[0, 1]`.
+    pub bus_utilization: f64,
+    /// Number of scheduled messages.
+    pub messages: usize,
+}
+
+impl ScheduleReport {
+    /// Analyzes `table` on `arch`.
+    pub fn new(arch: &Architecture, table: &ScheduleTable) -> Self {
+        // Instance completion times.
+        let mut finish: BTreeMap<(AppId, usize, u32), InstanceResponse> = BTreeMap::new();
+        for j in table.jobs() {
+            let key = (j.job.app, j.job.graph, j.job.instance);
+            let e = finish.entry(key).or_insert(InstanceResponse {
+                app: j.job.app,
+                graph: j.job.graph,
+                instance: j.job.instance,
+                release: j.release,
+                deadline: j.deadline,
+                finish: Time::ZERO,
+            });
+            e.finish = e.finish.max(j.end);
+        }
+
+        let horizon = table.horizon();
+        let pe_loads = arch
+            .pe_ids()
+            .map(|pe| {
+                let busy = table.busy_time_on(pe);
+                PeLoad {
+                    pe,
+                    busy,
+                    utilization: if horizon.is_zero() {
+                        0.0
+                    } else {
+                        busy.as_f64() / horizon.as_f64()
+                    },
+                    jobs: table.jobs_on(pe).count(),
+                }
+            })
+            .collect();
+
+        let bus = table.bus_timeline(arch);
+        ScheduleReport {
+            horizon,
+            instances: finish.into_values().collect(),
+            pe_loads,
+            bus_busy: bus.total_used(),
+            bus_utilization: bus.utilization(),
+            messages: table.messages().len(),
+        }
+    }
+
+    /// The worst (smallest-laxity) instance, if any jobs exist.
+    pub fn tightest_instance(&self) -> Option<&InstanceResponse> {
+        self.instances
+            .iter()
+            .min_by_key(|i| (i.laxity(), i.app, i.graph, i.instance))
+    }
+
+    /// The most loaded PE, if the architecture has any.
+    pub fn bottleneck_pe(&self) -> Option<&PeLoad> {
+        self.pe_loads.iter().max_by(|a, b| {
+            a.utilization
+                .total_cmp(&b.utilization)
+                .then(b.pe.cmp(&a.pe))
+        })
+    }
+
+    /// Average processor utilization across PEs.
+    pub fn average_utilization(&self) -> f64 {
+        if self.pe_loads.is_empty() {
+            0.0
+        } else {
+            self.pe_loads.iter().map(|l| l.utilization).sum::<f64>() / self.pe_loads.len() as f64
+        }
+    }
+
+    /// True if every instance met its deadline.
+    pub fn all_deadlines_met(&self) -> bool {
+        self.instances.iter().all(InstanceResponse::met_deadline)
+    }
+}
+
+impl fmt::Display for ScheduleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "schedule report over {}:", self.horizon)?;
+        for l in &self.pe_loads {
+            writeln!(
+                f,
+                "  {}: {:>5.1}% busy ({} jobs, {})",
+                l.pe,
+                l.utilization * 100.0,
+                l.jobs,
+                l.busy
+            )?;
+        }
+        writeln!(
+            f,
+            "  bus: {:>5.1}% of slot time ({} messages, {})",
+            self.bus_utilization * 100.0,
+            self.messages,
+            self.bus_busy
+        )?;
+        if let Some(t) = self.tightest_instance() {
+            writeln!(
+                f,
+                "  tightest instance: {}/g{}#{} finishes {} before its deadline",
+                t.app,
+                t.graph,
+                t.instance,
+                t.laxity()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+    use crate::table::{ScheduleTable, ScheduledJob};
+    use incdes_graph::NodeId;
+    use incdes_model::BusConfig;
+
+    fn t(v: u64) -> Time {
+        Time::new(v)
+    }
+
+    fn arch2() -> Architecture {
+        Architecture::builder()
+            .pe("N1")
+            .pe("N2")
+            .bus(BusConfig::uniform_round(2, t(10), 1).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn job(
+        app: u32,
+        inst: u32,
+        node: u32,
+        pe: u32,
+        s: u64,
+        e: u64,
+        rel: u64,
+        dl: u64,
+    ) -> ScheduledJob {
+        ScheduledJob {
+            job: JobId::new(AppId(app), 0, inst, NodeId(node)),
+            pe: PeId(pe),
+            start: t(s),
+            end: t(e),
+            release: t(rel),
+            deadline: t(dl),
+        }
+    }
+
+    #[test]
+    fn report_on_empty_table() {
+        let arch = arch2();
+        let r = ScheduleReport::new(&arch, &ScheduleTable::empty(t(100)));
+        assert!(r.instances.is_empty());
+        assert_eq!(r.average_utilization(), 0.0);
+        assert_eq!(r.bus_utilization, 0.0);
+        assert!(r.all_deadlines_met());
+        assert!(r.tightest_instance().is_none());
+        assert_eq!(r.bottleneck_pe().unwrap().pe, PeId(0));
+    }
+
+    #[test]
+    fn instance_completion_takes_latest_job() {
+        let arch = arch2();
+        let table = ScheduleTable::new(
+            t(100),
+            vec![
+                job(0, 0, 0, 0, 0, 10, 0, 80),
+                job(0, 0, 1, 1, 20, 45, 0, 80),
+            ],
+            vec![],
+        );
+        let r = ScheduleReport::new(&arch, &table);
+        assert_eq!(r.instances.len(), 1);
+        let i = &r.instances[0];
+        assert_eq!(i.finish, t(45));
+        assert_eq!(i.response_time(), t(45));
+        assert_eq!(i.laxity(), t(35));
+        assert!(i.met_deadline());
+    }
+
+    #[test]
+    fn separate_instances_tracked() {
+        let arch = arch2();
+        let table = ScheduleTable::new(
+            t(100),
+            vec![
+                job(0, 0, 0, 0, 0, 10, 0, 50),
+                job(0, 1, 0, 0, 50, 70, 50, 100),
+            ],
+            vec![],
+        );
+        let r = ScheduleReport::new(&arch, &table);
+        assert_eq!(r.instances.len(), 2);
+        assert_eq!(r.instances[0].response_time(), t(10));
+        assert_eq!(r.instances[1].response_time(), t(20));
+    }
+
+    #[test]
+    fn loads_and_bottleneck() {
+        let arch = arch2();
+        let table = ScheduleTable::new(
+            t(100),
+            vec![
+                job(0, 0, 0, 0, 0, 30, 0, 100),
+                job(0, 0, 1, 1, 0, 80, 0, 100),
+            ],
+            vec![],
+        );
+        let r = ScheduleReport::new(&arch, &table);
+        assert_eq!(r.pe_loads[0].busy, t(30));
+        assert!((r.pe_loads[0].utilization - 0.3).abs() < 1e-12);
+        assert_eq!(r.bottleneck_pe().unwrap().pe, PeId(1));
+        assert!((r.average_utilization() - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tightest_instance_has_min_laxity() {
+        let arch = arch2();
+        let table = ScheduleTable::new(
+            t(200),
+            vec![
+                job(0, 0, 0, 0, 0, 10, 0, 100), // laxity 90
+                job(1, 0, 0, 1, 0, 95, 0, 100), // laxity 5
+            ],
+            vec![],
+        );
+        let r = ScheduleReport::new(&arch, &table);
+        let tightest = r.tightest_instance().unwrap();
+        assert_eq!(tightest.app, AppId(1));
+        assert_eq!(tightest.laxity(), t(5));
+    }
+
+    #[test]
+    fn missed_deadline_reported() {
+        let arch = arch2();
+        let table = ScheduleTable::new(t(200), vec![job(0, 0, 0, 0, 0, 120, 0, 100)], vec![]);
+        let r = ScheduleReport::new(&arch, &table);
+        assert!(!r.all_deadlines_met());
+        assert_eq!(r.instances[0].laxity(), Time::ZERO);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let arch = arch2();
+        let table = ScheduleTable::new(t(100), vec![job(0, 0, 0, 0, 0, 50, 0, 100)], vec![]);
+        let s = ScheduleReport::new(&arch, &table).to_string();
+        assert!(s.contains("pe0"));
+        assert!(s.contains("bus"));
+        assert!(s.contains("tightest instance"));
+    }
+}

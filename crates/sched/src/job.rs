@@ -1,0 +1,136 @@
+//! Hyperperiod job expansion.
+//!
+//! A static cyclic schedule covers the hyperperiod `H` (the LCM of all
+//! graph periods). Each process graph with period `T` is released `H/T`
+//! times; the `k`-th release (instance) of a node is one *job*, released
+//! at `k·T` with absolute deadline `k·T + D`.
+
+use incdes_graph::NodeId;
+use incdes_model::{AppId, Application, ProcRef, Time};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One job: a specific instance of a process within the hyperperiod.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId {
+    /// Owning application.
+    pub app: AppId,
+    /// Process graph index within the application.
+    pub graph: usize,
+    /// Instance (release) number within the hyperperiod.
+    pub instance: u32,
+    /// Node within the graph.
+    pub node: NodeId,
+}
+
+impl JobId {
+    /// Creates a job id.
+    pub fn new(app: AppId, graph: usize, instance: u32, node: NodeId) -> Self {
+        JobId {
+            app,
+            graph,
+            instance,
+            node,
+        }
+    }
+
+    /// The process this job is an instance of.
+    pub fn proc_ref(&self) -> ProcRef {
+        ProcRef::new(self.graph, self.node)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/g{}#{}/{}",
+            self.app, self.graph, self.instance, self.node
+        )
+    }
+}
+
+/// Release/deadline window of one graph instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceWindow {
+    /// Instance number.
+    pub instance: u32,
+    /// Absolute release time.
+    pub release: Time,
+    /// Absolute deadline.
+    pub deadline: Time,
+}
+
+/// Enumerates the instance windows of a graph with the given period and
+/// deadline over `[0, horizon)`.
+///
+/// # Panics
+///
+/// Panics if `period` is zero (validated applications never are) or
+/// `horizon` is not a multiple of `period` (the caller computes the
+/// horizon as an LCM of periods, so this indicates a logic error).
+pub fn instance_windows(period: Time, deadline: Time, horizon: Time) -> Vec<InstanceWindow> {
+    assert!(!period.is_zero(), "period must be positive");
+    assert!(
+        (horizon % period).is_zero(),
+        "horizon {horizon} is not a multiple of period {period}"
+    );
+    let count = horizon.ticks() / period.ticks();
+    (0..count)
+        .map(|k| InstanceWindow {
+            instance: k as u32,
+            release: Time::new(k * period.ticks()),
+            deadline: Time::new(k * period.ticks()) + deadline,
+        })
+        .collect()
+}
+
+/// Total number of jobs application `app` contributes over `horizon`.
+pub fn job_count(app: &Application, horizon: Time) -> u64 {
+    app.graphs
+        .iter()
+        .map(|g| (horizon.ticks() / g.period.ticks().max(1)) * g.process_count() as u64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdes_model::{PeId, Process, ProcessGraph};
+
+    #[test]
+    fn windows_over_hyperperiod() {
+        let w = instance_windows(Time::new(50), Time::new(40), Time::new(150));
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].release, Time::ZERO);
+        assert_eq!(w[0].deadline, Time::new(40));
+        assert_eq!(w[2].release, Time::new(100));
+        assert_eq!(w[2].deadline, Time::new(140));
+        assert_eq!(w[2].instance, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn non_multiple_horizon_panics() {
+        instance_windows(Time::new(50), Time::new(50), Time::new(120));
+    }
+
+    #[test]
+    fn job_count_sums_graphs() {
+        let mut g1 = ProcessGraph::new("g1", Time::new(50), Time::new(50));
+        g1.add_process(Process::new("a").wcet(PeId(0), Time::new(1)));
+        g1.add_process(Process::new("b").wcet(PeId(0), Time::new(1)));
+        let mut g2 = ProcessGraph::new("g2", Time::new(100), Time::new(100));
+        g2.add_process(Process::new("c").wcet(PeId(0), Time::new(1)));
+        let app = Application::new("app", vec![g1, g2]);
+        // H=100: g1 has 2 instances × 2 processes, g2 1 × 1.
+        assert_eq!(job_count(&app, Time::new(100)), 5);
+    }
+
+    #[test]
+    fn job_id_accessors() {
+        let j = JobId::new(AppId(1), 2, 3, NodeId(4));
+        assert_eq!(j.proc_ref(), ProcRef::new(2, NodeId(4)));
+        assert_eq!(j.to_string(), "app1/g2#3/n4");
+    }
+}

@@ -1,0 +1,432 @@
+//! Busy/gap interval bookkeeping for one processing element.
+//!
+//! The scheduler treats each PE as a timeline of half-open busy intervals
+//! within `[0, horizon)`. Existing (frozen) applications appear as
+//! pre-reserved intervals; the list scheduler fills the remaining gaps.
+
+use incdes_model::Time;
+use std::fmt;
+
+/// Error from timeline operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeTimelineError {
+    /// The requested interval overlaps an existing reservation.
+    Overlap {
+        /// Requested start.
+        start: Time,
+        /// Requested end.
+        end: Time,
+    },
+    /// The interval is empty or extends beyond the horizon.
+    OutOfRange {
+        /// Requested start.
+        start: Time,
+        /// Requested end.
+        end: Time,
+    },
+    /// No gap fits the request before the horizon.
+    NoGap {
+        /// Earliest allowed start.
+        ready: Time,
+        /// Required duration.
+        duration: Time,
+        /// Number of feasible gaps skipped by hint before giving up.
+        skipped: u32,
+    },
+}
+
+impl fmt::Display for PeTimelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeTimelineError::Overlap { start, end } => {
+                write!(
+                    f,
+                    "interval [{start}, {end}) overlaps an existing reservation"
+                )
+            }
+            PeTimelineError::OutOfRange { start, end } => {
+                write!(
+                    f,
+                    "interval [{start}, {end}) is empty or beyond the horizon"
+                )
+            }
+            PeTimelineError::NoGap {
+                ready,
+                duration,
+                skipped,
+            } => write!(
+                f,
+                "no gap of {duration} from {ready} (after skipping {skipped}) before the horizon"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PeTimelineError {}
+
+/// The timeline of one PE: sorted, disjoint busy intervals in `[0, horizon)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeTimeline {
+    horizon: Time,
+    /// Sorted by start; intervals are disjoint (no merging of adjacent
+    /// intervals — each reservation is kept separate).
+    busy: Vec<(Time, Time)>,
+}
+
+impl PeTimeline {
+    /// An empty timeline over `[0, horizon)`.
+    pub fn new(horizon: Time) -> Self {
+        PeTimeline {
+            horizon,
+            busy: Vec::new(),
+        }
+    }
+
+    /// The horizon.
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// Number of reservations.
+    pub fn reservation_count(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Total busy time.
+    pub fn busy_time(&self) -> Time {
+        self.busy.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// Total free time.
+    pub fn free_time(&self) -> Time {
+        self.horizon - self.busy_time()
+    }
+
+    /// Reserves the exact interval `[start, end)`.
+    ///
+    /// # Errors
+    ///
+    /// [`PeTimelineError::OutOfRange`] if empty or beyond the horizon,
+    /// [`PeTimelineError::Overlap`] if it intersects a reservation.
+    pub fn reserve(&mut self, start: Time, end: Time) -> Result<(), PeTimelineError> {
+        if start >= end || end > self.horizon {
+            return Err(PeTimelineError::OutOfRange { start, end });
+        }
+        // Position of the first interval with start >= requested start.
+        let idx = self.busy.partition_point(|&(s, _)| s < start);
+        if idx > 0 && self.busy[idx - 1].1 > start {
+            return Err(PeTimelineError::Overlap { start, end });
+        }
+        if idx < self.busy.len() && self.busy[idx].0 < end {
+            return Err(PeTimelineError::Overlap { start, end });
+        }
+        self.busy.insert(idx, (start, end));
+        Ok(())
+    }
+
+    /// Finds and reserves the earliest start ≥ `ready` of a block of
+    /// `duration`, after skipping the first `skip` feasible gaps (the
+    /// paper's "move to a different slack" hint). Within the chosen gap
+    /// the block is placed as early as possible.
+    ///
+    /// Returns the start time of the reservation.
+    ///
+    /// # Errors
+    ///
+    /// [`PeTimelineError::NoGap`] if nothing fits before the horizon, and
+    /// [`PeTimelineError::OutOfRange`] if `duration` is zero.
+    pub fn reserve_earliest(
+        &mut self,
+        ready: Time,
+        duration: Time,
+        skip: u32,
+    ) -> Result<Time, PeTimelineError> {
+        let (start, idx) = self.find_earliest(ready, duration, skip)?;
+        self.busy.insert(idx, (start, start + duration));
+        Ok(start)
+    }
+
+    /// Non-mutating version of [`reserve_earliest`](Self::reserve_earliest):
+    /// where *would* the block be placed?
+    ///
+    /// # Errors
+    ///
+    /// As [`reserve_earliest`](Self::reserve_earliest).
+    pub fn peek_earliest(
+        &self,
+        ready: Time,
+        duration: Time,
+        skip: u32,
+    ) -> Result<Time, PeTimelineError> {
+        self.find_earliest(ready, duration, skip).map(|(s, _)| s)
+    }
+
+    /// Shared search: returns `(start, insertion index)`.
+    fn find_earliest(
+        &self,
+        ready: Time,
+        duration: Time,
+        skip: u32,
+    ) -> Result<(Time, usize), PeTimelineError> {
+        if duration.is_zero() {
+            return Err(PeTimelineError::OutOfRange {
+                start: ready,
+                end: ready,
+            });
+        }
+        let mut remaining = skip;
+        let mut cursor = ready;
+        let mut idx = self.busy.partition_point(|&(_, e)| e <= ready);
+        loop {
+            let gap_end = if idx < self.busy.len() {
+                self.busy[idx].0
+            } else {
+                self.horizon
+            };
+            if cursor + duration <= gap_end {
+                if remaining == 0 {
+                    return Ok((cursor, idx));
+                }
+                remaining -= 1;
+            }
+            if idx >= self.busy.len() {
+                return Err(PeTimelineError::NoGap {
+                    ready,
+                    duration,
+                    skipped: skip - remaining,
+                });
+            }
+            cursor = cursor.max(self.busy[idx].1);
+            idx += 1;
+        }
+    }
+
+    /// The free gaps `(start, end)` in time order.
+    pub fn gaps(&self) -> Vec<(Time, Time)> {
+        let mut out = Vec::new();
+        let mut cursor = Time::ZERO;
+        for &(s, e) in &self.busy {
+            if cursor < s {
+                out.push((cursor, s));
+            }
+            cursor = cursor.max(e);
+        }
+        if cursor < self.horizon {
+            out.push((cursor, self.horizon));
+        }
+        out
+    }
+
+    /// Free time inside the window `[from, to)`.
+    pub fn free_time_in(&self, from: Time, to: Time) -> Time {
+        let to = to.min(self.horizon);
+        if from >= to {
+            return Time::ZERO;
+        }
+        let mut busy_in = Time::ZERO;
+        for &(s, e) in &self.busy {
+            if s >= to {
+                break;
+            }
+            let lo = s.max(from);
+            let hi = e.min(to);
+            if lo < hi {
+                busy_in += hi - lo;
+            }
+        }
+        (to - from) - busy_in
+    }
+
+    /// The busy intervals, sorted by start.
+    pub fn busy_intervals(&self) -> &[(Time, Time)] {
+        &self.busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(v: u64) -> Time {
+        Time::new(v)
+    }
+
+    #[test]
+    fn reserve_exact_ok_and_overlap() {
+        let mut tl = PeTimeline::new(t(100));
+        tl.reserve(t(10), t(20)).unwrap();
+        tl.reserve(t(20), t(30)).unwrap(); // adjacent is fine
+        tl.reserve(t(0), t(10)).unwrap();
+        assert_eq!(tl.reservation_count(), 3);
+        assert!(matches!(
+            tl.reserve(t(15), t(25)),
+            Err(PeTimelineError::Overlap { .. })
+        ));
+        assert!(matches!(
+            tl.reserve(t(5), t(12)),
+            Err(PeTimelineError::Overlap { .. })
+        ));
+        assert!(matches!(
+            tl.reserve(t(29), t(31)),
+            Err(PeTimelineError::Overlap { .. })
+        ));
+    }
+
+    #[test]
+    fn reserve_out_of_range() {
+        let mut tl = PeTimeline::new(t(50));
+        assert!(matches!(
+            tl.reserve(t(40), t(60)),
+            Err(PeTimelineError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            tl.reserve(t(10), t(10)),
+            Err(PeTimelineError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn earliest_in_empty_timeline() {
+        let mut tl = PeTimeline::new(t(100));
+        let s = tl.reserve_earliest(t(5), t(10), 0).unwrap();
+        assert_eq!(s, t(5));
+        assert_eq!(tl.busy_time(), t(10));
+    }
+
+    #[test]
+    fn earliest_fills_gap_between_reservations() {
+        let mut tl = PeTimeline::new(t(100));
+        tl.reserve(t(0), t(10)).unwrap();
+        tl.reserve(t(30), t(40)).unwrap();
+        let s = tl.reserve_earliest(t(0), t(15), 0).unwrap();
+        assert_eq!(s, t(10)); // gap [10,30) fits 15
+        let s2 = tl.reserve_earliest(t(0), t(6), 0).unwrap();
+        assert_eq!(s2, t(40)); // [25,30) too small now → after 40
+    }
+
+    #[test]
+    fn earliest_respects_ready_inside_gap() {
+        let mut tl = PeTimeline::new(t(100));
+        tl.reserve(t(0), t(10)).unwrap();
+        let s = tl.reserve_earliest(t(17), t(5), 0).unwrap();
+        assert_eq!(s, t(17));
+    }
+
+    #[test]
+    fn skip_hint_picks_later_gap() {
+        let mut tl = PeTimeline::new(t(100));
+        tl.reserve(t(10), t(20)).unwrap();
+        tl.reserve(t(30), t(40)).unwrap();
+        // Feasible gaps for 5 ticks from 0: [0,10), [20,30), [40,100).
+        let s = tl.reserve_earliest(t(0), t(5), 1).unwrap();
+        assert_eq!(s, t(20));
+        let s2 = tl.reserve_earliest(t(0), t(5), 1).unwrap();
+        // Gaps now: [0,10), [25,30), [40,100) → skip 1 → [25,30).
+        assert_eq!(s2, t(25));
+    }
+
+    #[test]
+    fn skip_beyond_last_gap_fails() {
+        let mut tl = PeTimeline::new(t(50));
+        let err = tl.reserve_earliest(t(0), t(5), 10).unwrap_err();
+        assert!(matches!(err, PeTimelineError::NoGap { skipped: 1, .. }));
+    }
+
+    #[test]
+    fn no_gap_when_full() {
+        let mut tl = PeTimeline::new(t(20));
+        tl.reserve(t(0), t(20)).unwrap();
+        assert!(matches!(
+            tl.reserve_earliest(t(0), t(1), 0),
+            Err(PeTimelineError::NoGap { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_duration_rejected() {
+        let mut tl = PeTimeline::new(t(20));
+        assert!(matches!(
+            tl.reserve_earliest(t(0), t(0), 0),
+            Err(PeTimelineError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn gaps_enumeration() {
+        let mut tl = PeTimeline::new(t(100));
+        assert_eq!(tl.gaps(), vec![(t(0), t(100))]);
+        tl.reserve(t(10), t(20)).unwrap();
+        tl.reserve(t(20), t(30)).unwrap();
+        tl.reserve(t(90), t(100)).unwrap();
+        assert_eq!(tl.gaps(), vec![(t(0), t(10)), (t(30), t(90))]);
+        assert_eq!(tl.free_time(), t(70));
+    }
+
+    #[test]
+    fn free_time_in_windows() {
+        let mut tl = PeTimeline::new(t(100));
+        tl.reserve(t(10), t(30)).unwrap();
+        assert_eq!(tl.free_time_in(t(0), t(40)), t(20));
+        assert_eq!(tl.free_time_in(t(10), t(30)), t(0));
+        assert_eq!(tl.free_time_in(t(20), t(50)), t(20));
+        assert_eq!(tl.free_time_in(t(50), t(50)), t(0));
+        // Clamped to horizon.
+        assert_eq!(tl.free_time_in(t(90), t(200)), t(10));
+    }
+
+    #[test]
+    fn peek_matches_reserve_and_does_not_mutate() {
+        let mut tl = PeTimeline::new(t(100));
+        tl.reserve(t(10), t(20)).unwrap();
+        let before = tl.clone();
+        let peeked = tl.peek_earliest(t(0), t(15), 0).unwrap();
+        assert_eq!(tl, before, "peek must not mutate");
+        let reserved = tl.reserve_earliest(t(0), t(15), 0).unwrap();
+        assert_eq!(peeked, reserved);
+        assert_eq!(reserved, t(20));
+    }
+
+    proptest! {
+        /// Random reserve_earliest calls never overlap and stay in range.
+        #[test]
+        fn prop_reservations_stay_disjoint(
+            ops in proptest::collection::vec((0u64..200, 1u64..40, 0u32..4), 1..40)
+        ) {
+            let mut tl = PeTimeline::new(t(500));
+            for (ready, dur, skip) in ops {
+                let _ = tl.reserve_earliest(t(ready), t(dur), skip);
+            }
+            let b = tl.busy_intervals();
+            for w in b.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "intervals overlap: {:?}", w);
+            }
+            for &(s, e) in b {
+                prop_assert!(s < e && e <= t(500));
+            }
+            // gaps + busy partition the horizon.
+            let total: Time = tl.gaps().iter().map(|&(s, e)| e - s).sum::<Time>() + tl.busy_time();
+            prop_assert_eq!(total, t(500));
+        }
+
+        /// free_time_in summed over a partition of the horizon equals free_time.
+        #[test]
+        fn prop_free_time_partition(
+            ops in proptest::collection::vec((0u64..400, 1u64..30), 1..30),
+            window in 1u64..100,
+        ) {
+            let mut tl = PeTimeline::new(t(400));
+            for (ready, dur) in ops {
+                let _ = tl.reserve_earliest(t(ready), t(dur), 0);
+            }
+            let mut sum = Time::ZERO;
+            let mut from = 0u64;
+            while from < 400 {
+                let to = (from + window).min(400);
+                sum += tl.free_time_in(t(from), t(to));
+                from = to;
+            }
+            prop_assert_eq!(sum, tl.free_time());
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Partial-critical-path priorities.
+//!
+//! The list scheduler picks, among ready jobs, the one with the longest
+//! remaining path to a sink of its process graph — execution times plus
+//! estimated communication delays. This is the priority function of the
+//! Heterogeneous Critical Path algorithm (Jorgensen & Madsen, CODES'97)
+//! that the paper's initial mapping builds on.
+
+use incdes_graph::algo;
+use incdes_model::{Application, Architecture, PeId, ProcessGraph, Time};
+
+/// Communication-cost estimate for priority purposes: transmission time
+/// plus half a bus cycle of expected slot wait. Used before (or instead
+/// of) exact knowledge of slot timing.
+pub fn estimated_comm_cost(arch: &Architecture, bytes: u32) -> Time {
+    let tx = arch.bus().transmission_time(bytes);
+    tx + arch.bus().cycle_length() / 2
+}
+
+/// Partial-critical-path priority of every node of `graph`, given an
+/// (optional) mapping of nodes to PEs.
+///
+/// * Node cost: WCET on the mapped PE when `pe_of` returns one, otherwise
+///   the mean WCET over allowed PEs.
+/// * Edge cost: zero if both endpoints are mapped to the same PE,
+///   otherwise [`estimated_comm_cost`].
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic (validated applications never are).
+pub fn partial_critical_path(
+    arch: &Architecture,
+    graph: &ProcessGraph,
+    mut pe_of: impl FnMut(incdes_graph::NodeId) -> Option<PeId>,
+) -> Vec<Time> {
+    let dag = graph.dag();
+    // Pre-compute the per-node assignment so closures below don't fight
+    // over the borrow.
+    let assigned: Vec<Option<PeId>> = dag.node_ids().map(&mut pe_of).collect();
+    let node_cost = |n: incdes_graph::NodeId| -> u64 {
+        let p = graph.process(n);
+        match assigned[n.index()].and_then(|pe| p.wcets.get(pe)) {
+            Some(w) => w.ticks(),
+            None => p.wcets.average().unwrap_or(Time::ZERO).ticks(),
+        }
+    };
+    let edge_cost = |e: incdes_graph::EdgeId| -> u64 {
+        let (s, t) = dag.endpoints(e);
+        match (assigned[s.index()], assigned[t.index()]) {
+            (Some(a), Some(b)) if a == b => 0,
+            _ => estimated_comm_cost(arch, graph.message(e).bytes).ticks(),
+        }
+    };
+    let dist = algo::longest_path_to_sink(dag, node_cost, edge_cost)
+        .expect("process graphs are validated acyclic");
+    dist.into_iter().map(Time::new).collect()
+}
+
+/// Partial-critical-path priorities for every graph of an application,
+/// with no mapping knowledge (mean WCETs, estimated comm everywhere).
+/// Indexed as `result[graph][node.index()]`.
+pub fn app_priorities(arch: &Architecture, app: &Application) -> Vec<Vec<Time>> {
+    app.graphs
+        .iter()
+        .map(|g| partial_critical_path(arch, g, |_| None))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdes_model::{Application, BusConfig, Message, Process, ProcessGraph};
+
+    fn arch() -> Architecture {
+        Architecture::builder()
+            .pe("N1")
+            .pe("N2")
+            .bus(BusConfig::uniform_round(2, Time::new(10), 1).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    /// a --m(4B)--> b, WCETs a: {pe0: 10, pe1: 20}, b: {pe1: 6}.
+    fn chain() -> ProcessGraph {
+        let mut g = ProcessGraph::new("g", Time::new(200), Time::new(200));
+        let a = g.add_process(
+            Process::new("a")
+                .wcet(PeId(0), Time::new(10))
+                .wcet(PeId(1), Time::new(20)),
+        );
+        let b = g.add_process(Process::new("b").wcet(PeId(1), Time::new(6)));
+        g.add_message(a, b, Message::new("m", 4)).unwrap();
+        g
+    }
+
+    #[test]
+    fn estimated_comm_includes_half_cycle() {
+        let a = arch();
+        // tx(4B at 1B/tick) = 4, cycle 20 → 4 + 10 = 14.
+        assert_eq!(estimated_comm_cost(&a, 4), Time::new(14));
+    }
+
+    #[test]
+    fn unmapped_uses_mean_wcet_and_estimated_comm() {
+        let a = arch();
+        let g = chain();
+        let p = partial_critical_path(&a, &g, |_| None);
+        // b: 6. a: mean(10,20)=15 + comm 14 + 6 = 35.
+        assert_eq!(p[1], Time::new(6));
+        assert_eq!(p[0], Time::new(35));
+    }
+
+    #[test]
+    fn same_pe_mapping_zeroes_comm() {
+        let a = arch();
+        let g = chain();
+        let p = partial_critical_path(&a, &g, |_| Some(PeId(1)));
+        // Both on pe1: a = 20 + 0 + 6 = 26.
+        assert_eq!(p[0], Time::new(26));
+    }
+
+    #[test]
+    fn cross_pe_mapping_uses_exact_wcets() {
+        let a = arch();
+        let g = chain();
+        let p = partial_critical_path(&a, &g, |n| {
+            Some(if n.index() == 0 { PeId(0) } else { PeId(1) })
+        });
+        // a on pe0 (10) + comm 14 + b 6 = 30.
+        assert_eq!(p[0], Time::new(30));
+    }
+
+    #[test]
+    fn app_priorities_shape() {
+        let a = arch();
+        let app = Application::new("app", vec![chain(), chain()]);
+        let pr = app_priorities(&a, &app);
+        assert_eq!(pr.len(), 2);
+        assert_eq!(pr[0].len(), 2);
+        assert_eq!(pr[0], pr[1]);
+    }
+
+    #[test]
+    fn parallel_branches_prefer_long_one() {
+        let a = arch();
+        let mut g = ProcessGraph::new("g", Time::new(200), Time::new(200));
+        let root = g.add_process(Process::new("r").wcet(PeId(0), Time::new(2)));
+        let long = g.add_process(Process::new("long").wcet(PeId(0), Time::new(50)));
+        let short = g.add_process(Process::new("short").wcet(PeId(0), Time::new(5)));
+        g.add_message(root, long, Message::new("m1", 2)).unwrap();
+        g.add_message(root, short, Message::new("m2", 2)).unwrap();
+        let p = partial_critical_path(&a, &g, |_| Some(PeId(0)));
+        assert!(p[long.index()] > p[short.index()]);
+        assert_eq!(p[root.index()], Time::new(52));
+    }
+}

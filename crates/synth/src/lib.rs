@@ -1,0 +1,42 @@
+//! Synthetic benchmark generation for the DAC 2001 experiments.
+//!
+//! The paper evaluates its mapping strategies on randomly generated
+//! systems: existing applications totalling 400 processes, current
+//! applications of 40–320 processes, and future applications of 80
+//! processes, all running on a TTP-style architecture. The original
+//! generator was never published; this crate rebuilds it:
+//!
+//! * [`SynthConfig`] — the distribution parameters (architecture size,
+//!   harmonic period set, WCET and message-size ranges, graph shape);
+//! * [`generate_architecture`] / [`generate_application`] /
+//!   [`generate_graph`] — deterministic generation from a seeded RNG;
+//! * [`future_profile_for`] — the [`incdes_model::FutureProfile`] consistent with the
+//!   generator's own distributions, as the paper assumes the designer
+//!   knows the family of future applications;
+//! * [`paper`] — the exact presets used by the figure-regeneration
+//!   harness.
+//!
+//! # Example
+//!
+//! ```
+//! use incdes_synth::{generate_application, generate_architecture, SynthConfig};
+//! use rand::SeedableRng;
+//!
+//! let cfg = SynthConfig::default();
+//! let arch = generate_architecture(&cfg).unwrap();
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! let app = generate_application(&cfg, "existing", 80, &mut rng).unwrap();
+//! assert_eq!(app.process_count(), 80);
+//! incdes_model::validate::check_application(&app, &arch).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod paper;
+
+pub use gen::{
+    future_profile_for, generate_application, generate_architecture, generate_graph, SynthConfig,
+    SynthError,
+};

@@ -1,0 +1,117 @@
+//! The experiment presets of the DAC 2001 evaluation.
+//!
+//! Slides 15–17: systems with *existing applications totalling 400
+//! processes*, current applications of 40–320 processes, and future
+//! applications of 80 processes. The paper does not publish the raw
+//! generator parameters; [`dac2001`] fixes a parameterization at a
+//! comparable scale, and [`dac2001_small`] is a scaled-down variant for
+//! quick runs and CI.
+
+use crate::gen::SynthConfig;
+use incdes_model::Time;
+use serde::{Deserialize, Serialize};
+
+/// A complete experiment parameterization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PaperPreset {
+    /// Generator configuration.
+    pub cfg: SynthConfig,
+    /// Total processes across the existing applications.
+    pub existing_processes: usize,
+    /// Processes per existing application (existing apps are committed one
+    /// by one to build up the frozen system).
+    pub existing_app_size: usize,
+    /// Current-application sizes (the x axis of the figures).
+    pub current_sizes: Vec<usize>,
+    /// Processes in a future application (figure 3).
+    pub future_processes: usize,
+    /// Random seeds (one system instance each).
+    pub seeds: Vec<u64>,
+}
+
+impl PaperPreset {
+    /// Generator configuration for *future* applications: like the current
+    /// applications but with WCETs spanning [`crate::gen::future_wcet_range`]
+    /// (slide 10 characterizes future processes as substantially larger).
+    pub fn future_cfg(&self) -> SynthConfig {
+        SynthConfig {
+            wcet: crate::gen::future_wcet_range(&self.cfg),
+            ..self.cfg.clone()
+        }
+    }
+}
+
+/// The full-scale preset: existing 400, current ∈ {40, 80, 160, 240, 320},
+/// future 80 — the x axes of slides 15–17.
+pub fn dac2001() -> PaperPreset {
+    PaperPreset {
+        cfg: SynthConfig::default(),
+        existing_processes: 400,
+        existing_app_size: 50,
+        current_sizes: vec![40, 80, 160, 240, 320],
+        future_processes: 80,
+        seeds: vec![11, 23, 47, 83, 131],
+    }
+}
+
+/// A scaled-down preset for tests and quick benchmark runs: existing 160,
+/// current ∈ {10, 20, 40}, future 25.
+pub fn dac2001_small() -> PaperPreset {
+    PaperPreset {
+        cfg: SynthConfig {
+            pe_count: 4,
+            slot_length: Time::new(8),
+            rounds: 1,
+            bytes_per_tick: 8,
+            periods: vec![Time::new(320), Time::new(640)],
+            graph_size: (5, 12),
+            depth: (2, 3),
+            wcet: (2, 8),
+            pe_allow_prob: 0.6,
+            wcet_spread: 0.3,
+            msg_bytes: (2, 8),
+            edge_extra_prob: 0.1,
+        },
+        existing_processes: 160,
+        existing_app_size: 40,
+        current_sizes: vec![10, 20, 40],
+        future_processes: 25,
+        seeds: vec![5, 17],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_application, generate_architecture};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn presets_generate_valid_systems() {
+        for preset in [dac2001(), dac2001_small()] {
+            let arch = generate_architecture(&preset.cfg).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(preset.seeds[0]);
+            let app = generate_application(&preset.cfg, "e0", preset.existing_app_size, &mut rng)
+                .unwrap();
+            incdes_model::validate::check_application(&app, &arch).unwrap();
+        }
+    }
+
+    #[test]
+    fn full_preset_matches_paper_axes() {
+        let p = dac2001();
+        assert_eq!(p.existing_processes, 400);
+        assert_eq!(p.current_sizes, vec![40, 80, 160, 240, 320]);
+        assert_eq!(p.future_processes, 80);
+    }
+
+    #[test]
+    fn small_preset_periods_align_with_cycle() {
+        let p = dac2001_small();
+        let cycle = p.cfg.cycle_length();
+        for period in &p.cfg.periods {
+            assert!((*period % cycle).is_zero());
+        }
+    }
+}

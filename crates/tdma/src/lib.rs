@@ -1,0 +1,50 @@
+//! TTP-style TDMA bus timing engine.
+//!
+//! [`incdes_model::BusConfig`] describes the *static* structure of the bus
+//! (a cycle of rounds, each round a sequence of slots). This crate turns
+//! that structure into a concrete timeline over a scheduling horizon and
+//! answers the questions the static cyclic scheduler asks:
+//!
+//! * *When is the next opportunity for node `N` to transmit a message of
+//!   `b` bytes, given the data is ready at time `t`?* —
+//!   [`BusTimeline::schedule_message`]
+//! * *Which parts of the bus are still free?* — [`BusTimeline::free_windows`]
+//! * *How much bus slack lies inside a given time window?* —
+//!   [`BusTimeline::free_time_in`]
+//!
+//! # Timing model
+//!
+//! Messages transmitted by a node are packed back-to-back into that node's
+//! slot occurrences (a slot occurrence is one appearance of a slot on the
+//! timeline; the cycle repeats forever). Following the TTP discipline that
+//! a frame is assembled before its slot begins, a message may only ride in
+//! a slot occurrence whose *start* is at or after the message's ready
+//! time. The receiver may consume the data once the message's portion of
+//! the frame has been transmitted.
+//!
+//! # Example
+//!
+//! ```
+//! use incdes_model::{BusConfig, PeId, Time};
+//! use incdes_tdma::BusTimeline;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Two nodes, slots of 10 ticks, one round per cycle → cycle = 20.
+//! let bus = BusConfig::uniform_round(2, Time::new(10), 1)?;
+//! let mut timeline = BusTimeline::new(&bus, Time::new(100))?;
+//!
+//! // Node 0's first slot starts at t=0; data ready at t=3 must wait for
+//! // the occurrence at t=20.
+//! let r = timeline.schedule_message(PeId(0), Time::new(3), Time::new(4))?;
+//! assert_eq!(r.transmit_start, Time::new(20));
+//! assert_eq!(r.arrival, Time::new(24));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod timeline;
+
+pub use timeline::{BusReservation, BusTimeline, BusTimelineError, SlotOccurrence};

@@ -1,0 +1,167 @@
+//! An automotive scenario in the spirit of the paper's application domain:
+//! a vehicle cruise controller distributed over a TTP network, followed by
+//! two engineering-change increments.
+//!
+//! Increment 1 — the cruise controller itself (sensing, speed estimation,
+//! control law, throttle actuation, driver display).
+//! Increment 2 — an adaptive headway add-on (radar + distance control)
+//! that must fit into the slack left by increment 1 *without touching it*.
+//! Increment 3 — a diagnostics logger, checked with a mappability probe
+//! before committing.
+//!
+//! ```text
+//! cargo run --example cruise_control
+//! ```
+
+use incdes::prelude::*;
+
+/// Five ECUs of a small car network: engine controller, ABS unit,
+/// transmission controller, body controller, dashboard.
+fn car_network() -> Result<Architecture, Box<dyn std::error::Error>> {
+    Ok(Architecture::builder()
+        .pe("ECM")
+        .pe("ABS")
+        .pe("TCM")
+        .pe("BCM")
+        .pe("DASH")
+        .bus(BusConfig::uniform_round(5, Time::new(8), 1)?)
+        .build()?)
+}
+
+/// Increment 1: the cruise controller, period 200 ticks.
+fn cruise_controller() -> Result<Application, Box<dyn std::error::Error>> {
+    let mut g = ProcessGraph::new("cc", Time::new(200), Time::new(200));
+    let wheel = g.add_process(
+        Process::new("wheel-speed").wcet(PeId(1), Time::new(6)), // wheel sensors sit on the ABS unit
+    );
+    let estimate = g.add_process(
+        Process::new("speed-estimate")
+            .wcet(PeId(0), Time::new(10))
+            .wcet(PeId(1), Time::new(12)),
+    );
+    let law = g.add_process(
+        Process::new("control-law")
+            .wcet(PeId(0), Time::new(16))
+            .wcet(PeId(2), Time::new(18)),
+    );
+    let throttle = g.add_process(
+        Process::new("throttle").wcet(PeId(0), Time::new(8)), // actuator on the ECM
+    );
+    let display = g.add_process(
+        Process::new("display").wcet(PeId(4), Time::new(5)), // dashboard only
+    );
+    g.add_message(wheel, estimate, Message::new("ticks", 4))?;
+    g.add_message(estimate, law, Message::new("speed", 4))?;
+    g.add_message(law, throttle, Message::new("torque", 2))?;
+    g.add_message(law, display, Message::new("setpoint", 2))?;
+    Ok(Application::new("cruise-control", vec![g]))
+}
+
+/// Increment 2: adaptive headway keeping, period 400 ticks.
+fn headway_addon() -> Result<Application, Box<dyn std::error::Error>> {
+    let mut g = ProcessGraph::new("acc", Time::new(400), Time::new(400));
+    let radar = g.add_process(
+        Process::new("radar").wcet(PeId(3), Time::new(12)), // radar on the body controller
+    );
+    let track = g.add_process(
+        Process::new("track")
+            .wcet(PeId(0), Time::new(14))
+            .wcet(PeId(2), Time::new(14))
+            .wcet(PeId(3), Time::new(16)),
+    );
+    let gap = g.add_process(
+        Process::new("gap-control")
+            .wcet(PeId(0), Time::new(10))
+            .wcet(PeId(2), Time::new(12)),
+    );
+    let warn = g.add_process(Process::new("warn").wcet(PeId(4), Time::new(4)));
+    g.add_message(radar, track, Message::new("echo", 6))?;
+    g.add_message(track, gap, Message::new("range", 4))?;
+    g.add_message(gap, warn, Message::new("alert", 2))?;
+    Ok(Application::new("headway", vec![g]))
+}
+
+/// Increment 3 candidate: a diagnostics logger, period 400.
+fn diagnostics(n_probes: usize) -> Result<Application, Box<dyn std::error::Error>> {
+    let mut g = ProcessGraph::new("diag", Time::new(400), Time::new(400));
+    let collect = g.add_process(
+        Process::new("collect")
+            .wcet(PeId(0), Time::new(8))
+            .wcet(PeId(2), Time::new(8))
+            .wcet(PeId(3), Time::new(8)),
+    );
+    for i in 0..n_probes {
+        let probe = g.add_process(
+            Process::new(format!("probe{i}"))
+                .wcet(PeId(0), Time::new(30))
+                .wcet(PeId(2), Time::new(30)),
+        );
+        g.add_message(probe, collect, Message::new(format!("trace{i}"), 8))?;
+    }
+    Ok(Application::new("diagnostics", vec![g]))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The family of future add-ons the OEM expects over the car's life.
+    let future = FutureProfile::new(
+        Time::new(400),
+        Time::new(80),
+        Time::new(10),
+        Histogram::new(vec![
+            (Time::new(5), 0.4),
+            (Time::new(10), 0.3),
+            (Time::new(16), 0.2),
+            (Time::new(30), 0.1),
+        ])?,
+        Histogram::new(vec![(2, 0.4), (4, 0.3), (6, 0.2), (8, 0.1)])?,
+    );
+    let weights = Weights::default();
+
+    let mut system = System::new(car_network()?);
+
+    // --- Increment 1: the cruise controller -----------------------------
+    let r1 = system.add_application(cruise_controller()?, &future, &weights, &Strategy::mh())?;
+    println!("[v1] cruise controller committed: C = {:.2}", r1.cost.total);
+
+    // --- Increment 2: headway add-on, existing app untouched ------------
+    let cc_jobs_before: Vec<_> = system
+        .table()
+        .jobs()
+        .iter()
+        .filter(|j| j.job.app == r1.app_id)
+        .map(|j| (j.job, j.start))
+        .collect();
+    let r2 = system.add_application(headway_addon()?, &future, &weights, &Strategy::mh())?;
+    println!("[v2] headway add-on committed:    C = {:.2}", r2.cost.total);
+    for (job, start) in cc_jobs_before {
+        let now = system
+            .table()
+            .job(job)
+            .expect("existing jobs survive commits");
+        assert_eq!(
+            now.start, start,
+            "requirement (a): existing apps never move"
+        );
+    }
+    println!("[v2] verified: every cruise-controller job kept its slot");
+
+    // --- Increment 3: probe before committing ---------------------------
+    for n in [1usize, 4, 12] {
+        let candidate = diagnostics(n)?;
+        let probe = system.probe_application(&candidate, &future, &weights, &Strategy::AdHoc)?;
+        println!(
+            "[v3] diagnostics with {n:>2} probes: {}",
+            if probe.feasible {
+                "fits"
+            } else {
+                "does NOT fit"
+            }
+        );
+    }
+    let r3 = system.add_application(diagnostics(4)?, &future, &weights, &Strategy::mh())?;
+    println!("[v3] diagnostics committed:       C = {:.2}", r3.cost.total);
+
+    println!("\nfinal schedule over {}:", system.horizon());
+    print!("{}", system.table().render_text(system.arch(), 72));
+    Ok(())
+}

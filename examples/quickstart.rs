@@ -1,0 +1,76 @@
+//! Quickstart: map one application onto a two-node TTP system and print
+//! the resulting static cyclic schedule and design metrics.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use incdes::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The hardware platform: two nodes on a TDMA bus with 10-tick
+    //    slots (cycle = 20 ticks).
+    let arch = Architecture::builder()
+        .pe("N1")
+        .pe("N2")
+        .bus(BusConfig::uniform_round(2, Time::new(10), 1)?)
+        .build()?;
+
+    // 2. The application: a sensor → filter → actuator chain released
+    //    every 120 ticks.
+    let mut g = ProcessGraph::new("sense-chain", Time::new(120), Time::new(120));
+    let sense = g.add_process(
+        Process::new("sense")
+            .wcet(PeId(0), Time::new(8))
+            .wcet(PeId(1), Time::new(12)),
+    );
+    let filter = g.add_process(
+        Process::new("filter")
+            .wcet(PeId(0), Time::new(14))
+            .wcet(PeId(1), Time::new(10)),
+    );
+    let act = g.add_process(Process::new("act").wcet(PeId(1), Time::new(6)));
+    g.add_message(sense, filter, Message::new("raw", 6))?;
+    g.add_message(filter, act, Message::new("cmd", 2))?;
+    let app = Application::new("v1", vec![g]);
+
+    // 3. What we expect from the future (slide 10's example profile).
+    let future = FutureProfile::slide_example();
+
+    // 4. Map and schedule with the paper's mapping heuristic.
+    let mut system = System::new(arch);
+    let report = system.add_application(app, &future, &Weights::default(), &Strategy::mh())?;
+
+    println!(
+        "committed {} over a hyperperiod of {}",
+        report.app_id, report.horizon
+    );
+    println!(
+        "objective C = {:.2}  (C1P {:.1}%  C1m {:.1}%  C2P {}  C2m {})",
+        report.cost.total,
+        report.cost.c1_processes,
+        report.cost.c1_messages,
+        report.cost.c2_processes,
+        report.cost.c2_messages,
+    );
+    println!("\nschedule (one row per PE, then the bus):");
+    print!("{}", system.table().render_text(system.arch(), 60));
+
+    println!("\nper-PE slack:");
+    let slack = system.slack();
+    for pe in system.arch().pe_ids() {
+        println!(
+            "  {:>3}: {} free in {} gaps",
+            system.arch().pe(pe).name,
+            slack.total_slack_of(pe),
+            slack.gaps_of(pe).len()
+        );
+    }
+
+    println!();
+    print!(
+        "{}",
+        incdes::sched::ScheduleReport::new(system.arch(), system.table())
+    );
+    Ok(())
+}

@@ -1,0 +1,184 @@
+//! End-to-end integration: synthetic system → incremental commits →
+//! exhaustive schedule validation across every crate of the workspace.
+
+use incdes::core::System;
+use incdes::mapping::{SaConfig, Strategy};
+use incdes::prelude::*;
+use incdes::synth::paper::dac2001_small;
+use incdes::synth::{future_profile_for, generate_application, generate_architecture};
+use incdes_sched::Mapping;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn validate_system(system: &System) {
+    let pairs: Vec<(AppId, &Application, &Mapping)> = system
+        .committed()
+        .iter()
+        .map(|c| (c.id, &c.app, &c.solution.mapping))
+        .collect();
+    system
+        .table()
+        .validate(system.arch(), &pairs)
+        .expect("committed schedule must satisfy every invariant");
+}
+
+#[test]
+fn commit_three_apps_with_each_strategy_and_validate() {
+    let preset = dac2001_small();
+    let arch = generate_architecture(&preset.cfg).unwrap();
+    let future = future_profile_for(&preset.cfg, preset.future_processes);
+    let weights = Weights::default();
+
+    for strategy in [
+        Strategy::AdHoc,
+        Strategy::mh(),
+        Strategy::SimulatedAnnealing(SaConfig::quick()),
+    ] {
+        let mut system = System::new(arch.clone());
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        for i in 0..3 {
+            let app = generate_application(&preset.cfg, &format!("v{i}"), 15, &mut rng).unwrap();
+            system
+                .add_application(app, &future, &weights, &strategy)
+                .unwrap_or_else(|e| panic!("{} commit {i} failed: {e}", strategy.name()));
+            validate_system(&system);
+            assert!(system.table().is_deadline_clean());
+        }
+        assert_eq!(system.app_count(), 3);
+    }
+}
+
+#[test]
+fn existing_applications_never_move_across_many_commits() {
+    let preset = dac2001_small();
+    let arch = generate_architecture(&preset.cfg).unwrap();
+    let future = future_profile_for(&preset.cfg, preset.future_processes);
+    let weights = Weights::default();
+
+    let mut system = System::new(arch);
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let mut snapshots: Vec<Vec<(incdes_sched::JobId, PeId, Time)>> = Vec::new();
+    for i in 0..4 {
+        let app = generate_application(&preset.cfg, &format!("v{i}"), 12, &mut rng).unwrap();
+        let horizon_before = system.horizon();
+        system
+            .add_application(app, &future, &weights, &Strategy::mh())
+            .unwrap();
+        // Every previous snapshot must still be present, unmoved (modulo
+        // replication: the first-window copy keeps its JobId).
+        for snap in &snapshots {
+            for &(job, pe, start) in snap {
+                let now = system.table().job(job).expect("job survived");
+                assert_eq!(now.pe, pe, "job {job} changed PE");
+                assert_eq!(now.start, start, "job {job} moved");
+            }
+        }
+        let _ = horizon_before;
+        // Snapshot the new app's first-window jobs.
+        let id = AppId(i as u32);
+        snapshots.push(
+            system
+                .table()
+                .jobs()
+                .iter()
+                .filter(|j| j.job.app == id && j.release < Time::new(1))
+                .map(|j| (j.job, j.pe, j.start))
+                .collect(),
+        );
+    }
+}
+
+#[test]
+fn slack_profile_accounts_for_every_tick() {
+    let preset = dac2001_small();
+    let arch = generate_architecture(&preset.cfg).unwrap();
+    let future = future_profile_for(&preset.cfg, preset.future_processes);
+    let weights = Weights::default();
+    let mut system = System::new(arch);
+    let mut rng = ChaCha8Rng::seed_from_u64(43);
+    for i in 0..2 {
+        let app = generate_application(&preset.cfg, &format!("v{i}"), 20, &mut rng).unwrap();
+        system
+            .add_application(app, &future, &weights, &Strategy::AdHoc)
+            .unwrap();
+    }
+    let slack = system.slack();
+    let h = system.horizon();
+    for pe in system.arch().pe_ids() {
+        let busy = system.table().busy_time_on(pe);
+        assert_eq!(
+            busy + slack.total_slack_of(pe),
+            h,
+            "busy + slack must equal the horizon on {pe}"
+        );
+    }
+    // Bus: used + free slot time = total slot capacity.
+    let bus = system.table().bus_timeline(system.arch());
+    assert_eq!(
+        bus.total_used() + slack.total_bus_slack(),
+        bus.total_capacity()
+    );
+}
+
+#[test]
+fn strategies_order_by_cost_on_loaded_system() {
+    let preset = dac2001_small();
+    let arch = generate_architecture(&preset.cfg).unwrap();
+    let mut future = future_profile_for(&preset.cfg, preset.future_processes);
+    future.t_need = Time::new(future.t_need.ticks() * 8);
+    let weights = Weights::default();
+
+    // Load the system, then compare strategies on one more app.
+    let mut base = System::new(arch);
+    let mut rng = ChaCha8Rng::seed_from_u64(44);
+    for i in 0..4 {
+        let app = generate_application(&preset.cfg, &format!("e{i}"), 25, &mut rng).unwrap();
+        base.add_application(app, &future, &weights, &Strategy::AdHoc)
+            .unwrap();
+    }
+    let current = generate_application(&preset.cfg, "current", 25, &mut rng).unwrap();
+
+    let mut costs = Vec::new();
+    for strategy in [
+        Strategy::AdHoc,
+        Strategy::mh(),
+        Strategy::SimulatedAnnealing(SaConfig::quick()),
+    ] {
+        let mut sys = base.clone();
+        let report = sys
+            .add_application(current.clone(), &future, &weights, &strategy)
+            .unwrap();
+        costs.push((strategy.name(), report.cost.total));
+    }
+    let ah = costs[0].1;
+    let mh = costs[1].1;
+    let sa = costs[2].1;
+    assert!(
+        mh <= ah + 1e-9,
+        "MH ({mh}) must not be worse than AH ({ah})"
+    );
+    assert!(
+        sa <= ah + 1e-9,
+        "SA ({sa}) must not be worse than AH ({ah})"
+    );
+}
+
+#[test]
+fn gantt_rendering_shows_all_apps() {
+    let preset = dac2001_small();
+    let arch = generate_architecture(&preset.cfg).unwrap();
+    let future = future_profile_for(&preset.cfg, preset.future_processes);
+    let weights = Weights::default();
+    let mut system = System::new(arch);
+    let mut rng = ChaCha8Rng::seed_from_u64(45);
+    for i in 0..2 {
+        let app = generate_application(&preset.cfg, &format!("v{i}"), 10, &mut rng).unwrap();
+        system
+            .add_application(app, &future, &weights, &Strategy::AdHoc)
+            .unwrap();
+    }
+    let text = system.table().render_text(system.arch(), 80);
+    assert!(text.contains('A'), "app 0 visible");
+    assert!(text.contains('B'), "app 1 visible");
+    assert_eq!(text.lines().count(), system.arch().pe_count() + 1);
+}

@@ -1,0 +1,141 @@
+//! Property-based integration tests: randomly generated systems are
+//! mapped, scheduled and exhaustively validated. These are the workspace's
+//! strongest correctness net — `ScheduleTable::validate` re-derives every
+//! invariant (completeness, durations, windows, per-PE overlap, precedence
+//! through shared memory and the TDMA bus, frame packing) from scratch.
+
+use incdes::mapping::{initial_mapping, MappingContext, Strategy};
+use incdes::prelude::*;
+use incdes::synth::{generate_application, generate_architecture, SynthConfig};
+use incdes_core::System;
+use incdes_mapping::run_strategy;
+use incdes_model::time::hyperperiod;
+use incdes_sched::Mapping;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A small, fast configuration with enough variety to shake out bugs.
+fn small_cfg(pe_count: u32, slot: u64) -> SynthConfig {
+    let cycle = pe_count as u64 * slot;
+    SynthConfig {
+        pe_count,
+        slot_length: Time::new(slot),
+        rounds: 1,
+        bytes_per_tick: 8,
+        periods: vec![Time::new(cycle * 4), Time::new(cycle * 8)],
+        graph_size: (3, 8),
+        depth: (2, 3),
+        wcet: (2, 8),
+        pe_allow_prob: 0.6,
+        wcet_spread: 0.3,
+        msg_bytes: (2, 8),
+        edge_extra_prob: 0.15,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// IM on a random application always yields a schedule that passes
+    /// exhaustive validation.
+    #[test]
+    fn im_schedules_validate(
+        seed in 0u64..5000,
+        pe_count in 2u32..5,
+        size in 3usize..25,
+    ) {
+        let cfg = small_cfg(pe_count, 10);
+        let arch = generate_architecture(&cfg).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let app = generate_application(&cfg, "a", size, &mut rng).unwrap();
+        let future = incdes::synth::future_profile_for(&cfg, 10);
+        let weights = Weights::default();
+        let horizon = hyperperiod(app.graphs.iter().map(|g| g.period)).unwrap();
+        let ctx = MappingContext::new(&arch, AppId(0), &app, None, horizon, &future, &weights);
+        let Ok(solution) = initial_mapping(&ctx) else {
+            // Overloaded random instance: acceptable, nothing to validate.
+            return Ok(());
+        };
+        let eval = ctx.evaluate(&solution).unwrap();
+        eval.table
+            .validate(&arch, &[(AppId(0), &app, &solution.mapping)])
+            .unwrap();
+        prop_assert!(eval.table.is_deadline_clean());
+    }
+
+    /// Incremental commits preserve all previously committed schedules
+    /// bit-for-bit and the merged table always validates.
+    #[test]
+    fn incremental_commits_validate(
+        seed in 0u64..5000,
+        sizes in proptest::collection::vec(3usize..15, 1..4),
+    ) {
+        let cfg = small_cfg(3, 10);
+        let arch = generate_architecture(&cfg).unwrap();
+        let future = incdes::synth::future_profile_for(&cfg, 10);
+        let weights = Weights::default();
+        let mut system = System::new(arch);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for (i, &size) in sizes.iter().enumerate() {
+            let app = generate_application(&cfg, &format!("v{i}"), size, &mut rng).unwrap();
+            if system.add_application(app, &future, &weights, &Strategy::AdHoc).is_err() {
+                break; // ran out of capacity — fine for a random instance
+            }
+            let pairs: Vec<(AppId, &Application, &Mapping)> = system
+                .committed()
+                .iter()
+                .map(|c| (c.id, &c.app, &c.solution.mapping))
+                .collect();
+            system.table().validate(system.arch(), &pairs).unwrap();
+        }
+    }
+
+    /// The slack profile partitions every PE's horizon exactly.
+    #[test]
+    fn slack_partitions_horizon(
+        seed in 0u64..5000,
+        size in 3usize..20,
+    ) {
+        let cfg = small_cfg(3, 10);
+        let arch = generate_architecture(&cfg).unwrap();
+        let future = incdes::synth::future_profile_for(&cfg, 10);
+        let weights = Weights::default();
+        let mut system = System::new(arch);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let app = generate_application(&cfg, "a", size, &mut rng).unwrap();
+        if system.add_application(app, &future, &weights, &Strategy::AdHoc).is_err() {
+            return Ok(());
+        }
+        let slack = system.slack();
+        for pe in system.arch().pe_ids() {
+            let busy = system.table().busy_time_on(pe);
+            prop_assert_eq!(busy + slack.total_slack_of(pe), system.horizon());
+        }
+    }
+
+    /// MH never returns a solution worse than its (feasible) start, on any
+    /// random instance.
+    #[test]
+    fn mh_monotone_improvement(
+        seed in 0u64..2000,
+        size in 4usize..16,
+    ) {
+        let cfg = small_cfg(3, 10);
+        let arch = generate_architecture(&cfg).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let app = generate_application(&cfg, "a", size, &mut rng).unwrap();
+        let mut future = incdes::synth::future_profile_for(&cfg, 10);
+        future.t_need = Time::new(future.t_need.ticks() * 6);
+        let weights = Weights::default();
+        let horizon = hyperperiod(app.graphs.iter().map(|g| g.period)).unwrap();
+        let ctx = MappingContext::new(&arch, AppId(0), &app, None, horizon, &future, &weights);
+        let Ok(ah) = run_strategy(&ctx, &Strategy::AdHoc) else { return Ok(()); };
+        let mh = run_strategy(&ctx, &Strategy::mh()).unwrap();
+        prop_assert!(mh.evaluation.cost.total <= ah.evaluation.cost.total + 1e-9);
+        mh.evaluation
+            .table
+            .validate(&arch, &[(AppId(0), &app, &mh.solution.mapping)])
+            .unwrap();
+    }
+}
