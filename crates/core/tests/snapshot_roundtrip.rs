@@ -1,0 +1,94 @@
+//! Property test: `SystemSnapshot` survives a full
+//! capture → JSON serialize → parse → restore round trip with an
+//! identical schedule table, for randomized (but feasible) systems.
+
+use incdes_core::persist::SystemSnapshot;
+use incdes_core::System;
+use incdes_mapping::Strategy;
+use incdes_metrics::Weights;
+use incdes_model::{
+    Application, Architecture, BusConfig, FutureProfile, Message, PeId, Process, ProcessGraph, Time,
+};
+use proptest::prelude::*;
+
+/// Builds a layered chain application from drawn parameters. Every
+/// process is executable on every PE so the system stays feasible for
+/// reasonable loads.
+fn build_app(
+    name: &str,
+    pe_count: u32,
+    wcets: &[u64],
+    msg_bytes: &[u32],
+    period: u64,
+) -> Application {
+    let period = Time::new(period);
+    let mut g = ProcessGraph::new(format!("{name}-g0"), period, period);
+    let mut prev = None;
+    for (i, &w) in wcets.iter().enumerate() {
+        let mut p = Process::new(format!("{name}-p{i}"));
+        for pe in 0..pe_count {
+            // Spread WCETs a little per PE so mappings are non-trivial.
+            p = p.wcet(PeId(pe), Time::new(1 + w + u64::from(pe)));
+        }
+        let node = g.add_process(p);
+        if let Some(prev) = prev {
+            let bytes = msg_bytes[i % msg_bytes.len()].max(1);
+            g.add_message(prev, node, Message::new(format!("{name}-m{i}"), bytes))
+                .expect("chain edges are acyclic");
+        }
+        prev = Some(node);
+    }
+    Application::new(name, vec![g])
+}
+
+fn arch_with(pe_count: u32) -> Architecture {
+    let mut b = Architecture::builder();
+    for i in 0..pe_count {
+        b = b.pe(format!("N{i}"));
+    }
+    b.bus(BusConfig::uniform_round(pe_count, Time::new(10), 1).unwrap())
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// serialize → restore → identical schedule table.
+    #[test]
+    fn snapshot_json_round_trip_preserves_table(
+        pe_count in 2u32..4,
+        app_count in 1usize..4,
+        wcets in proptest::collection::vec(1u64..6, 2..5),
+        msg_bytes in proptest::collection::vec(1u32..8, 4),
+        period_factor in 1u64..3,
+    ) {
+        let mut system = System::new(arch_with(pe_count));
+        let future = FutureProfile::slide_example();
+        let weights = Weights::default();
+        let period = 120 * period_factor;
+        for i in 0..app_count {
+            let app = build_app(&format!("app{i}"), pe_count, &wcets, &msg_bytes, period);
+            if system.add_application(app, &future, &weights, &Strategy::AdHoc).is_err() {
+                // Saturated: the committed prefix is still a valid system.
+                break;
+            }
+        }
+
+        let snapshot = SystemSnapshot::capture(&system);
+        let json = snapshot.to_json().unwrap();
+        let parsed = SystemSnapshot::from_json(&json).unwrap();
+        let restored = match parsed.restore() {
+            Ok(s) => s,
+            Err(e) => return Err(TestCaseError::fail(format!("restore failed: {e}"))),
+        };
+
+        prop_assert_eq!(restored.app_count(), system.app_count());
+        prop_assert_eq!(restored.horizon(), system.horizon());
+        prop_assert_eq!(restored.table(), system.table());
+
+        // And the JSON form itself is stable across a second trip.
+        let json2 = SystemSnapshot::capture(&restored).to_json().unwrap();
+        prop_assert_eq!(json, json2);
+    }
+}

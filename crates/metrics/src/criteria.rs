@@ -158,12 +158,7 @@ mod tests {
         // Busy except 15-tick gaps: pattern [15 free, 45 busy] × 8 on both PEs.
         for pe in 0..2u32 {
             for k in 0..8u64 {
-                jobs.push(job(
-                    pe,
-                    pe * 100 + k as u32,
-                    k * 60 + 15,
-                    (k + 1) * 60,
-                ));
+                jobs.push(job(pe, pe * 100 + k as u32, k * 60 + 15, (k + 1) * 60));
             }
         }
         let frag = ScheduleTable::new(t(480), jobs, vec![]);

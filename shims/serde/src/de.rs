@@ -1,0 +1,277 @@
+//! Deserialization half of the shim.
+
+use crate::export::{Value, ValueError};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Display;
+
+/// Error constraint for deserializers (mirrors `serde::de::Error`).
+pub trait Error: Sized {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A source of the shim data model.
+///
+/// Self-describing: the whole input is surfaced as a [`Value`] tree via
+/// [`Deserializer::into_value`], and types pick themselves out of it.
+pub trait Deserializer<'de>: Sized {
+    /// Error type of the deserializer.
+    type Error: Error;
+
+    /// Consumes the deserializer, yielding the value tree.
+    fn into_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type constructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A type deserializable without borrowing from the input.
+///
+/// Everything in this shim is owned, so this is a blanket alias.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+fn unexpected<E: Error>(expected: &str, got: &Value) -> E {
+    E::custom(format!("expected {expected}, got {}", got.kind()))
+}
+
+/// Deserializes one sub-value for a given deserializer lifetime.
+///
+/// Unlike [`from_value`], this only requires `Deserialize<'de>` for the
+/// caller's `'de`, which keeps `with`-style helper modules that bind a
+/// single lifetime (like the seed's `pairs`) usable.
+fn de_one<'de, T: Deserialize<'de>>(v: Value) -> Result<T, ValueError> {
+    T::deserialize(crate::export::ValueDeserializer::new(v))
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.into_value()? {
+                    Value::UInt(n) => <$t>::try_from(n)
+                        .map_err(|_| D::Error::custom(format!("integer {n} out of range"))),
+                    Value::Int(n) => <$t>::try_from(n)
+                        .map_err(|_| D::Error::custom(format!("integer {n} out of range"))),
+                    other => Err(unexpected("unsigned integer", &other)),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.into_value()? {
+                    Value::UInt(n) => <$t>::try_from(n)
+                        .map_err(|_| D::Error::custom(format!("integer {n} out of range"))),
+                    Value::Int(n) => <$t>::try_from(n)
+                        .map_err(|_| D::Error::custom(format!("integer {n} out of range"))),
+                    other => Err(unexpected("integer", &other)),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_deserialize_float {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.into_value()? {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::UInt(n) => Ok(n as $t),
+                    Value::Int(n) => Ok(n as $t),
+                    other => Err(unexpected("number", &other)),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(unexpected("bool", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(unexpected("single-character string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(unexpected("string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Null => Ok(()),
+            other => Err(unexpected("null", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Null => Ok(None),
+            v => de_one(v).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|v| de_one(v).map_err(D::Error::custom))
+                .collect(),
+            other => Err(unexpected("sequence", &other)),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:literal; $($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(
+                deserializer: __D,
+            ) -> Result<Self, __D::Error> {
+                match deserializer.into_value()? {
+                    Value::Seq(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok((
+                            $(
+                                de_one::<$name>(it.next().unwrap())
+                                    .map_err(__D::Error::custom)?,
+                            )+
+                        ))
+                    }
+                    other => Err(unexpected(
+                        concat!("sequence of length ", $len),
+                        &other,
+                    )),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_tuple! {
+    (1; T0)
+    (2; T0, T1)
+    (3; T0, T1, T2)
+    (4; T0, T1, T2, T3)
+}
+
+/// Recovers a map key that was rendered as a string.
+///
+/// Tries the key as a string first, then as an integer, mirroring how
+/// [`crate::ser::key_to_string`] flattened it.
+fn key_from_string<'de, K: Deserialize<'de>>(key: &str) -> Result<K, ValueError> {
+    if let Ok(k) = de_one::<K>(Value::Str(key.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(n) = key.parse::<u64>() {
+        if let Ok(k) = de_one::<K>(Value::UInt(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = key.parse::<i64>() {
+        if let Ok(k) = de_one::<K>(Value::Int(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(b) = key.parse::<bool>() {
+        if let Ok(k) = de_one::<K>(Value::Bool(b)) {
+            return Ok(k);
+        }
+    }
+    Err(ValueError(format!(
+        "cannot reconstruct map key from `{key}`"
+    )))
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    Ok((
+                        key_from_string(&k).map_err(D::Error::custom)?,
+                        de_one(v).map_err(D::Error::custom)?,
+                    ))
+                })
+                .collect(),
+            other => Err(unexpected("map", &other)),
+        }
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Eq + std::hash::Hash, V: Deserialize<'de>> Deserialize<'de>
+    for HashMap<K, V>
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.into_value()? {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    Ok((
+                        key_from_string(&k).map_err(D::Error::custom)?,
+                        de_one(v).map_err(D::Error::custom)?,
+                    ))
+                })
+                .collect(),
+            other => Err(unexpected("map", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.into_value()?;
+        let (secs, nanos) = match (&v, v.get("secs"), v.get("nanos")) {
+            (_, Some(Value::UInt(s)), Some(Value::UInt(n))) => (*s, *n),
+            (Value::UInt(s), _, _) => (*s, 0),
+            _ => return Err(unexpected("duration map {secs, nanos}", &v)),
+        };
+        let nanos =
+            u32::try_from(nanos).map_err(|_| D::Error::custom("duration nanos out of range"))?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.into_value()
+    }
+}

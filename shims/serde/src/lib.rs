@@ -1,0 +1,23 @@
+//! Offline shim of the `serde` crate.
+//!
+//! The build container has no access to a crates registry, so the
+//! workspace vendors a minimal, API-compatible subset of serde: enough
+//! for `#[derive(Serialize, Deserialize)]` (including the
+//! `#[serde(transparent)]`, `#[serde(default)]` and
+//! `#[serde(with = "module")]` attributes used in this repository),
+//! custom `with`-style modules written against generic
+//! `Serializer`/`Deserializer` bounds, and JSON round-trips through the
+//! sibling `serde_json` shim.
+//!
+//! Unlike real serde, the data model is a concrete self-describing
+//! [`export::Value`] tree rather than a visitor protocol. Serializers
+//! and deserializers exchange `Value`s; this is dramatically simpler
+//! and fully sufficient for JSON.
+
+pub mod de;
+pub mod export;
+pub mod ser;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,87 @@
+//! Smoke test covering the facade crate's public API path end-to-end:
+//! the exact flow of `examples/quickstart.rs` (architecture → process
+//! graph → future profile → `System::add_application` with the mapping
+//! heuristic), asserting the system is schedulable and the committed
+//! schedule table is non-empty and consistent.
+
+use incdes::prelude::*;
+
+fn quickstart_app() -> Application {
+    let mut g = ProcessGraph::new("sense-chain", Time::new(120), Time::new(120));
+    let sense = g.add_process(
+        Process::new("sense")
+            .wcet(PeId(0), Time::new(8))
+            .wcet(PeId(1), Time::new(12)),
+    );
+    let filter = g.add_process(
+        Process::new("filter")
+            .wcet(PeId(0), Time::new(14))
+            .wcet(PeId(1), Time::new(10)),
+    );
+    let act = g.add_process(Process::new("act").wcet(PeId(1), Time::new(6)));
+    g.add_message(sense, filter, Message::new("raw", 6))
+        .unwrap();
+    g.add_message(filter, act, Message::new("cmd", 2)).unwrap();
+    Application::new("v1", vec![g])
+}
+
+#[test]
+fn quickstart_flow_produces_nonempty_schedule() {
+    let arch = Architecture::builder()
+        .pe("N1")
+        .pe("N2")
+        .bus(BusConfig::uniform_round(2, Time::new(10), 1).unwrap())
+        .build()
+        .unwrap();
+
+    let mut system = System::new(arch);
+    let report = system
+        .add_application(
+            quickstart_app(),
+            &FutureProfile::slide_example(),
+            &Weights::default(),
+            &Strategy::mh(),
+        )
+        .expect("quickstart system must be schedulable");
+
+    // The committed table covers all three processes of the chain.
+    assert_eq!(report.horizon, Time::new(120));
+    assert_eq!(system.app_count(), 1);
+    let table = system.table();
+    assert_eq!(table.jobs().len(), 3, "one job per process");
+    assert!(table.is_deadline_clean());
+
+    // Both renderings the example prints stay well-formed.
+    let text = table.render_text(system.arch(), 60);
+    assert!(text.contains("bus"), "render includes the bus row: {text}");
+    let rendered_report = incdes::sched::ScheduleReport::new(system.arch(), table).to_string();
+    assert!(rendered_report.contains("busy"));
+
+    // Slack accounting covers every PE of the architecture.
+    let slack = system.slack();
+    for pe in system.arch().pe_ids() {
+        assert!(slack.total_slack_of(pe) <= system.horizon());
+    }
+}
+
+#[test]
+fn quickstart_flow_all_strategies_agree_on_feasibility() {
+    for strategy in [Strategy::AdHoc, Strategy::mh()] {
+        let arch = Architecture::builder()
+            .pe("N1")
+            .pe("N2")
+            .bus(BusConfig::uniform_round(2, Time::new(10), 1).unwrap())
+            .build()
+            .unwrap();
+        let mut system = System::new(arch);
+        let report = system
+            .add_application(
+                quickstart_app(),
+                &FutureProfile::slide_example(),
+                &Weights::default(),
+                &strategy,
+            )
+            .expect("schedulable under every strategy");
+        assert!(report.cost.total.is_finite());
+    }
+}
