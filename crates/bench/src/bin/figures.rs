@@ -1,15 +1,19 @@
 //! Regenerates the figures of Pop et al., DAC 2001.
 //!
 //! ```text
-//! figures [f1|f2|f3|t1|ablate-fit|ablate-mh|all] [--small]
+//! figures [f1|f2|f3|t1|ablate-fit|ablate-mh|campaign|all] [--small]
 //! ```
 //!
 //! `--small` switches to the scaled-down preset (seconds instead of
-//! minutes). Output is plain text tables; `EXPERIMENTS.md` records the
-//! paper-vs-measured comparison.
+//! minutes). Output is plain text tables; `campaign` runs the small
+//! demo scenario campaign from `incdes_explore` and prints its JSON
+//! report. The figure sweeps themselves are campaign-driven too (see
+//! `incdes_bench::quality_campaign_spec`), so they fan out over worker
+//! threads with deterministic results.
 
 use incdes_bench::{
-    run_fit_ablation, run_future, run_mh_ablation, run_quality, scaled_future, QualityRow,
+    run_fit_ablation, run_future, run_mh_ablation, run_quality, run_runtime, scaled_future,
+    QualityRow,
 };
 use incdes_mapping::{MhConfig, SaConfig};
 use incdes_synth::paper::{dac2001, dac2001_small, PaperPreset};
@@ -23,6 +27,11 @@ fn main() {
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "all".to_string());
+
+    if what == "campaign" {
+        campaign();
+        return;
+    }
 
     let preset = if small { dac2001_small() } else { dac2001() };
     let (mh_cfg, sa_cfg) = configs(small);
@@ -48,20 +57,33 @@ fn main() {
         "ablate-fit" => ablate_fit(&preset),
         "ablate-mh" => ablate_mh(&preset),
         "all" => {
-            let rows = run_quality(&preset, &mh_cfg, &sa_cfg);
-            print_fig1(&rows);
-            print_fig2(&rows);
+            print_fig1(&run_quality(&preset, &mh_cfg, &sa_cfg));
+            fig2(&preset, &mh_cfg, &sa_cfg);
             fig3(&preset, &mh_cfg);
             table1(&preset);
             ablate_fit(&preset);
             ablate_mh(&preset);
         }
         other => {
-            eprintln!("unknown figure '{other}' (expected f1|f2|f3|t1|ablate-fit|ablate-mh|all)");
+            eprintln!(
+                "unknown figure '{other}' \
+                 (expected f1|f2|f3|t1|ablate-fit|ablate-mh|campaign|all)"
+            );
             std::process::exit(2);
         }
     }
     println!("\n# total wall-clock: {:.1?}", t0.elapsed());
+}
+
+/// Runs the small demo scenario campaign and prints its JSON report
+/// (the same campaign `tests/scenario_campaign.rs` pins down).
+fn campaign() {
+    let spec = incdes_explore::CampaignSpec::small_demo();
+    let run = incdes_explore::run_campaign(&spec, 4).expect("demo campaign spec is valid");
+    println!(
+        "{}",
+        run.report().to_json_pretty().expect("report serializes")
+    );
 }
 
 fn configs(small: bool) -> (MhConfig, SaConfig) {
@@ -89,7 +111,8 @@ fn fig1(preset: &PaperPreset, mh: &MhConfig, sa: &SaConfig) {
 }
 
 fn fig2(preset: &PaperPreset, mh: &MhConfig, sa: &SaConfig) {
-    print_fig2(&run_quality(preset, mh, sa));
+    // Single-threaded: figure 2 is about wall-clock per strategy.
+    print_fig2(&run_runtime(preset, mh, sa));
 }
 
 fn print_fig1(rows: &[QualityRow]) {

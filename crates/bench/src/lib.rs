@@ -17,14 +17,24 @@
 //! The drivers are deterministic given the preset's seeds; the `figures`
 //! binary prints the rows, and the criterion benches wrap the same
 //! functions at reduced scale.
+//!
+//! Since the `incdes_explore` campaign subsystem landed, [`run_quality`]
+//! and [`run_future`] are thin aggregations over a
+//! [`incdes_explore::CampaignSpec`]: the preset's axes become the
+//! campaign grid, the existing applications become `Add` script steps,
+//! and the scenarios fan out over worker threads (deterministically —
+//! the rows do not depend on the worker count).
 
 #![forbid(unsafe_code)]
 
 use incdes_core::System;
-use incdes_mapping::{run_strategy, MapError, MappingContext, MhConfig, SaConfig, Strategy};
+use incdes_explore::{
+    run_campaign, BaseSpec, CampaignSpec, Count, ScenarioOutcome, ScriptStep, StepAction,
+};
+use incdes_mapping::{run_strategy, MappingContext, MhConfig, SaConfig, Strategy};
 use incdes_metrics::{FitPolicy, Weights};
 use incdes_model::time::hyperperiod;
-use incdes_model::{AppId, Application, Architecture, FutureProfile, Time};
+use incdes_model::{AppId, Application, FutureProfile, Time};
 use incdes_sched::ScheduleTable;
 use incdes_synth::paper::PaperPreset;
 use incdes_synth::{future_profile_for, generate_application, generate_architecture};
@@ -103,7 +113,7 @@ pub fn build_base_system(preset: &PaperPreset, seed: u64) -> BaseSystem {
     let mut remaining = preset.existing_processes;
     let mut i = 0usize;
     while remaining > 0 {
-        let n = preset.existing_app_size.min(remaining);
+        let n = preset.existing_app_size.clamp(1, remaining);
         let app = generate_application(&preset.cfg, &format!("existing{i}"), n, &mut rng)
             .expect("preset generates valid applications");
         system
@@ -161,39 +171,99 @@ fn frozen_for(base: &BaseSystem, app: &Application) -> (ScheduleTable, Time) {
     (frozen, horizon)
 }
 
-/// Strategy costs/timings of one instance.
-struct InstanceResult {
-    ah: (f64, Duration),
-    mh: (f64, Duration),
-    sa: (f64, Duration),
+/// Worker threads for campaign fan-out (capped so laptop runs stay
+/// polite). Cost rows never depend on this; wall-clock columns do
+/// (CPU contention), which is why [`run_runtime`] pins one worker.
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
-fn run_instance(
-    base: &BaseSystem,
-    arch: &Architecture,
-    app: &Application,
+/// `Add` steps committing the preset's existing applications with AH
+/// (fast, and identical across the strategy axis).
+fn existing_script(preset: &PaperPreset) -> Vec<ScriptStep> {
+    let mut steps = Vec::new();
+    let mut remaining = preset.existing_processes;
+    while remaining > 0 {
+        // clamp(1, ..) keeps a degenerate existing_app_size of 0 from
+        // chunking forever.
+        let n = preset.existing_app_size.clamp(1, remaining);
+        steps.push(ScriptStep::Add {
+            processes: Count::Fixed(n),
+            strategy: Some(Strategy::AdHoc),
+            future: false,
+        });
+        remaining -= n;
+    }
+    steps
+}
+
+/// The figure-1/2 sweep as a campaign: existing apps, then the current
+/// application at every size, for AH/MH/SA at every seed.
+pub fn quality_campaign_spec(
+    preset: &PaperPreset,
     mh_cfg: &MhConfig,
     sa_cfg: &SaConfig,
-) -> Result<InstanceResult, MapError> {
-    let (frozen, horizon) = frozen_for(base, app);
-    let id = AppId(base.system.app_count() as u32);
-    let ctx = MappingContext::new(
-        arch,
-        id,
-        app,
-        Some(&frozen),
-        horizon,
-        &base.future,
-        &base.weights,
-    );
-    let ah = run_strategy(&ctx, &Strategy::AdHoc)?;
-    let mh = run_strategy(&ctx, &Strategy::MappingHeuristic(*mh_cfg))?;
-    let sa = run_strategy(&ctx, &Strategy::SimulatedAnnealing(*sa_cfg))?;
-    Ok(InstanceResult {
-        ah: (ah.evaluation.cost.total, ah.stats.elapsed),
-        mh: (mh.evaluation.cost.total, mh.stats.elapsed),
-        sa: (sa.evaluation.cost.total, sa.stats.elapsed),
-    })
+) -> CampaignSpec {
+    let mut script = existing_script(preset);
+    script.push(ScriptStep::Add {
+        processes: Count::Size,
+        strategy: None,
+        future: false,
+    });
+    CampaignSpec {
+        name: "figures-quality".to_string(),
+        base: BaseSpec::Config(preset.cfg.clone()),
+        future_processes: preset.future_processes,
+        demand_factor: DEMAND_FACTOR,
+        sizes: preset.current_sizes.clone(),
+        strategies: vec![
+            Strategy::AdHoc,
+            Strategy::MappingHeuristic(*mh_cfg),
+            Strategy::SimulatedAnnealing(*sa_cfg),
+        ],
+        seeds: preset.seeds.clone(),
+        weight_settings: Vec::new(),
+        script,
+        check_invariants: false,
+    }
+}
+
+/// The figure-3 sweep as a campaign: like
+/// [`quality_campaign_spec`] (AH and MH only), followed by
+/// `futures_per_seed` probes of future-family applications.
+pub fn future_campaign_spec(
+    preset: &PaperPreset,
+    mh_cfg: &MhConfig,
+    futures_per_seed: u64,
+) -> CampaignSpec {
+    let mut spec = quality_campaign_spec(preset, mh_cfg, &SaConfig::default());
+    spec.name = "figures-future".to_string();
+    spec.strategies = vec![Strategy::AdHoc, Strategy::MappingHeuristic(*mh_cfg)];
+    for _ in 0..futures_per_seed {
+        spec.script.push(ScriptStep::Probe {
+            processes: Count::Fixed(preset.future_processes),
+            strategy: Some(Strategy::AdHoc),
+            future: true,
+        });
+    }
+    spec
+}
+
+/// The cost and wall-clock time of the scenario's current-application
+/// commit (the `Count::Size` step), provided the whole build-up was
+/// feasible.
+fn current_commit(outcome: &ScenarioOutcome, current_step: usize) -> Option<(f64, Duration)> {
+    let committed = outcome.steps[..=current_step]
+        .iter()
+        .all(|s| s.feasible && matches!(s.action, StepAction::Add));
+    if !committed {
+        return None;
+    }
+    let step = &outcome.steps[current_step];
+    step.cost.map(|c| (c.total, step.elapsed))
 }
 
 /// Percentage deviation of `cost` from the reference `sa`.
@@ -205,7 +275,33 @@ pub fn deviation_percent(cost: f64, sa: f64) -> f64 {
 }
 
 /// Figures 1 and 2: quality and runtime of AH/MH/SA per current size.
+///
+/// Runs the [`quality_campaign_spec`] campaign over worker threads and
+/// aggregates: scenarios sharing a `(size, seed)` grid point were
+/// generated from the same RNG stream, so the three strategies mapped
+/// the *same* instance and their costs are directly comparable.
 pub fn run_quality(preset: &PaperPreset, mh_cfg: &MhConfig, sa_cfg: &SaConfig) -> Vec<QualityRow> {
+    run_quality_workers(preset, mh_cfg, sa_cfg, default_workers())
+}
+
+/// [`run_quality`] with an explicit worker count. The cost columns are
+/// identical at every worker count (campaign determinism); the
+/// wall-clock columns are only contention-free at `workers == 1`.
+pub fn run_quality_workers(
+    preset: &PaperPreset,
+    mh_cfg: &MhConfig,
+    sa_cfg: &SaConfig,
+    workers: usize,
+) -> Vec<QualityRow> {
+    let spec = quality_campaign_spec(preset, mh_cfg, sa_cfg);
+    let run = run_campaign(&spec, workers).expect("quality campaign spec is valid");
+    let current_step = spec.script.len() - 1;
+    let find = |size: usize, seed: u64, name: &str| {
+        run.outcomes
+            .iter()
+            .find(|o| o.key.size == size && o.key.seed == seed && o.key.strategy.name() == name)
+            .and_then(|o| current_commit(o, current_step))
+    };
     let mut rows = Vec::new();
     for &size in &preset.current_sizes {
         let mut dev_ah = 0.0;
@@ -214,24 +310,22 @@ pub fn run_quality(preset: &PaperPreset, mh_cfg: &MhConfig, sa_cfg: &SaConfig) -
         let mut times = [Duration::ZERO; 3];
         let mut n = 0usize;
         for &seed in &preset.seeds {
-            let base = build_base_system(preset, seed);
-            let arch = base.system.arch().clone();
-            let app = current_application(preset, size, seed);
-            let r = match run_instance(&base, &arch, &app, mh_cfg, sa_cfg) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("# skipped size={size} seed={seed}: {e}");
-                    continue;
-                }
+            let (Some(ah), Some(mh), Some(sa)) = (
+                find(size, seed, "AH"),
+                find(size, seed, "MH"),
+                find(size, seed, "SA"),
+            ) else {
+                eprintln!("# skipped size={size} seed={seed}: infeasible for some strategy");
+                continue;
             };
-            dev_ah += deviation_percent(r.ah.0, r.sa.0);
-            dev_mh += deviation_percent(r.mh.0, r.sa.0);
-            sums[0] += r.ah.0;
-            sums[1] += r.mh.0;
-            sums[2] += r.sa.0;
-            times[0] += r.ah.1;
-            times[1] += r.mh.1;
-            times[2] += r.sa.1;
+            dev_ah += deviation_percent(ah.0, sa.0);
+            dev_mh += deviation_percent(mh.0, sa.0);
+            sums[0] += ah.0;
+            sums[1] += mh.0;
+            sums[2] += sa.0;
+            times[0] += ah.1;
+            times[1] += mh.1;
+            times[2] += sa.1;
             n += 1;
         }
         let n_f = n.max(1) as f64;
@@ -251,49 +345,49 @@ pub fn run_quality(preset: &PaperPreset, mh_cfg: &MhConfig, sa_cfg: &SaConfig) -
     rows
 }
 
-/// Figure 2 is the runtime view of the figure-1 instances.
+/// Figure 2 is the runtime view of the figure-1 instances, measured
+/// single-threaded: the per-strategy wall-clock columns are the point
+/// of the figure, so no other scenario may compete for the CPU while
+/// they are taken. Cost columns match [`run_quality`] exactly.
 pub fn run_runtime(preset: &PaperPreset, mh_cfg: &MhConfig, sa_cfg: &SaConfig) -> Vec<QualityRow> {
-    run_quality(preset, mh_cfg, sa_cfg)
+    run_quality_workers(preset, mh_cfg, sa_cfg, 1)
 }
 
 /// Figure 3: future-application mappability after AH vs MH commits.
 ///
-/// `futures_per_seed` future applications are probed per instance.
+/// `futures_per_seed` future applications are probed per instance, via
+/// the [`future_campaign_spec`] campaign. The AH and MH scenarios of a
+/// `(size, seed)` grid point share one RNG stream, so they probe the
+/// *same* future applications; a scenario whose current application did
+/// not fit counts all its probes as unmapped (as in the paper).
 pub fn run_future(
     preset: &PaperPreset,
     mh_cfg: &MhConfig,
     futures_per_seed: u64,
 ) -> Vec<FutureRow> {
+    let spec = future_campaign_spec(preset, mh_cfg, futures_per_seed);
+    let run = run_campaign(&spec, default_workers()).expect("future campaign spec is valid");
+    let current_step = spec.script.len() - 1 - futures_per_seed as usize;
     let mut rows = Vec::new();
     for &size in &preset.current_sizes {
         let mut mapped = [0usize; 2];
         let mut probes = 0usize;
         for &seed in &preset.seeds {
-            let app = current_application(preset, size, seed);
-            for (si, strategy) in [Strategy::AdHoc, Strategy::MappingHeuristic(*mh_cfg)]
-                .iter()
-                .enumerate()
-            {
-                let mut base = build_base_system(preset, seed);
-                if base
-                    .system
-                    .add_application(app.clone(), &base.future, &base.weights, strategy)
-                    .is_err()
-                {
+            probes += futures_per_seed as usize;
+            for (si, name) in ["AH", "MH"].iter().enumerate() {
+                let Some(outcome) = run.outcomes.iter().find(|o| {
+                    o.key.size == size && o.key.seed == seed && o.key.strategy.name() == *name
+                }) else {
+                    continue;
+                };
+                if current_commit(outcome, current_step).is_none() {
                     continue; // current app itself infeasible: counts as 0 mapped
                 }
-                for fi in 0..futures_per_seed {
-                    let fut = future_application(preset, seed, fi);
-                    let probe = base
-                        .system
-                        .probe_application(&fut, &base.future, &base.weights, &Strategy::AdHoc)
-                        .expect("probe inputs are valid");
-                    if probe.feasible {
-                        mapped[si] += 1;
-                    }
-                }
+                mapped[si] += outcome.steps[current_step + 1..]
+                    .iter()
+                    .filter(|s| matches!(s.action, StepAction::Probe) && s.feasible)
+                    .count();
             }
-            probes += futures_per_seed as usize;
         }
         rows.push(FutureRow {
             size,

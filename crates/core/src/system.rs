@@ -144,8 +144,12 @@ impl System {
 
     /// Decommissions an application: its jobs and messages disappear from
     /// the schedule, freeing slack for later increments. Other
-    /// applications keep their exact start times (removal never moves
-    /// anything). The [`AppId`] is not reused.
+    /// applications keep their exact job start times; their messages stay
+    /// in the same bus slot occurrence but compact to the front of the
+    /// frame (TTP frames are reassembled every cycle, so removal can only
+    /// move a message *earlier* — see
+    /// [`incdes_sched::ScheduleTable::without_apps`]). The [`AppId`] is
+    /// not reused.
     ///
     /// # Errors
     ///
@@ -291,23 +295,10 @@ impl System {
     }
 
     /// Rebuilds the schedule table with the given applications' jobs and
-    /// messages removed (used by the modification policy).
+    /// messages removed (used by decommission and the modification
+    /// policy). Remaining bus frames compact to the front of their slot.
     pub(crate) fn table_without(&self, exclude: &[AppId]) -> ScheduleTable {
-        let jobs = self
-            .table
-            .jobs()
-            .iter()
-            .filter(|j| !exclude.contains(&j.job.app))
-            .copied()
-            .collect();
-        let messages = self
-            .table
-            .messages()
-            .iter()
-            .filter(|m| !exclude.contains(&m.app))
-            .copied()
-            .collect();
-        ScheduleTable::new(self.table.horizon(), jobs, messages)
+        self.table.without_apps(&self.arch, exclude)
     }
 
     /// Replaces the stored table (modification policy internals).
@@ -581,6 +572,41 @@ mod decommission_tests {
             sys.decommission(AppId(7)),
             Err(CoreError::UnknownApp(AppId(7)))
         );
+    }
+
+    /// Two-process application with a forced cross-PE message (each
+    /// process is only allowed on one PE).
+    fn two_proc_msg(name: &str, wcet: u64) -> Application {
+        let mut g = ProcessGraph::new(format!("{name}.g"), Time::new(120), Time::new(120));
+        let a = g.add_process(Process::new(format!("{name}.a")).wcet(PeId(0), Time::new(wcet)));
+        let b = g.add_process(Process::new(format!("{name}.b")).wcet(PeId(1), Time::new(wcet)));
+        g.add_message(a, b, Message::new(format!("{name}.m"), 4))
+            .unwrap();
+        Application::new(name, vec![g])
+    }
+
+    /// Regression: committing after a decommission used to break on bus
+    /// frames with holes (the removed app's messages left gaps that the
+    /// contiguous frame replay could not represent). Frames now compact
+    /// on removal, so the freed bus time is reusable.
+    #[test]
+    fn add_after_decommission_with_messages() {
+        let mut sys = System::new(arch2());
+        let f = FutureProfile::slide_example();
+        let w = Weights::default();
+        for i in 0..3 {
+            sys.add_application(two_proc_msg(&format!("v{i}"), 10), &f, &w, &Strategy::AdHoc)
+                .unwrap();
+        }
+        sys.decommission(AppId(1)).unwrap();
+        // The next commit maps and schedules over the compacted table.
+        sys.add_application(two_proc_msg("v3", 10), &f, &w, &Strategy::mh())
+            .unwrap();
+        let pairs: Vec<_> = sys
+            .active()
+            .map(|c| (c.id, &c.app, &c.solution.mapping))
+            .collect();
+        sys.table().validate(sys.arch(), &pairs).unwrap();
     }
 
     #[test]

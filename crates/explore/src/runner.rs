@@ -1,0 +1,510 @@
+//! The deterministic, multi-threaded campaign runner.
+//!
+//! Scenarios are independent: each one builds its own session from the
+//! spec's generator configuration and walks the lifecycle script with a
+//! private `ChaCha8` RNG seeded from the scenario's seed — never from
+//! anything shared. Workers pull scenario indices from an atomic
+//! counter, so the *schedule* of work varies with the worker count but
+//! the *result* of every scenario does not; outcomes are re-ordered by
+//! scenario index before reporting. That is the determinism guarantee:
+//! `run_campaign(spec, 1)` and `run_campaign(spec, n)` produce
+//! byte-identical reports.
+
+use crate::report::{CampaignReport, CampaignTotals, ScenarioReport, ScheduleReport, StepReport};
+use crate::spec::{CampaignSpec, Count, ScenarioKey, ScriptStep, SpecError};
+use incdes_core::{CoreError, System};
+use incdes_mapping::{MapError, SaConfig, Strategy};
+use incdes_metrics::DesignCost;
+use incdes_model::{AppId, Architecture, FutureProfile, Time};
+use incdes_synth::{
+    future_profile_for, future_wcet_range, generate_application, generate_architecture, SynthConfig,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What a script step did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepAction {
+    /// An `add_application` commit attempt.
+    Add,
+    /// A `probe_application` feasibility check.
+    Probe,
+    /// A `decommission` of a committed application.
+    Decommission,
+}
+
+impl StepAction {
+    /// The report spelling of the action.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StepAction::Add => "add",
+            StepAction::Probe => "probe",
+            StepAction::Decommission => "decommission",
+        }
+    }
+}
+
+/// In-memory result of one script step (the serializable subset lives
+/// in [`StepReport`]; wall-clock timing stays here).
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// Step index in the script.
+    pub step: usize,
+    /// What the step did.
+    pub action: StepAction,
+    /// Whether it succeeded.
+    pub feasible: bool,
+    /// Id assigned by a successful add.
+    pub app_id: Option<u32>,
+    /// Objective value of the chosen design alternative (add/probe).
+    pub cost: Option<DesignCost>,
+    /// Schedule evaluations the strategy spent.
+    pub evaluations: usize,
+    /// Strategy iterations.
+    pub iterations: usize,
+    /// System horizon in ticks after the step.
+    pub horizon: u64,
+    /// Error message for failed steps; plain infeasibility carries none.
+    pub error: Option<String>,
+    /// Wall-clock time of the step (not serialized — nondeterministic).
+    pub elapsed: Duration,
+}
+
+/// In-memory result of one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The grid point this scenario ran.
+    pub key: ScenarioKey,
+    /// Step results in script order.
+    pub steps: Vec<StepOutcome>,
+    /// Snapshot of the final schedule.
+    pub schedule: ScheduleReport,
+    /// Scheduling-invariant violations found after mutating steps.
+    pub invariant_violations: Vec<String>,
+    /// Wall-clock time of the whole scenario.
+    pub elapsed: Duration,
+}
+
+/// A completed campaign: every scenario's outcome, in spec order.
+#[derive(Debug)]
+pub struct CampaignRun {
+    /// Campaign name from the spec.
+    pub name: String,
+    /// Scenario outcomes, sorted by scenario index.
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+impl CampaignRun {
+    /// Builds the deterministic, serializable report of this run.
+    pub fn report(&self) -> CampaignReport {
+        let scenarios: Vec<ScenarioReport> = self
+            .outcomes
+            .iter()
+            .map(|o| ScenarioReport {
+                index: o.key.index,
+                size: o.key.size,
+                strategy: o.key.strategy.name().to_string(),
+                seed: o.key.seed,
+                weights: o.key.weights.label.clone(),
+                steps: o
+                    .steps
+                    .iter()
+                    .map(|s| StepReport {
+                        step: s.step,
+                        action: s.action.as_str().to_string(),
+                        feasible: s.feasible,
+                        app_id: s.app_id,
+                        cost: s.cost.map(Into::into),
+                        evaluations: s.evaluations,
+                        iterations: s.iterations,
+                        horizon: s.horizon,
+                        error: s.error.clone(),
+                    })
+                    .collect(),
+                schedule: o.schedule.clone(),
+                invariant_violations: o.invariant_violations.clone(),
+            })
+            .collect();
+        let totals = CampaignTotals {
+            scenarios: scenarios.len(),
+            steps: scenarios.iter().map(|s| s.steps.len()).sum(),
+            feasible_steps: scenarios
+                .iter()
+                .flat_map(|s| &s.steps)
+                .filter(|s| s.feasible)
+                .count(),
+            evaluations: scenarios
+                .iter()
+                .flat_map(|s| &s.steps)
+                .map(|s| s.evaluations)
+                .sum(),
+            invariant_violations: scenarios.iter().map(|s| s.invariant_violations.len()).sum(),
+        };
+        CampaignReport {
+            campaign: self.name.clone(),
+            scenarios,
+            totals,
+        }
+    }
+}
+
+/// Runs every scenario of `spec` over `workers` OS threads and returns
+/// the outcomes in deterministic (spec) order.
+///
+/// The worker count only changes wall-clock time, never the result —
+/// see the module docs for why.
+///
+/// # Errors
+///
+/// [`SpecError`] when the spec itself is invalid; failures *inside* a
+/// scenario (infeasible commits, bad decommission indices) are recorded
+/// in its outcome instead.
+///
+/// # Panics
+///
+/// Propagates panics from scenario execution (a bug in the libraries
+/// under test, which is exactly what campaign regression suites exist
+/// to catch).
+pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> Result<CampaignRun, SpecError> {
+    spec.validate()?;
+    let cfg = spec.resolve_config()?;
+    let arch = generate_architecture(&cfg)?;
+    let future_cfg = SynthConfig {
+        wcet: future_wcet_range(&cfg),
+        ..cfg.clone()
+    };
+    let mut future = future_profile_for(&cfg, spec.future_processes);
+    future.t_need = Time::new((future.t_need.as_f64() * spec.demand_factor).round() as u64);
+    future.b_need = Time::new((future.b_need.as_f64() * spec.demand_factor).round() as u64);
+
+    let keys = spec.scenarios();
+    let scenario_count = keys.len();
+    let workers = workers.clamp(1, scenario_count.max(1));
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<ScenarioOutcome>> = Mutex::new(Vec::with_capacity(scenario_count));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= scenario_count {
+                    break;
+                }
+                let outcome = run_scenario(spec, &cfg, &future_cfg, &arch, &future, &keys[i]);
+                collected
+                    .lock()
+                    .expect("no poisoned scenario lock")
+                    .push(outcome);
+            });
+        }
+    });
+    let mut outcomes = collected.into_inner().expect("no poisoned scenario lock");
+    outcomes.sort_by_key(|o| o.key.index);
+    Ok(CampaignRun {
+        name: spec.name.clone(),
+        outcomes,
+    })
+}
+
+/// The scenario's strategy with SA reseeded from the scenario seed, so
+/// the seed axis drives the annealer too (and stays deterministic).
+fn effective_strategy(base: &Strategy, scenario_seed: u64) -> Strategy {
+    match base {
+        Strategy::SimulatedAnnealing(cfg) => Strategy::SimulatedAnnealing(SaConfig {
+            seed: cfg.seed ^ scenario_seed.rotate_left(17),
+            ..*cfg
+        }),
+        other => *other,
+    }
+}
+
+fn resolve_count(count: Count, size: usize) -> usize {
+    match count {
+        Count::Fixed(n) => n,
+        Count::Size => size,
+    }
+}
+
+/// The shared front half of `Add` and `Probe` steps: draws the step's
+/// application from the scenario RNG (current or future configuration)
+/// and resolves the effective strategy. Both step kinds **must** go
+/// through this one path — it defines how the deterministic generation
+/// stream advances.
+#[allow(clippy::too_many_arguments)]
+fn generate_step_app(
+    cfg: &SynthConfig,
+    future_cfg: &SynthConfig,
+    key: &ScenarioKey,
+    index: usize,
+    processes: Count,
+    strategy_override: &Option<Strategy>,
+    from_future: bool,
+    rng: &mut ChaCha8Rng,
+) -> Result<(incdes_model::Application, Strategy), String> {
+    let n = resolve_count(processes, key.size);
+    let gen_cfg = if from_future { future_cfg } else { cfg };
+    let app =
+        generate_application(gen_cfg, &format!("s{index}"), n, rng).map_err(|e| e.to_string())?;
+    let strategy = effective_strategy(
+        strategy_override.as_ref().unwrap_or(&key.strategy),
+        key.seed,
+    );
+    Ok((app, strategy))
+}
+
+/// Validates every scheduling invariant of the current schedule against
+/// the still-active applications.
+fn invariant_violation(system: &System) -> Option<String> {
+    let pairs: Vec<_> = system
+        .active()
+        .map(|c| (c.id, &c.app, &c.solution.mapping))
+        .collect();
+    system
+        .table()
+        .validate(system.arch(), &pairs)
+        .err()
+        .map(|e| e.to_string())
+}
+
+fn run_scenario(
+    spec: &CampaignSpec,
+    cfg: &SynthConfig,
+    future_cfg: &SynthConfig,
+    arch: &Architecture,
+    future: &FutureProfile,
+    key: &ScenarioKey,
+) -> ScenarioOutcome {
+    let scenario_start = Instant::now();
+    let mut rng = ChaCha8Rng::seed_from_u64(key.seed);
+    let mut system = System::new(arch.clone());
+    let weights = key.weights.weights;
+    let mut steps = Vec::with_capacity(spec.script.len());
+    let mut invariant_violations = Vec::new();
+
+    for (index, step) in spec.script.iter().enumerate() {
+        let step_start = Instant::now();
+        let mut outcome = StepOutcome {
+            step: index,
+            action: StepAction::Add,
+            feasible: false,
+            app_id: None,
+            cost: None,
+            evaluations: 0,
+            iterations: 0,
+            horizon: 0,
+            error: None,
+            elapsed: Duration::ZERO,
+        };
+        let mutating = match step {
+            ScriptStep::Add {
+                processes,
+                strategy,
+                future: from_future,
+            } => {
+                outcome.action = StepAction::Add;
+                match generate_step_app(
+                    cfg,
+                    future_cfg,
+                    key,
+                    index,
+                    *processes,
+                    strategy,
+                    *from_future,
+                    &mut rng,
+                ) {
+                    Err(e) => outcome.error = Some(e),
+                    Ok((app, strategy)) => {
+                        match system.add_application(app, future, &weights, &strategy) {
+                            Ok(report) => {
+                                outcome.feasible = true;
+                                outcome.app_id = Some(report.app_id.0);
+                                outcome.cost = Some(report.cost);
+                                outcome.evaluations = report.stats.evaluations;
+                                outcome.iterations = report.stats.iterations;
+                            }
+                            Err(CoreError::Mapping(MapError::Infeasible { .. })) => {}
+                            Err(e) => outcome.error = Some(e.to_string()),
+                        }
+                    }
+                }
+                true
+            }
+            ScriptStep::Probe {
+                processes,
+                strategy,
+                future: from_future,
+            } => {
+                outcome.action = StepAction::Probe;
+                match generate_step_app(
+                    cfg,
+                    future_cfg,
+                    key,
+                    index,
+                    *processes,
+                    strategy,
+                    *from_future,
+                    &mut rng,
+                ) {
+                    Err(e) => outcome.error = Some(e),
+                    Ok((app, strategy)) => {
+                        match system.probe_application(&app, future, &weights, &strategy) {
+                            Ok(probe) => {
+                                outcome.feasible = probe.feasible;
+                                outcome.cost = probe.cost;
+                                if let Some(stats) = probe.stats {
+                                    outcome.evaluations = stats.evaluations;
+                                    outcome.iterations = stats.iterations;
+                                }
+                            }
+                            Err(e) => outcome.error = Some(e.to_string()),
+                        }
+                    }
+                }
+                false
+            }
+            ScriptStep::Decommission { app } => {
+                outcome.action = StepAction::Decommission;
+                match system.decommission(AppId(*app)) {
+                    Ok(()) => outcome.feasible = true,
+                    Err(e) => outcome.error = Some(e.to_string()),
+                }
+                true
+            }
+        };
+        outcome.horizon = system.horizon().ticks();
+        outcome.elapsed = step_start.elapsed();
+        steps.push(outcome);
+        if spec.check_invariants && mutating {
+            if let Some(violation) = invariant_violation(&system) {
+                invariant_violations.push(format!("step {index}: {violation}"));
+            }
+        }
+    }
+
+    ScenarioOutcome {
+        key: key.clone(),
+        steps,
+        schedule: ScheduleReport::capture(&system),
+        invariant_violations,
+        elapsed: scenario_start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{BaseSpec, WeightSetting};
+    use incdes_metrics::Weights;
+
+    fn tiny_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::small_demo();
+        spec.sizes = vec![5];
+        spec.seeds = vec![3];
+        spec.strategies = vec![Strategy::AdHoc];
+        spec
+    }
+
+    #[test]
+    fn single_scenario_campaign_runs() {
+        let run = run_campaign(&tiny_spec(), 1).unwrap();
+        assert_eq!(run.outcomes.len(), 1);
+        let outcome = &run.outcomes[0];
+        assert_eq!(outcome.steps.len(), 6);
+        assert!(outcome.invariant_violations.is_empty());
+        assert!(
+            outcome.steps.iter().all(|s| s.feasible),
+            "demo steps all fit"
+        );
+        // The decommission retired app 0.
+        assert_eq!(outcome.schedule.committed_apps, 4);
+        assert_eq!(outcome.schedule.active_apps, 3);
+        assert!(outcome.schedule.jobs > 0);
+    }
+
+    #[test]
+    fn bad_decommission_is_recorded_not_fatal() {
+        let mut spec = tiny_spec();
+        spec.script = vec![
+            ScriptStep::Add {
+                processes: Count::Fixed(4),
+                strategy: None,
+                future: false,
+            },
+            ScriptStep::Decommission { app: 9 },
+        ];
+        let run = run_campaign(&spec, 1).unwrap();
+        let step = &run.outcomes[0].steps[1];
+        assert!(!step.feasible);
+        assert!(step
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("no active application"));
+    }
+
+    #[test]
+    fn weight_axis_changes_cost_not_structure() {
+        let mut spec = tiny_spec();
+        spec.strategies = vec![Strategy::mh()];
+        spec.weight_settings = vec![
+            WeightSetting {
+                label: "balanced".into(),
+                weights: Weights::default(),
+            },
+            WeightSetting {
+                label: "packing-only".into(),
+                weights: Weights {
+                    w2_processes: 0.0,
+                    w2_messages: 0.0,
+                    ..Weights::default()
+                },
+            },
+        ];
+        let run = run_campaign(&spec, 2).unwrap();
+        assert_eq!(run.outcomes.len(), 2);
+        // Same seed, same generator stream: both scenarios commit the
+        // same number of jobs even though the objective differs.
+        assert_eq!(run.outcomes[0].schedule.jobs, run.outcomes[1].schedule.jobs);
+    }
+
+    #[test]
+    fn sa_is_reseeded_per_scenario_seed() {
+        let sa = Strategy::sa();
+        let a = effective_strategy(&sa, 1);
+        let b = effective_strategy(&sa, 2);
+        let (Strategy::SimulatedAnnealing(ca), Strategy::SimulatedAnnealing(cb)) = (a, b) else {
+            panic!("SA stays SA");
+        };
+        assert_ne!(ca.seed, cb.seed);
+        // And deterministic.
+        let (Strategy::SimulatedAnnealing(ca2),) = (effective_strategy(&sa, 1),) else {
+            unreachable!()
+        };
+        assert_eq!(ca.seed, ca2.seed);
+    }
+
+    #[test]
+    fn preset_base_resolves_and_runs() {
+        let spec = CampaignSpec {
+            name: "preset-smoke".into(),
+            base: BaseSpec::Preset("dac2001-small".into()),
+            future_processes: 10,
+            demand_factor: 1.0,
+            sizes: Vec::new(),
+            strategies: vec![Strategy::AdHoc],
+            seeds: vec![5],
+            weight_settings: Vec::new(),
+            script: vec![ScriptStep::Add {
+                processes: Count::Fixed(10),
+                strategy: None,
+                future: false,
+            }],
+            check_invariants: true,
+        };
+        let run = run_campaign(&spec, 1).unwrap();
+        assert!(run.outcomes[0].steps[0].feasible);
+        assert!(run.outcomes[0].invariant_violations.is_empty());
+    }
+}

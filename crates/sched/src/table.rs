@@ -337,6 +337,45 @@ impl ScheduleTable {
         Ok(ScheduleTable::new(new_horizon, jobs, messages))
     }
 
+    /// Returns this table with the given applications' jobs and messages
+    /// removed (the decommission/eviction primitive).
+    ///
+    /// Remaining jobs keep their exact start times. Remaining messages
+    /// stay in their slot occurrence but **compact to the front of the
+    /// frame**: TTP frames are reassembled every cycle, so removing a
+    /// message can only move the others *earlier* inside the same slot.
+    /// Arrivals never get later, so precedence, framing and deadline
+    /// invariants are all preserved — and the freed bus time becomes a
+    /// contiguous slack tail that [`crate::SlackProfile`] and later
+    /// commits can actually use ([`Self::bus_timeline`] replays frames
+    /// contiguously, so holes in a frame are not representable).
+    pub fn without_apps(&self, arch: &Architecture, exclude: &[AppId]) -> ScheduleTable {
+        let jobs: Vec<ScheduledJob> = self
+            .jobs
+            .iter()
+            .filter(|j| !exclude.contains(&j.job.app))
+            .copied()
+            .collect();
+        let mut messages: Vec<ScheduledMessage> = self
+            .messages
+            .iter()
+            .filter(|m| !exclude.contains(&m.app))
+            .copied()
+            .collect();
+        let mut bus = BusTimeline::new(arch.bus(), self.horizon)
+            .expect("table horizon is a multiple of the bus cycle");
+        for (occ, indices) in frame_replay_order(&messages) {
+            for i in indices {
+                let m = &mut messages[i];
+                let r = bus
+                    .reserve_in_occurrence(m.reservation.owner, occ, m.reservation.duration())
+                    .expect("a compacted frame always fits its own slot");
+                m.reservation = r;
+            }
+        }
+        ScheduleTable::new(self.horizon, jobs, messages)
+    }
+
     /// Rebuilds the per-PE busy timelines implied by this table.
     pub fn pe_timelines(&self, arch: &Architecture) -> Vec<PeTimeline> {
         let mut tls: Vec<PeTimeline> = (0..arch.pe_count())
@@ -360,16 +399,9 @@ impl ScheduleTable {
     pub fn bus_timeline(&self, arch: &Architecture) -> BusTimeline {
         let mut bus = BusTimeline::new(arch.bus(), self.horizon)
             .expect("table horizon is a multiple of the bus cycle");
-        let mut by_occurrence: BTreeMap<u64, Vec<&ScheduledMessage>> = BTreeMap::new();
-        for m in &self.messages {
-            by_occurrence
-                .entry(m.reservation.occurrence)
-                .or_default()
-                .push(m);
-        }
-        for (occ, mut msgs) in by_occurrence {
-            msgs.sort_by_key(|m| m.reservation.transmit_start);
-            for m in msgs {
+        for (occ, indices) in frame_replay_order(&self.messages) {
+            for i in indices {
+                let m = &self.messages[i];
                 let r = bus
                     .reserve_in_occurrence(m.reservation.owner, occ, m.reservation.duration())
                     .expect("validated tables replay cleanly");
@@ -537,25 +569,21 @@ impl ScheduleTable {
             }
         }
 
-        // Frame non-overlap per occurrence.
-        let mut by_occ: BTreeMap<u64, Vec<&ScheduledMessage>> = BTreeMap::new();
-        for m in &self.messages {
-            by_occ.entry(m.reservation.occurrence).or_default().push(m);
-        }
+        // Frame non-overlap per occurrence, in replay order.
         let bus = BusTimeline::new(arch.bus(), self.horizon)
             .expect("table horizon is a multiple of the bus cycle");
-        for (occ_idx, mut msgs) in by_occ {
-            let occ = bus.occurrence(occ_idx).map_err(|_| {
-                let m = msgs[0];
-                TableError::BusViolation {
-                    app: m.app,
-                    msg: m.msg,
-                    instance: m.instance,
-                }
-            })?;
-            msgs.sort_by_key(|m| m.reservation.transmit_start);
+        for (occ_idx, indices) in frame_replay_order(&self.messages) {
+            let first = &self.messages[indices[0]];
+            let occ = bus
+                .occurrence(occ_idx)
+                .map_err(|_| TableError::BusViolation {
+                    app: first.app,
+                    msg: first.msg,
+                    instance: first.instance,
+                })?;
             let mut cursor = occ.start;
-            for m in msgs {
+            for i in indices {
+                let m = &self.messages[i];
                 let r = m.reservation;
                 if r.owner != occ.owner || r.transmit_start < cursor || r.arrival > occ.end() {
                     return Err(TableError::BusViolation {
@@ -610,6 +638,24 @@ impl ScheduleTable {
         out.push_str(&format!(" bus |{}|\n", String::from_utf8_lossy(&row)));
         out
     }
+}
+
+/// Frame replay order: message indices grouped by slot occurrence, each
+/// group sorted by transmission start. Every frame walk (rebuilding a
+/// bus timeline, compacting after a removal, validating) uses this one
+/// ordering so they can never diverge.
+fn frame_replay_order(messages: &[ScheduledMessage]) -> BTreeMap<u64, Vec<usize>> {
+    let mut by_occurrence: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for (i, m) in messages.iter().enumerate() {
+        by_occurrence
+            .entry(m.reservation.occurrence)
+            .or_default()
+            .push(i);
+    }
+    for indices in by_occurrence.values_mut() {
+        indices.sort_by_key(|&i| messages[i].reservation.transmit_start);
+    }
+    by_occurrence
 }
 
 fn label_char(app: AppId) -> u8 {
@@ -795,6 +841,51 @@ mod tests {
             Err(TableError::ReplicateAlign { .. })
         ));
         assert!(table.replicate_to(&arch, t(40)).is_ok());
+    }
+
+    #[test]
+    fn without_apps_filters_and_compacts_frames() {
+        let arch = arch2();
+        let msg = |app: u32, edge: u32, start: u64, end: u64| ScheduledMessage {
+            app: AppId(app),
+            msg: MsgRef::new(0, incdes_graph::EdgeId(edge)),
+            instance: 0,
+            reservation: BusReservation {
+                occurrence: 0,
+                owner: PeId(0),
+                transmit_start: t(start),
+                arrival: t(end),
+            },
+        };
+        let table = ScheduleTable::new(
+            t(40),
+            vec![
+                job(0, 0, 0, 0, 0, 0, 4, 0, 40),
+                job(1, 0, 0, 0, 1, 0, 4, 0, 40),
+            ],
+            vec![msg(0, 0, 0, 4), msg(1, 0, 4, 6), msg(1, 1, 6, 9)],
+        );
+        let without = table.without_apps(&arch, &[AppId(0)]);
+        assert!(without.jobs().iter().all(|j| j.job.app != AppId(0)));
+        assert_eq!(without.jobs().len(), 1);
+        // App 1's frames compacted to the front of occurrence 0; the
+        // durations and the occurrence are unchanged.
+        let m: Vec<_> = without
+            .messages()
+            .iter()
+            .map(|m| {
+                (
+                    m.reservation.occurrence,
+                    m.reservation.transmit_start,
+                    m.reservation.arrival,
+                )
+            })
+            .collect();
+        assert_eq!(m, vec![(0, t(0), t(2)), (0, t(2), t(5))]);
+        // The compacted table replays cleanly into a bus timeline (a
+        // frame with a hole would panic here).
+        let bus = without.bus_timeline(&arch);
+        assert_eq!(bus.used(0), t(5));
     }
 
     #[test]

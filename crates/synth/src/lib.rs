@@ -37,6 +37,6 @@ pub mod gen;
 pub mod paper;
 
 pub use gen::{
-    future_profile_for, generate_application, generate_architecture, generate_graph, SynthConfig,
-    SynthError,
+    future_profile_for, future_wcet_range, generate_application, generate_architecture,
+    generate_graph, SynthConfig, SynthError,
 };

@@ -1,4 +1,5 @@
-//! Weight-sensitivity sweep of the objective function.
+//! Weight-sensitivity sweep of the objective function, as a scenario
+//! campaign.
 //!
 //! The objective `C = w1P·C1P + w1m·C1m + w2P·max(0, tneed−C2P) +
 //! w2m·max(0, bneed−C2m)` mixes a percentage scale (C1) with a time scale
@@ -7,87 +8,99 @@
 //! design trades packing failure against periodic-slack deficit — the
 //! ablation called out in `DESIGN.md`.
 //!
+//! The sweep is one `incdes::explore` campaign: the weight settings are
+//! a grid axis, every scenario replays the same lifecycle script (five
+//! existing applications, then the current one with MH) from the same
+//! seed, and the scenarios run in parallel without affecting the
+//! numbers.
+//!
 //! ```text
 //! cargo run --release --example design_space
 //! ```
 
-use incdes::mapping::{run_strategy, MappingContext, Strategy};
+use incdes::explore::{run_campaign, BaseSpec, CampaignSpec, Count, ScriptStep, WeightSetting};
+use incdes::mapping::Strategy;
 use incdes::prelude::*;
 use incdes::synth::paper::dac2001_small;
-use incdes::synth::{future_profile_for, generate_application, generate_architecture};
-use incdes_model::time::hyperperiod;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let preset = dac2001_small();
-    let arch = generate_architecture(&preset.cfg)?;
 
-    // A moderately loaded base system.
-    let mut future = future_profile_for(&preset.cfg, preset.future_processes);
-    future.t_need = Time::new(future.t_need.ticks() * 4);
-    future.b_need = Time::new(future.b_need.ticks() * 4);
-
-    let mut system = System::new(arch.clone());
-    let mut rng = ChaCha8Rng::seed_from_u64(7);
-    for i in 0..5 {
-        let app = generate_application(&preset.cfg, &format!("existing{i}"), 30, &mut rng)?;
-        system.add_application(app, &future, &Weights::default(), &Strategy::AdHoc)?;
-    }
-    let current = generate_application(&preset.cfg, "current", 25, &mut rng)?;
-
-    let mut periods = vec![system.horizon()];
-    periods.extend(current.graphs.iter().map(|g| g.period));
-    let horizon = hyperperiod(periods)?;
-    let frozen = system.table().replicate_to(&arch, horizon)?;
-
-    let settings: &[(&str, Weights)] = &[
-        ("balanced (1,1,1,1)", Weights::default()),
-        (
-            "packing-only (1,1,0,0)",
-            Weights {
+    let weight_settings = vec![
+        WeightSetting {
+            label: "balanced (1,1,1,1)".into(),
+            weights: Weights::default(),
+        },
+        WeightSetting {
+            label: "packing-only (1,1,0,0)".into(),
+            weights: Weights {
                 w2_processes: 0.0,
                 w2_messages: 0.0,
                 ..Weights::default()
             },
-        ),
-        (
-            "distribution-only (0,0,1,1)",
-            Weights {
+        },
+        WeightSetting {
+            label: "distribution-only (0,0,1,1)".into(),
+            weights: Weights {
                 w1_processes: 0.0,
                 w1_messages: 0.0,
                 ..Weights::default()
             },
-        ),
-        (
-            "bus-heavy (1,5,1,5)",
-            Weights {
+        },
+        WeightSetting {
+            label: "bus-heavy (1,5,1,5)".into(),
+            weights: Weights {
                 w1_messages: 5.0,
                 w2_messages: 5.0,
                 ..Weights::default()
             },
-        ),
+        },
     ];
+
+    // Five existing applications build a moderately loaded base system;
+    // the last step maps the current application with MH under the
+    // scenario's weights.
+    let mut script: Vec<ScriptStep> = (0..5)
+        .map(|_| ScriptStep::Add {
+            processes: Count::Fixed(30),
+            strategy: Some(Strategy::AdHoc),
+            future: false,
+        })
+        .collect();
+    script.push(ScriptStep::Add {
+        processes: Count::Fixed(25),
+        strategy: None,
+        future: false,
+    });
+
+    let spec = CampaignSpec {
+        name: "design-space".into(),
+        base: BaseSpec::Config(preset.cfg.clone()),
+        future_processes: preset.future_processes,
+        demand_factor: 4.0,
+        sizes: vec![],
+        strategies: vec![Strategy::mh()],
+        seeds: vec![7],
+        weight_settings,
+        script,
+        check_invariants: false,
+    };
+
+    let run = run_campaign(&spec, 4)?;
 
     println!(
         "{:<28} {:>8} {:>8} {:>8} {:>8} {:>10}",
         "weights", "C1P%", "C1m%", "penP", "penM", "C total"
     );
-    for (name, weights) in settings {
-        let ctx = MappingContext::new(
-            &arch,
-            AppId(system.app_count() as u32),
-            &current,
-            Some(&frozen),
-            horizon,
-            &future,
-            weights,
-        );
-        let outcome = run_strategy(&ctx, &Strategy::mh())?;
-        let c = outcome.evaluation.cost;
+    for outcome in &run.outcomes {
+        let current = outcome.steps.last().expect("script is non-empty");
+        let Some(c) = current.cost else {
+            println!("{:<28} (infeasible)", outcome.key.weights.label);
+            continue;
+        };
         println!(
             "{:<28} {:>8.1} {:>8.1} {:>8} {:>8} {:>10.2}",
-            name,
+            outcome.key.weights.label,
             c.c1_processes,
             c.c1_messages,
             c.penalty_processes.ticks(),

@@ -3,16 +3,23 @@
 //! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
 //! `criterion_group!`, `criterion_main!`).
 //!
-//! Measurement is deliberately simple: each benchmark runs
-//! `sample_size` timed samples after one warm-up call and reports
-//! mean / min / max wall-clock time per iteration on stdout. There is
-//! no statistical analysis, HTML report, or baseline comparison.
+//! Measurement: a single-iteration calibration pass sizes the number of
+//! iterations per sample so one sample takes roughly
+//! [`TARGET_SAMPLE_TIME`]; each of the `sample_size` samples then times
+//! that many iterations and records the mean per-iteration time. The
+//! report shows the median, a Tukey-fence outlier-trimmed mean, min and
+//! max. There is still no HTML report or baseline comparison.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
 /// Re-export for `criterion::black_box` users (the std one).
 pub use std::hint::black_box;
+
+/// How long one sample should take; the calibration pass picks an
+/// iteration count aiming at this (clamped to `[1, 10_000]` iterations,
+/// so slow routines degrade to one iteration per sample).
+pub const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(2);
 
 /// Top-level benchmark driver.
 #[derive(Debug)]
@@ -148,40 +155,120 @@ impl IntoBenchmarkId for String {
 }
 
 /// Timing harness handed to the benchmark closure.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Bencher {
     samples: Vec<Duration>,
+    iters: u64,
+}
+
+impl Default for Bencher {
+    fn default() -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters: 1,
+        }
+    }
 }
 
 impl Bencher {
-    /// Times `routine`, once per sample.
+    fn with_iters(iters: u64) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters: iters.max(1),
+        }
+    }
+
+    /// Times `routine` over the calibrated number of iterations (one
+    /// warm-up call, untimed) and records the mean per-iteration time as
+    /// one sample.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // Warm-up (untimed).
         black_box(routine());
         let start = Instant::now();
-        black_box(routine());
-        self.samples.push(start.elapsed());
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed() / self.iters as u32);
+    }
+}
+
+/// Summary statistics of one benchmark's per-iteration samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Mean after dropping samples outside the Tukey fences
+    /// (`[q1 − 1.5·IQR, q3 + 1.5·IQR]`).
+    pub trimmed_mean: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Total samples measured.
+    pub samples: usize,
+    /// Samples discarded as outliers.
+    pub outliers: usize,
+}
+
+impl Stats {
+    /// Computes the summary of a set of samples (`None` when empty).
+    pub fn from_samples(samples: &[Duration]) -> Option<Stats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort();
+        let n = sorted.len();
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+        };
+        let q1 = sorted[n / 4];
+        let q3 = sorted[(3 * n / 4).min(n - 1)];
+        let fence = (q3.saturating_sub(q1)) * 3 / 2;
+        let lo = q1.saturating_sub(fence);
+        let hi = q3 + fence;
+        let kept: Vec<Duration> = sorted
+            .iter()
+            .copied()
+            .filter(|d| *d >= lo && *d <= hi)
+            .collect();
+        let trimmed_mean = kept.iter().sum::<Duration>() / kept.len() as u32;
+        Some(Stats {
+            median,
+            trimmed_mean,
+            min: sorted[0],
+            max: sorted[n - 1],
+            samples: n,
+            outliers: n - kept.len(),
+        })
     }
 }
 
 fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    // Calibration: one single-iteration pass sizes the per-sample
+    // iteration count so fast routines are timed over many iterations.
+    let mut calibration = Bencher::with_iters(1);
+    f(&mut calibration);
+    let Some(&probe) = calibration.samples.iter().min() else {
+        println!("{label:<40} (no samples)");
+        return;
+    };
+    let iters = (TARGET_SAMPLE_TIME.as_nanos() / probe.as_nanos().max(1)).clamp(1, 10_000) as u64;
     let mut samples = Vec::with_capacity(sample_size);
     for _ in 0..sample_size {
-        let mut bencher = Bencher::default();
+        let mut bencher = Bencher::with_iters(iters);
         f(&mut bencher);
         samples.extend(bencher.samples);
     }
-    if samples.is_empty() {
+    let Some(stats) = Stats::from_samples(&samples) else {
         println!("{label:<40} (no samples)");
         return;
-    }
-    let total: Duration = samples.iter().sum();
-    let mean = total / samples.len() as u32;
-    let min = samples.iter().min().copied().unwrap_or_default();
-    let max = samples.iter().max().copied().unwrap_or_default();
+    };
     println!(
-        "{label:<40} mean {mean:>12?}   min {min:>12?}   max {max:>12?}   ({} samples)",
-        samples.len()
+        "{label:<40} median {:>11?}   mean* {:>11?}   min {:>11?}   max {:>11?}   \
+         ({} samples × {iters} iters, {} outliers trimmed)",
+        stats.median, stats.trimmed_mean, stats.min, stats.max, stats.samples, stats.outliers,
     );
 }
 
@@ -204,4 +291,47 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn stats_median_odd_and_even() {
+        let s = Stats::from_samples(&[ms(3), ms(1), ms(2)]).unwrap();
+        assert_eq!(s.median, ms(2));
+        let s = Stats::from_samples(&[ms(1), ms(2), ms(3), ms(4)]).unwrap();
+        assert_eq!(s.median, ms(2) + Duration::from_micros(500));
+        assert_eq!((s.min, s.max), (ms(1), ms(4)));
+    }
+
+    #[test]
+    fn stats_trims_outliers() {
+        // Nine tight samples and one wild outlier: the trimmed mean
+        // ignores the outlier, min/max still report it.
+        let mut samples = vec![ms(10); 9];
+        samples.push(ms(1000));
+        let s = Stats::from_samples(&samples).unwrap();
+        assert_eq!(s.outliers, 1);
+        assert_eq!(s.trimmed_mean, ms(10));
+        assert_eq!(s.max, ms(1000));
+        assert_eq!(s.median, ms(10));
+    }
+
+    #[test]
+    fn stats_empty_is_none() {
+        assert!(Stats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn bencher_records_per_iteration_mean() {
+        let mut b = Bencher::with_iters(64);
+        b.iter(|| black_box(1 + 1));
+        assert_eq!(b.samples.len(), 1);
+    }
 }

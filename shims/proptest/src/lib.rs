@@ -1,14 +1,17 @@
-//! Offline shim of `proptest`: deterministic property testing without
-//! shrinking. Supports the subset used in this workspace: the
+//! Offline shim of `proptest`: deterministic property testing with
+//! minimal shrinking. Supports the subset used in this workspace: the
 //! `proptest!` macro (with optional `#![proptest_config(...)]`),
 //! integer/float range strategies, `proptest::collection::vec`,
 //! `Just`, `any`, and the `prop_assert*` macros.
 //!
 //! Each test function replays a fixed set of seeds, so failures are
-//! reproducible run-to-run; there is no shrinking, the failing inputs
-//! are printed instead.
+//! reproducible run-to-run. When a case fails (assertion or panic),
+//! the inputs are greedily shrunk — integers toward the lower bound of
+//! their range, vectors toward fewer and smaller elements — and the
+//! near-minimal failing inputs are reported.
 
-/// Strategy trait: how to generate one value from an RNG.
+/// Strategy trait: how to generate one value from an RNG, and how to
+/// simplify a failing value.
 pub mod strategy {
     use crate::test_runner::TestRng;
     use rand::Rng;
@@ -21,6 +24,12 @@ pub mod strategy {
 
         /// Draws one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Candidate simplifications of a failing `value`, most
+        /// aggressive first. The default is no shrinking.
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
     }
 
     impl<S: Strategy + ?Sized> Strategy for &S {
@@ -28,6 +37,51 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             (**self).generate(rng)
         }
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            (**self).shrink(value)
+        }
+    }
+
+    /// Greedily minimizes a failing input: repeatedly adopts the first
+    /// shrink candidate that still fails, until no candidate fails or
+    /// `max_attempts` candidate evaluations have been spent. Returns the
+    /// minimal value found and the number of successful shrink steps.
+    pub fn minimize<S: Strategy>(
+        strategy: &S,
+        initial: S::Value,
+        mut fails: impl FnMut(&S::Value) -> bool,
+        max_attempts: usize,
+    ) -> (S::Value, usize) {
+        let mut current = initial;
+        let mut steps = 0usize;
+        let mut attempts = 0usize;
+        'outer: while attempts < max_attempts {
+            for candidate in strategy.shrink(&current) {
+                if attempts >= max_attempts {
+                    break 'outer;
+                }
+                attempts += 1;
+                if fails(&candidate) {
+                    current = candidate;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        (current, steps)
+    }
+
+    /// Shrink candidates for an integer `v` bounded below by `lo`
+    /// (both widened to `i128`): the bound itself, the midpoint, and
+    /// one step down — ascending, so the most aggressive comes first.
+    fn int_candidates(lo: i128, v: i128) -> Vec<i128> {
+        if v <= lo {
+            return Vec::new();
+        }
+        let mut out = vec![lo, lo + (v - lo) / 2, v - 1];
+        out.dedup();
+        out
     }
 
     /// Always yields a clone of the same value.
@@ -41,12 +95,18 @@ pub mod strategy {
         }
     }
 
-    macro_rules! impl_range_strategy {
+    macro_rules! impl_int_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {
                 type Value = $t;
                 fn generate(&self, rng: &mut TestRng) -> $t {
                     rng.gen_range(self.clone())
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_candidates(self.start as i128, *value as i128)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .collect()
                 }
             }
             impl Strategy for RangeInclusive<$t> {
@@ -54,13 +114,34 @@ pub mod strategy {
                 fn generate(&self, rng: &mut TestRng) -> $t {
                     rng.gen_range(self.clone())
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_candidates(*self.start() as i128, *value as i128)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .collect()
+                }
             }
         )*};
     }
-    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    // Float ranges generate but do not shrink (no natural minimal step).
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
 
     /// Uniform choice between several strategies with a common value
-    /// type (the shim behind `prop_oneof!`; no per-arm weights).
+    /// type (the shim behind `prop_oneof!`; no per-arm weights, no
+    /// shrinking — the chosen arm is not recorded).
     pub struct OneOf<V> {
         arms: Vec<Box<dyn Fn(&mut TestRng) -> V>>,
     }
@@ -81,22 +162,44 @@ pub mod strategy {
         }
     }
 
+    impl Strategy for () {
+        type Value = ();
+        fn generate(&self, _rng: &mut TestRng) {}
+    }
+
     macro_rules! impl_tuple_strategy {
         ($(($($name:ident . $idx:tt),+))*) => {$(
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone),+
+            {
                 type Value = ($($name::Value,)+);
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
                     ($(self.$idx.generate(rng),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for candidate in self.$idx.shrink(&value.$idx) {
+                            let mut v = value.clone();
+                            v.$idx = candidate;
+                            out.push(v);
+                        }
+                    )+
+                    out
                 }
             }
         )*};
     }
     impl_tuple_strategy! {
+        (A.0)
         (A.0, B.1)
         (A.0, B.1, C.2)
         (A.0, B.1, C.2, D.3)
         (A.0, B.1, C.2, D.3, E.4)
         (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
     }
 
     /// Full-domain strategy for `any::<T>()`.
@@ -110,12 +213,29 @@ pub mod strategy {
         }
     }
 
+    /// Shrink candidates for a full-domain integer: toward zero.
+    fn any_candidates(v: i128) -> Vec<i128> {
+        if v == 0 {
+            return Vec::new();
+        }
+        let mut out = vec![0, v / 2, v - v.signum()];
+        out.dedup();
+        out.retain(|&c| c != v);
+        out
+    }
+
     macro_rules! impl_any_int {
         ($($t:ty),*) => {$(
             impl Strategy for Any<$t> {
                 type Value = $t;
                 fn generate(&self, rng: &mut TestRng) -> $t {
                     rng.next_raw() as $t
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    any_candidates(*value as i128)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .collect()
                 }
             }
         )*};
@@ -126,6 +246,13 @@ pub mod strategy {
         type Value = bool;
         fn generate(&self, rng: &mut TestRng) -> bool {
             rng.next_raw() & 1 == 1
+        }
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 }
@@ -190,11 +317,46 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
+
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        /// Shrinks the length first (truncate to the minimum, halve,
+        /// drop single elements), then each element via the element
+        /// strategy — most aggressive first.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let lo = self.size.lo;
+            let n = value.len();
+            if n > lo {
+                out.push(value[..lo].to_vec());
+                let half = lo.max(n / 2);
+                if half > lo && half < n {
+                    out.push(value[..half].to_vec());
+                }
+                if n - 1 >= lo {
+                    for i in 0..n {
+                        let mut v = value.clone();
+                        v.remove(i);
+                        out.push(v);
+                    }
+                }
+            }
+            for i in 0..n {
+                for candidate in self.element.shrink(&value[i]) {
+                    let mut v = value.clone();
+                    v[i] = candidate;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 }
@@ -247,6 +409,17 @@ pub mod test_runner {
         }
     }
 
+    /// Best-effort string form of a `catch_unwind` payload.
+    pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            format!("panic: {s}")
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            format!("panic: {s}")
+        } else {
+            "panic (non-string payload)".to_string()
+        }
+    }
+
     /// Per-test configuration (subset of the real struct).
     #[derive(Debug, Clone)]
     pub struct ProptestConfig {
@@ -290,7 +463,78 @@ pub mod test_runner {
         }
     }
 
+    /// Candidate evaluations spent shrinking one failing case.
+    pub const MAX_SHRINK_ATTEMPTS: usize = 512;
+
+    /// Serializes panic-hook swapping across concurrently-failing
+    /// properties (the hook is process-global state).
+    static SHRINK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     const P_SEED: u64 = 0x5EED_0F1E_57CA_5E00;
+
+    /// A failing property case, already shrunk to a near-minimal input.
+    #[derive(Debug)]
+    pub struct CaseFailure<V> {
+        /// Zero-based index of the failing case.
+        pub case: u32,
+        /// Total cases the runner would execute.
+        pub cases: u32,
+        /// The minimal failing input found.
+        pub minimal: V,
+        /// Successful shrink steps taken to reach it.
+        pub shrink_steps: usize,
+        /// The failure of the minimal input.
+        pub error: TestCaseError,
+    }
+
+    /// Executes every case of one property; on the first failure, shrinks
+    /// the input via [`crate::strategy::minimize`] and returns the
+    /// near-minimal reproduction. The `proptest!` macro expands to a call
+    /// of this function.
+    pub fn run_cases<S: crate::strategy::Strategy>(
+        runner: &TestRunner,
+        strategy: &S,
+        run: impl Fn(&S::Value) -> Result<(), TestCaseError>,
+    ) -> Option<CaseFailure<S::Value>> {
+        for case in 0..runner.cases() {
+            let mut rng = runner.rng_for(case);
+            let value = strategy.generate(&mut rng);
+            if let Err(first) = run(&value) {
+                // Silence the panic hook while candidates replay — every
+                // failing candidate panics again, and hundreds of traces
+                // would bury the minimal-input report. The initial
+                // failure above already printed one full trace. The hook
+                // is process-global, so hold SHRINK_LOCK across the whole
+                // swap/restore window: two concurrently-shrinking
+                // properties must not interleave their take/set pairs (an
+                // unrelated test failing inside the window still loses
+                // its trace — the window is short and only open while a
+                // property is already failing).
+                let _guard = SHRINK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+                let hook = std::panic::take_hook();
+                std::panic::set_hook(Box::new(|_| {}));
+                let (minimal, shrink_steps) = crate::strategy::minimize(
+                    strategy,
+                    value,
+                    |v| run(v).is_err(),
+                    MAX_SHRINK_ATTEMPTS,
+                );
+                // Re-run once for the minimal input's own message (a
+                // deterministic body always fails again; fall back to the
+                // original error otherwise).
+                let error = run(&minimal).err();
+                std::panic::set_hook(hook);
+                return Some(CaseFailure {
+                    case,
+                    cases: runner.cases(),
+                    minimal,
+                    shrink_steps,
+                    error: error.unwrap_or(first),
+                });
+            }
+        }
+        None
+    }
 }
 
 /// Glob-import surface mirroring `proptest::prelude::*`.
@@ -311,7 +555,8 @@ pub mod prelude {
 }
 
 /// Runs properties: each `fn name(arg in strategy, ...) { body }`
-/// becomes a `#[test]` that replays `cases` deterministic inputs.
+/// becomes a `#[test]` that replays `cases` deterministic inputs and
+/// shrinks failing cases to near-minimal inputs before reporting.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -334,23 +579,44 @@ macro_rules! __proptest_impl {
         fn $name() {
             let __config = $cfg;
             let __runner = $crate::test_runner::TestRunner::new(__config);
-            for __case in 0..__runner.cases() {
-                let mut __rng = __runner.rng_for(__case);
-                $(
-                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
-                )*
-                let __inputs = format!(concat!($(stringify!($arg), " = {:?}, "),*), $(&$arg),*);
-                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                    (|| { $body Ok(()) })();
-                if let ::std::result::Result::Err(e) = __outcome {
-                    panic!(
-                        "proptest case {}/{} failed: {}\n  inputs: {}",
-                        __case + 1,
-                        __runner.cases(),
-                        e,
-                        __inputs
-                    );
-                }
+            let __strategy = ( $( $strat, )* );
+            // One case is a pure function of the input tuple: Ok, a
+            // prop_assert failure, or a caught panic — re-runnable, so
+            // `run_cases` can replay shrink candidates.
+            let __failure = $crate::test_runner::run_cases(
+                &__runner,
+                &__strategy,
+                |__value| {
+                    let ( $( $arg, )* ) = ::std::clone::Clone::clone(__value);
+                    match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    )) {
+                        ::std::result::Result::Ok(outcome) => outcome,
+                        ::std::result::Result::Err(payload) => ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::fail(
+                                $crate::test_runner::panic_message(payload.as_ref()),
+                            ),
+                        ),
+                    }
+                },
+            );
+            if let ::std::option::Option::Some(__f) = __failure {
+                let ( $( $arg, )* ) = __f.minimal;
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, "),*),
+                    $(&$arg),*
+                );
+                panic!(
+                    "proptest case {}/{} failed: {}\n  minimal inputs ({} shrink steps): {}",
+                    __f.case + 1,
+                    __f.cases,
+                    __f.error,
+                    __f.shrink_steps,
+                    __inputs
+                );
             }
         }
     )*};
@@ -444,4 +710,107 @@ macro_rules! prop_assume {
             return ::std::result::Result::Ok(());
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::strategy::{minimize, Any, Strategy};
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn int_range_shrinks_to_smallest_failing() {
+        let (minimal, steps) = minimize(&(0u64..1000), 700, |v| *v >= 7, 256);
+        assert_eq!(minimal, 7);
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn shrink_respects_range_bounds() {
+        let strat = 3usize..25;
+        let candidates = strat.shrink(&20);
+        assert!(!candidates.is_empty());
+        for c in candidates {
+            assert!((3..20).contains(&c), "candidate {c} escapes [3, 20)");
+        }
+        assert!(
+            strat.shrink(&3).is_empty(),
+            "the bound itself cannot shrink"
+        );
+    }
+
+    #[test]
+    fn inclusive_range_shrinks() {
+        let (minimal, _) = minimize(&(5u32..=50), 50, |v| *v > 9, 256);
+        assert_eq!(minimal, 10);
+    }
+
+    #[test]
+    fn signed_any_shrinks_toward_zero() {
+        let (minimal, _) = minimize(&Any::<i64>::new(), -900, |v| *v <= -5, 256);
+        assert_eq!(minimal, -5);
+    }
+
+    #[test]
+    fn vec_shrinks_length_then_elements() {
+        let strat = vec(0u32..100, 0..10);
+        let initial = std::vec![3, 42, 17, 99];
+        let (minimal, _) = minimize(&strat, initial, |v| v.iter().any(|&x| x >= 40), 1024);
+        assert_eq!(minimal, std::vec![40]);
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_len() {
+        let strat = vec(0u32..10, 2..6);
+        let (minimal, _) = minimize(&strat, std::vec![9, 9, 9, 9], |_| true, 1024);
+        assert_eq!(
+            minimal,
+            std::vec![0, 0],
+            "stops at min length, min elements"
+        );
+    }
+
+    #[test]
+    fn tuple_shrinks_componentwise() {
+        let strat = (0u32..50, 0u64..50);
+        let (minimal, _) = minimize(&strat, (30, 40), |(a, b)| *a >= 10 && *b >= 4, 512);
+        assert_eq!(minimal, (10, 4));
+    }
+
+    #[test]
+    fn minimize_respects_attempt_budget() {
+        let (unchanged, steps) = minimize(&(0u64..1000), 999, |_| true, 0);
+        assert_eq!((unchanged, steps), (999, 0));
+        let (one_step, steps) = minimize(&(0u64..1000), 999, |_| true, 1);
+        assert_eq!((one_step, steps), (0, 1), "first candidate is the bound");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = vec((0u32..9, 1u64..7), 0..12);
+        let a = strat.generate(&mut TestRng::new(42));
+        let b = strat.generate(&mut TestRng::new(42));
+        assert_eq!(a, b);
+    }
+
+    // End-to-end through the macro: a failing case is shrunk to the
+    // smallest failing input before the report panics, and panicking
+    // bodies are caught and shrunk the same way.
+    crate::proptest! {
+        #![proptest_config(crate::test_runner::ProptestConfig::with_cases(16))]
+
+        #[test]
+        #[should_panic(expected = "x = 3")]
+        fn macro_shrinks_assertion_failures(x in 0u64..1000) {
+            crate::prop_assert!(x < 3, "x too big: {x}");
+        }
+
+        #[test]
+        #[should_panic(expected = "panic: boom")]
+        fn macro_catches_and_shrinks_panics(x in 0u64..1000) {
+            if x >= 1 {
+                panic!("boom");
+            }
+        }
+    }
 }

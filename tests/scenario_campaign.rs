@@ -1,0 +1,135 @@
+//! Scenario-campaign regression suite: the determinism and invariant
+//! guarantees of `crates/explore`, enforced on the small demo campaign
+//! (MH and SA strategies, a future-application probe, one decommission).
+//!
+//! CI runs this test and uploads `target/scenario_campaign_report.json`
+//! as the campaign artifact.
+
+use incdes::explore::{run_campaign, CampaignReport, CampaignSpec, ScriptStep};
+
+/// The same spec yields byte-identical JSON reports across runs and
+/// across worker counts, and the report round-trips through serde.
+#[test]
+fn campaign_report_is_byte_identical_across_runs_and_workers() {
+    let spec = CampaignSpec::small_demo();
+    let first = run_campaign(&spec, 1)
+        .expect("demo spec is valid")
+        .report()
+        .to_json_pretty()
+        .expect("report serializes");
+    let second = run_campaign(&spec, 1)
+        .expect("demo spec is valid")
+        .report()
+        .to_json_pretty()
+        .expect("report serializes");
+    assert_eq!(
+        first, second,
+        "rerun must reproduce the report byte-for-byte"
+    );
+
+    for workers in [2, 4, 8] {
+        let parallel = run_campaign(&spec, workers)
+            .expect("demo spec is valid")
+            .report()
+            .to_json_pretty()
+            .expect("report serializes");
+        assert_eq!(
+            first, parallel,
+            "worker count {workers} must not affect the report"
+        );
+    }
+
+    let parsed = CampaignReport::from_json(&first).expect("report parses back");
+    assert_eq!(parsed, run_campaign(&spec, 1).unwrap().report());
+
+    // Persist the canonical report so CI can upload it as an artifact.
+    std::fs::create_dir_all("target").expect("target dir is writable");
+    std::fs::write("target/scenario_campaign_report.json", &first)
+        .expect("report file is writable");
+}
+
+/// The demo campaign covers both MH and SA, probes a future
+/// application, decommissions an app — and every scenario's schedule
+/// satisfies every scheduling invariant after every mutating step.
+#[test]
+fn campaign_scenarios_are_feasible_and_invariant_clean() {
+    let spec = CampaignSpec::small_demo();
+    assert!(
+        spec.check_invariants,
+        "demo campaign re-validates schedules"
+    );
+    assert!(
+        spec.script
+            .iter()
+            .any(|s| matches!(s, ScriptStep::Decommission { .. })),
+        "demo campaign exercises decommission"
+    );
+
+    let report = run_campaign(&spec, 2).expect("demo spec is valid").report();
+    assert_eq!(report.scenarios.len(), 8);
+
+    let strategies: std::collections::BTreeSet<&str> = report
+        .scenarios
+        .iter()
+        .map(|s| s.strategy.as_str())
+        .collect();
+    assert!(strategies.contains("MH") && strategies.contains("SA"));
+
+    assert_eq!(report.totals.invariant_violations, 0);
+    assert_eq!(report.totals.feasible_steps, report.totals.steps);
+    assert!(report.totals.evaluations > 0);
+
+    for scenario in &report.scenarios {
+        assert!(
+            scenario.invariant_violations.is_empty(),
+            "scenario {}: {:?}",
+            scenario.index,
+            scenario.invariant_violations
+        );
+        for step in &scenario.steps {
+            assert!(
+                step.feasible && step.error.is_none(),
+                "scenario {} step {} ({}) failed: {:?}",
+                scenario.index,
+                step.step,
+                step.action,
+                step.error
+            );
+        }
+        // Four commits, one of which was decommissioned afterwards.
+        assert_eq!(scenario.schedule.committed_apps, 4);
+        assert_eq!(scenario.schedule.active_apps, 3);
+        assert!(scenario.schedule.jobs > 0);
+        // The add and probe steps actually exercised the strategies.
+        let adds: Vec<_> = scenario
+            .steps
+            .iter()
+            .filter(|s| s.action == "add")
+            .collect();
+        assert!(adds.iter().all(|s| s.cost.is_some()));
+        assert!(scenario.steps.iter().any(|s| s.action == "probe"));
+    }
+}
+
+/// The size axis is visible in the final schedules: within one strategy
+/// and seed, the larger current application leaves more jobs committed.
+#[test]
+fn size_axis_scales_the_schedule() {
+    let spec = CampaignSpec::small_demo();
+    let report = run_campaign(&spec, 4).expect("demo spec is valid").report();
+    for strategy in ["MH", "SA"] {
+        for seed in [1u64, 2] {
+            let of_size = |size: usize| {
+                report
+                    .scenarios
+                    .iter()
+                    .find(|s| s.strategy == strategy && s.seed == seed && s.size == size)
+                    .unwrap_or_else(|| panic!("missing scenario {strategy}/{seed}/{size}"))
+            };
+            assert!(
+                of_size(10).schedule.jobs > of_size(6).schedule.jobs,
+                "{strategy}/seed {seed}: size 10 must schedule more jobs than size 6"
+            );
+        }
+    }
+}

@@ -114,6 +114,120 @@ proptest! {
         }
     }
 
+    /// No two jobs overlap on one PE — re-derived pairwise from the raw
+    /// table, independently of `ScheduleTable::validate`. This is the
+    /// first invariant the scenario-campaign suite asserts.
+    #[test]
+    fn no_two_jobs_overlap_on_one_pe(
+        seed in 0u64..5000,
+        sizes in proptest::collection::vec(3usize..12, 1..4),
+    ) {
+        let cfg = small_cfg(3, 10);
+        let arch = generate_architecture(&cfg).unwrap();
+        let future = incdes::synth::future_profile_for(&cfg, 10);
+        let weights = Weights::default();
+        let mut system = System::new(arch);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for (i, &size) in sizes.iter().enumerate() {
+            let app = generate_application(&cfg, &format!("v{i}"), size, &mut rng).unwrap();
+            if system.add_application(app, &future, &weights, &Strategy::mh()).is_err() {
+                break;
+            }
+        }
+        for pe in system.arch().pe_ids() {
+            let jobs: Vec<_> = system.table().jobs_on(pe).collect();
+            for pair in jobs.windows(2) {
+                prop_assert!(
+                    pair[0].end <= pair[1].start,
+                    "jobs {} and {} overlap on {pe}",
+                    pair[0].job,
+                    pair[1].job
+                );
+            }
+        }
+    }
+
+    /// Every precedence edge is respected: a same-PE consumer starts at
+    /// or after its producer ends; a cross-PE consumer starts at or
+    /// after its message's bus arrival, and that message leaves at or
+    /// after the producer ends.
+    #[test]
+    fn precedence_edges_are_respected(
+        seed in 0u64..5000,
+        size in 4usize..20,
+    ) {
+        let cfg = small_cfg(3, 10);
+        let arch = generate_architecture(&cfg).unwrap();
+        let future = incdes::synth::future_profile_for(&cfg, 10);
+        let weights = Weights::default();
+        let mut system = System::new(arch);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let app = generate_application(&cfg, "a", size, &mut rng).unwrap();
+        if system.add_application(app, &future, &weights, &Strategy::AdHoc).is_err() {
+            return Ok(());
+        }
+        let table = system.table();
+        let committed = &system.committed()[0];
+        for (gi, g) in committed.app.graphs.iter().enumerate() {
+            let instances = (table.horizon().ticks() / g.period.ticks()) as u32;
+            for k in 0..instances {
+                for e in g.dag().edge_ids() {
+                    let (s, t) = g.dag().endpoints(e);
+                    let pred = table
+                        .job(incdes_sched::JobId::new(AppId(0), gi, k, s))
+                        .expect("producer job scheduled");
+                    let succ = table
+                        .job(incdes_sched::JobId::new(AppId(0), gi, k, t))
+                        .expect("consumer job scheduled");
+                    if pred.pe == succ.pe {
+                        prop_assert!(succ.start >= pred.end);
+                    } else {
+                        let m = table
+                            .message(AppId(0), incdes_sched::MsgRef::new(gi, e), k)
+                            .expect("cross-PE edge has a bus message");
+                        prop_assert!(m.reservation.transmit_start >= pred.end);
+                        prop_assert!(succ.start >= m.reservation.arrival);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every scheduled message fits its TDMA slot in `tdma::timeline`:
+    /// the slot occurrence exists, is owned by the sender's PE, and the
+    /// transmission window lies inside it.
+    #[test]
+    fn every_message_fits_its_tdma_slot(
+        seed in 0u64..5000,
+        sizes in proptest::collection::vec(4usize..12, 1..3),
+    ) {
+        let cfg = small_cfg(4, 10);
+        let arch = generate_architecture(&cfg).unwrap();
+        let future = incdes::synth::future_profile_for(&cfg, 10);
+        let weights = Weights::default();
+        let mut system = System::new(arch);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for (i, &size) in sizes.iter().enumerate() {
+            let app = generate_application(&cfg, &format!("v{i}"), size, &mut rng).unwrap();
+            if system.add_application(app, &future, &weights, &Strategy::AdHoc).is_err() {
+                break;
+            }
+        }
+        let table = system.table();
+        let bus = incdes::tdma::BusTimeline::new(system.arch().bus(), table.horizon())
+            .expect("table horizon is a multiple of the bus cycle");
+        for m in table.messages() {
+            let r = m.reservation;
+            let occ = bus
+                .occurrence(r.occurrence)
+                .expect("reservation rides an occurrence inside the horizon");
+            prop_assert_eq!(occ.owner, r.owner, "slot owned by the sender");
+            prop_assert!(r.transmit_start >= occ.start, "transmission starts in slot");
+            prop_assert!(r.arrival <= occ.end(), "transmission ends in slot");
+            prop_assert!(r.duration() > incdes::model::Time::ZERO);
+        }
+    }
+
     /// MH never returns a solution worse than its (feasible) start, on any
     /// random instance.
     #[test]
