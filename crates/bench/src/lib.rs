@@ -27,6 +27,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod tables;
+
 use incdes_core::System;
 use incdes_explore::{
     run_campaign, BaseSpec, CampaignSpec, Count, ScenarioOutcome, ScriptStep, StepAction,

@@ -1,0 +1,369 @@
+//! Paper-table rendering of campaign reports.
+//!
+//! `figures tables <report.json>` turns a (merged) [`CampaignReport`]
+//! into the paper's result tables: average **modification cost** per
+//! strategy and size — the objective `C` of each scenario's final
+//! committed application, i.e. the cost of the incremental modification
+//! the scenario models — plus Figure-2-style quality columns. The
+//! report carries no wall-clock fields (that is the determinism
+//! guarantee), so the runtime proxy is the deterministic schedule
+//! **evaluation count**, which is what the paper's figure 2 actually
+//! varies with.
+//!
+//! Output is aligned text plus CSV; both are pure functions of the
+//! report, so sharded CI runs render identical tables.
+
+use incdes_explore::{CampaignReport, ScenarioReport};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// One aggregated row: a `(size, strategy)` cell of the campaign grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRow {
+    /// Value on the size axis.
+    pub size: usize,
+    /// Strategy display name (`AH`, `MH`, `SA`).
+    pub strategy: String,
+    /// Scenarios aggregated into this row.
+    pub scenarios: usize,
+    /// Scenarios whose final add step committed (its cost is defined).
+    pub committed: usize,
+    /// Average modification cost over the committed scenarios.
+    pub avg_cost: f64,
+    /// Average schedule evaluations per scenario (runtime proxy).
+    pub avg_evaluations: f64,
+    /// Average strategy iterations per scenario.
+    pub avg_iterations: f64,
+    /// Feasible steps over all steps of the row's scenarios.
+    pub feasible_steps: usize,
+    /// All steps of the row's scenarios.
+    pub steps: usize,
+    /// Feasible probes over all probe steps (future mappability).
+    pub probe_hits: usize,
+    /// All probe steps.
+    pub probes: usize,
+}
+
+/// The modification cost of one scenario: the objective `C` of its
+/// *last* add step that carries a cost (the incremental modification the
+/// scenario models). `None` when no add committed.
+#[must_use]
+pub fn modification_cost(scenario: &ScenarioReport) -> Option<f64> {
+    scenario
+        .steps
+        .iter()
+        .rev()
+        .find(|s| s.action == "add" && s.cost.is_some())
+        .and_then(|s| s.cost)
+        .map(|c| c.total)
+}
+
+/// Strategy column order: the paper's AH, MH, SA first, anything else
+/// alphabetical after.
+fn strategy_rank(name: &str) -> (usize, String) {
+    let rank = match name {
+        "AH" => 0,
+        "MH" => 1,
+        "SA" => 2,
+        _ => 3,
+    };
+    (rank, name.to_string())
+}
+
+/// Aggregates a report into `(size, strategy)` rows, sorted by size
+/// then by strategy (AH, MH, SA, others).
+#[must_use]
+pub fn table_rows(report: &CampaignReport) -> Vec<TableRow> {
+    let mut cells: BTreeSet<(usize, (usize, String))> = BTreeSet::new();
+    for s in &report.scenarios {
+        cells.insert((s.size, strategy_rank(&s.strategy)));
+    }
+    let mut rows = Vec::new();
+    for (size, (_, strategy)) in cells {
+        let group: Vec<&ScenarioReport> = report
+            .scenarios
+            .iter()
+            .filter(|s| s.size == size && s.strategy == strategy)
+            .collect();
+        let committed: Vec<f64> = group.iter().filter_map(|s| modification_cost(s)).collect();
+        let steps: usize = group.iter().map(|s| s.steps.len()).sum();
+        let feasible_steps = group
+            .iter()
+            .flat_map(|s| &s.steps)
+            .filter(|s| s.feasible)
+            .count();
+        let probes = group
+            .iter()
+            .flat_map(|s| &s.steps)
+            .filter(|s| s.action == "probe")
+            .count();
+        let probe_hits = group
+            .iter()
+            .flat_map(|s| &s.steps)
+            .filter(|s| s.action == "probe" && s.feasible)
+            .count();
+        let evaluations: usize = group
+            .iter()
+            .flat_map(|s| &s.steps)
+            .map(|s| s.evaluations)
+            .sum();
+        let iterations: usize = group
+            .iter()
+            .flat_map(|s| &s.steps)
+            .map(|s| s.iterations)
+            .sum();
+        let n = group.len().max(1) as f64;
+        rows.push(TableRow {
+            size,
+            strategy,
+            scenarios: group.len(),
+            committed: committed.len(),
+            avg_cost: committed.iter().sum::<f64>() / committed.len().max(1) as f64,
+            avg_evaluations: evaluations as f64 / n,
+            avg_iterations: iterations as f64 / n,
+            feasible_steps,
+            steps,
+            probe_hits,
+            probes,
+        });
+    }
+    rows
+}
+
+/// Renders the aligned-text tables of a report.
+#[must_use]
+pub fn render_text(report: &CampaignReport) -> String {
+    let rows = table_rows(report);
+    let strategies: Vec<String> = rows
+        .iter()
+        .map(|r| strategy_rank(&r.strategy))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect();
+    let sizes: Vec<usize> = rows
+        .iter()
+        .map(|r| r.size)
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let cell = |size: usize, strategy: &str| {
+        rows.iter()
+            .find(|r| r.size == size && r.strategy == strategy)
+    };
+    let mut out = String::new();
+
+    let _ = writeln!(
+        out,
+        "## Campaign `{}` — avg modification cost per strategy/size",
+        report.campaign
+    );
+    let _ = write!(out, "{:>6}", "size");
+    for s in &strategies {
+        let _ = write!(out, " {:>10}", format!("{s} cost"));
+    }
+    if strategies.iter().any(|s| s == "SA") {
+        for s in strategies.iter().filter(|s| *s != "SA") {
+            let _ = write!(out, " {:>10}", format!("{s} dev%"));
+        }
+    }
+    let _ = writeln!(out, " {:>5}", "n");
+    for &size in &sizes {
+        let _ = write!(out, "{size:>6}");
+        for s in &strategies {
+            match cell(size, s) {
+                Some(r) if r.committed > 0 => {
+                    let _ = write!(out, " {:>10.1}", r.avg_cost);
+                }
+                _ => {
+                    let _ = write!(out, " {:>10}", "-");
+                }
+            }
+        }
+        let sa = cell(size, "SA")
+            .filter(|r| r.committed > 0)
+            .map(|r| r.avg_cost);
+        if strategies.iter().any(|s| s == "SA") {
+            for s in strategies.iter().filter(|s| *s != "SA") {
+                match (cell(size, s).filter(|r| r.committed > 0), sa) {
+                    // The deviation is undefined at sa_cost == 0 (the
+                    // demo campaign's unloaded systems); print `-`
+                    // rather than clamping the denominator, which would
+                    // silently distort every small-cost row.
+                    (Some(r), Some(sa_cost)) if sa_cost > 0.0 => {
+                        let dev = 100.0 * (r.avg_cost - sa_cost) / sa_cost;
+                        let _ = write!(out, " {:>10.1}", dev);
+                    }
+                    _ => {
+                        let _ = write!(out, " {:>10}", "-");
+                    }
+                }
+            }
+        }
+        let n = strategies
+            .iter()
+            .filter_map(|s| cell(size, s))
+            .map(|r| r.scenarios)
+            .max()
+            .unwrap_or(0);
+        let _ = writeln!(out, " {n:>5}");
+    }
+    let _ = writeln!(out);
+
+    let _ = writeln!(
+        out,
+        "## Schedule evaluations per strategy/size (deterministic runtime proxy, fig. 2)"
+    );
+    let _ = write!(out, "{:>6}", "size");
+    for s in &strategies {
+        let _ = write!(out, " {:>11}", format!("{s} evals"));
+        let _ = write!(out, " {:>11}", format!("{s} iters"));
+    }
+    let _ = writeln!(out);
+    for &size in &sizes {
+        let _ = write!(out, "{size:>6}");
+        for s in &strategies {
+            match cell(size, s) {
+                Some(r) => {
+                    let _ = write!(out, " {:>11.1}", r.avg_evaluations);
+                    let _ = write!(out, " {:>11.1}", r.avg_iterations);
+                }
+                None => {
+                    let _ = write!(out, " {:>11} {:>11}", "-", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out);
+
+    if rows.iter().any(|r| r.probes > 0) {
+        let _ = writeln!(
+            out,
+            "## Future mappability per strategy/size (probe hit rate, fig. 3)"
+        );
+        let _ = write!(out, "{:>6}", "size");
+        for s in &strategies {
+            let _ = write!(out, " {:>10}", format!("{s} map%"));
+        }
+        let _ = writeln!(out, " {:>7}", "probes");
+        for &size in &sizes {
+            let _ = write!(out, "{size:>6}");
+            let mut probes = 0;
+            for s in &strategies {
+                match cell(size, s) {
+                    Some(r) if r.probes > 0 => {
+                        probes = probes.max(r.probes);
+                        let _ = write!(
+                            out,
+                            " {:>10.1}",
+                            100.0 * r.probe_hits as f64 / r.probes as f64
+                        );
+                    }
+                    _ => {
+                        let _ = write!(out, " {:>10}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out, " {probes:>7}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the long-form CSV of a report (one row per `(size,
+/// strategy)` cell, header included).
+#[must_use]
+pub fn render_csv(report: &CampaignReport) -> String {
+    let mut out = String::from(
+        "campaign,size,strategy,scenarios,committed,avg_modification_cost,\
+         avg_evaluations,avg_iterations,feasible_steps,steps,probe_hits,probes\n",
+    );
+    for r in table_rows(report) {
+        let cost = if r.committed > 0 {
+            format!("{:.3}", r.avg_cost)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{:.3},{:.3},{},{},{},{}",
+            report.campaign,
+            r.size,
+            r.strategy,
+            r.scenarios,
+            r.committed,
+            cost,
+            r.avg_evaluations,
+            r.avg_iterations,
+            r.feasible_steps,
+            r.steps,
+            r.probe_hits,
+            r.probes,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdes_explore::{run_campaign, CampaignSpec};
+
+    fn demo_report() -> CampaignReport {
+        run_campaign(&CampaignSpec::small_demo(), 4)
+            .expect("demo spec is valid")
+            .report()
+    }
+
+    #[test]
+    fn rows_cover_the_grid_and_costs_are_finite() {
+        let report = demo_report();
+        let rows = table_rows(&report);
+        // 2 sizes × 2 strategies.
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.scenarios == 2));
+        assert!(rows.iter().all(|r| r.committed == 2));
+        assert!(rows.iter().all(|r| r.avg_cost.is_finite()));
+        assert!(rows.iter().all(|r| r.probes == 2 && r.probe_hits == 2));
+        // MH before SA at each size.
+        assert_eq!(rows[0].strategy, "MH");
+        assert_eq!(rows[1].strategy, "SA");
+        assert!(rows[0].size <= rows[2].size);
+    }
+
+    #[test]
+    fn modification_cost_is_the_last_add_with_cost() {
+        let report = demo_report();
+        let scenario = &report.scenarios[0];
+        let expected = scenario
+            .steps
+            .iter()
+            .filter(|s| s.action == "add")
+            .filter_map(|s| s.cost)
+            .next_back()
+            .unwrap()
+            .total;
+        assert_eq!(modification_cost(scenario), Some(expected));
+    }
+
+    #[test]
+    fn rendering_is_deterministic_and_structured() {
+        let report = demo_report();
+        let text = render_text(&report);
+        assert_eq!(text, render_text(&report), "text render is deterministic");
+        assert!(text.contains("avg modification cost"));
+        assert!(text.contains("MH dev%"), "SA present ⇒ deviation column");
+        assert!(text.contains("Future mappability"));
+
+        let csv = render_csv(&report);
+        assert_eq!(csv, render_csv(&report), "csv render is deterministic");
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 4, "header + one row per grid cell");
+        assert!(lines[0].starts_with("campaign,size,strategy"));
+        assert!(lines[1].starts_with("small-demo,6,MH,2,2,"));
+        let fields = lines[0].split(',').count();
+        assert!(lines.iter().all(|l| l.split(',').count() == fields));
+    }
+}

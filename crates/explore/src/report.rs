@@ -38,6 +38,31 @@ pub struct CampaignTotals {
     pub invariant_violations: usize,
 }
 
+impl CampaignTotals {
+    /// Tallies a set of scenario reports. This is the one definition of
+    /// the totals — the runner, the cached runner and `merge` all use
+    /// it, so a merged report's totals match the unsharded run's
+    /// byte-for-byte.
+    #[must_use]
+    pub fn from_scenarios(scenarios: &[ScenarioReport]) -> CampaignTotals {
+        CampaignTotals {
+            scenarios: scenarios.len(),
+            steps: scenarios.iter().map(|s| s.steps.len()).sum(),
+            feasible_steps: scenarios
+                .iter()
+                .flat_map(|s| &s.steps)
+                .filter(|s| s.feasible)
+                .count(),
+            evaluations: scenarios
+                .iter()
+                .flat_map(|s| &s.steps)
+                .map(|s| s.evaluations)
+                .sum(),
+            invariant_violations: scenarios.iter().map(|s| s.invariant_violations.len()).sum(),
+        }
+    }
+}
+
 /// One scenario's serializable result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioReport {

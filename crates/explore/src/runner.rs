@@ -88,6 +88,38 @@ pub struct ScenarioOutcome {
     pub elapsed: Duration,
 }
 
+impl ScenarioOutcome {
+    /// The deterministic, serializable view of this scenario (the blob
+    /// the campaign store persists — wall-clock timings stay here).
+    #[must_use]
+    pub fn report(&self) -> ScenarioReport {
+        ScenarioReport {
+            index: self.key.index,
+            size: self.key.size,
+            strategy: self.key.strategy.name().to_string(),
+            seed: self.key.seed,
+            weights: self.key.weights.label.clone(),
+            steps: self
+                .steps
+                .iter()
+                .map(|s| StepReport {
+                    step: s.step,
+                    action: s.action.as_str().to_string(),
+                    feasible: s.feasible,
+                    app_id: s.app_id,
+                    cost: s.cost.map(Into::into),
+                    evaluations: s.evaluations,
+                    iterations: s.iterations,
+                    horizon: s.horizon,
+                    error: s.error.clone(),
+                })
+                .collect(),
+            schedule: self.schedule.clone(),
+            invariant_violations: self.invariant_violations.clone(),
+        }
+    }
+}
+
 /// A completed campaign: every scenario's outcome, in spec order.
 #[derive(Debug)]
 pub struct CampaignRun {
@@ -100,55 +132,45 @@ pub struct CampaignRun {
 impl CampaignRun {
     /// Builds the deterministic, serializable report of this run.
     pub fn report(&self) -> CampaignReport {
-        let scenarios: Vec<ScenarioReport> = self
-            .outcomes
-            .iter()
-            .map(|o| ScenarioReport {
-                index: o.key.index,
-                size: o.key.size,
-                strategy: o.key.strategy.name().to_string(),
-                seed: o.key.seed,
-                weights: o.key.weights.label.clone(),
-                steps: o
-                    .steps
-                    .iter()
-                    .map(|s| StepReport {
-                        step: s.step,
-                        action: s.action.as_str().to_string(),
-                        feasible: s.feasible,
-                        app_id: s.app_id,
-                        cost: s.cost.map(Into::into),
-                        evaluations: s.evaluations,
-                        iterations: s.iterations,
-                        horizon: s.horizon,
-                        error: s.error.clone(),
-                    })
-                    .collect(),
-                schedule: o.schedule.clone(),
-                invariant_violations: o.invariant_violations.clone(),
-            })
-            .collect();
-        let totals = CampaignTotals {
-            scenarios: scenarios.len(),
-            steps: scenarios.iter().map(|s| s.steps.len()).sum(),
-            feasible_steps: scenarios
-                .iter()
-                .flat_map(|s| &s.steps)
-                .filter(|s| s.feasible)
-                .count(),
-            evaluations: scenarios
-                .iter()
-                .flat_map(|s| &s.steps)
-                .map(|s| s.evaluations)
-                .sum(),
-            invariant_violations: scenarios.iter().map(|s| s.invariant_violations.len()).sum(),
-        };
+        let scenarios: Vec<ScenarioReport> =
+            self.outcomes.iter().map(ScenarioOutcome::report).collect();
+        let totals = CampaignTotals::from_scenarios(&scenarios);
         CampaignReport {
             campaign: self.name.clone(),
             scenarios,
             totals,
         }
     }
+}
+
+/// Everything scenario execution needs that is shared across the whole
+/// campaign: the resolved generator configuration, its future-WCET
+/// variant, the architecture and the demand-scaled future profile. All
+/// of it is a pure function of the spec.
+pub(crate) struct CampaignEnv {
+    pub(crate) cfg: SynthConfig,
+    pub(crate) future_cfg: SynthConfig,
+    pub(crate) arch: Architecture,
+    pub(crate) future: FutureProfile,
+}
+
+/// Resolves the shared campaign environment of a *validated* spec.
+pub(crate) fn prepare_env(spec: &CampaignSpec) -> Result<CampaignEnv, SpecError> {
+    let cfg = spec.resolve_config()?;
+    let arch = generate_architecture(&cfg)?;
+    let future_cfg = SynthConfig {
+        wcet: future_wcet_range(&cfg),
+        ..cfg.clone()
+    };
+    let mut future = future_profile_for(&cfg, spec.future_processes);
+    future.t_need = Time::new((future.t_need.as_f64() * spec.demand_factor).round() as u64);
+    future.b_need = Time::new((future.b_need.as_f64() * spec.demand_factor).round() as u64);
+    Ok(CampaignEnv {
+        cfg,
+        future_cfg,
+        arch,
+        future,
+    })
 }
 
 /// Runs every scenario of `spec` over `workers` OS threads and returns
@@ -170,17 +192,25 @@ impl CampaignRun {
 /// to catch).
 pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> Result<CampaignRun, SpecError> {
     spec.validate()?;
-    let cfg = spec.resolve_config()?;
-    let arch = generate_architecture(&cfg)?;
-    let future_cfg = SynthConfig {
-        wcet: future_wcet_range(&cfg),
-        ..cfg.clone()
-    };
-    let mut future = future_profile_for(&cfg, spec.future_processes);
-    future.t_need = Time::new((future.t_need.as_f64() * spec.demand_factor).round() as u64);
-    future.b_need = Time::new((future.b_need.as_f64() * spec.demand_factor).round() as u64);
-
+    let env = prepare_env(spec)?;
     let keys = spec.scenarios();
+    let mut outcomes = run_scenarios(spec, &env, &keys, workers);
+    outcomes.sort_by_key(|o| o.key.index);
+    Ok(CampaignRun {
+        name: spec.name.clone(),
+        outcomes,
+    })
+}
+
+/// Executes the given scenarios over a pool of `workers` threads and
+/// returns their outcomes in arbitrary order. Shared by the plain and
+/// the store-backed runner.
+pub(crate) fn run_scenarios(
+    spec: &CampaignSpec,
+    env: &CampaignEnv,
+    keys: &[ScenarioKey],
+    workers: usize,
+) -> Vec<ScenarioOutcome> {
     let scenario_count = keys.len();
     let workers = workers.clamp(1, scenario_count.max(1));
     let next = AtomicUsize::new(0);
@@ -192,7 +222,7 @@ pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> Result<CampaignRun, 
                 if i >= scenario_count {
                     break;
                 }
-                let outcome = run_scenario(spec, &cfg, &future_cfg, &arch, &future, &keys[i]);
+                let outcome = run_scenario(spec, env, &keys[i]);
                 collected
                     .lock()
                     .expect("no poisoned scenario lock")
@@ -200,12 +230,7 @@ pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> Result<CampaignRun, 
             });
         }
     });
-    let mut outcomes = collected.into_inner().expect("no poisoned scenario lock");
-    outcomes.sort_by_key(|o| o.key.index);
-    Ok(CampaignRun {
-        name: spec.name.clone(),
-        outcomes,
-    })
+    collected.into_inner().expect("no poisoned scenario lock")
 }
 
 /// The scenario's strategy with SA reseeded from the scenario seed, so
@@ -268,14 +293,17 @@ fn invariant_violation(system: &System) -> Option<String> {
         .map(|e| e.to_string())
 }
 
-fn run_scenario(
+pub(crate) fn run_scenario(
     spec: &CampaignSpec,
-    cfg: &SynthConfig,
-    future_cfg: &SynthConfig,
-    arch: &Architecture,
-    future: &FutureProfile,
+    env: &CampaignEnv,
     key: &ScenarioKey,
 ) -> ScenarioOutcome {
+    let CampaignEnv {
+        cfg,
+        future_cfg,
+        arch,
+        future,
+    } = env;
     let scenario_start = Instant::now();
     let mut rng = ChaCha8Rng::seed_from_u64(key.seed);
     let mut system = System::new(arch.clone());

@@ -5,9 +5,10 @@
 //! API. See [`incdes_core`] for the incremental design session,
 //! [`incdes_mapping`] for the mapping strategies (IM/AH/MH/SA),
 //! [`incdes_metrics`] for the C1/C2 design metrics,
-//! [`incdes_synth`] for the synthetic benchmark generator, and
+//! [`incdes_synth`] for the synthetic benchmark generator,
 //! [`incdes_explore`] for deterministic scenario campaigns over all of
-//! the above.
+//! the above, and [`incdes_store`] for the content-addressed persistent
+//! campaign store that makes those campaigns resumable and shardable.
 
 pub use incdes_core as core;
 pub use incdes_explore as explore;
@@ -16,6 +17,7 @@ pub use incdes_mapping as mapping;
 pub use incdes_metrics as metrics;
 pub use incdes_model as model;
 pub use incdes_sched as sched;
+pub use incdes_store as store;
 pub use incdes_synth as synth;
 pub use incdes_tdma as tdma;
 

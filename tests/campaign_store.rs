@@ -1,0 +1,235 @@
+//! Persistent-campaign-store regression suite: the acceptance
+//! guarantees of `crates/store` + `incdes_explore::cache` on the small
+//! demo campaign.
+//!
+//! * A warm (fully cached) rerun executes **0** scenarios and produces
+//!   a `CampaignReport` byte-identical to the cold run's.
+//! * Running shards `1/4 … 4/4` and merging yields a report
+//!   byte-identical to the unsharded run, at worker counts 1 and 8 and
+//!   in any merge order.
+//! * A truncated or hand-edited blob is a cache miss (re-run,
+//!   overwritten), never a panic.
+
+use incdes::explore::{
+    merge_reports, run_campaign, run_campaign_store, scenario_store_key, CampaignSpec, Shard,
+    StoreOptions,
+};
+use incdes::store::{Lookup, Store};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fresh store under the target directory (kept out of temp so CI
+/// sandboxes with odd /tmp permissions still work).
+fn fresh_store(label: &str) -> (PathBuf, Store) {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = PathBuf::from("target").join(format!(
+        "test-campaign-store-{label}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).expect("store opens under target/");
+    (dir, store)
+}
+
+fn report_json(
+    spec: &CampaignSpec,
+    opts: &StoreOptions<'_>,
+) -> (String, incdes::explore::CacheStats) {
+    let run = run_campaign_store(spec, opts).expect("demo spec is valid");
+    let json = run.report.to_json_pretty().expect("report serializes");
+    (json, run.stats)
+}
+
+#[test]
+fn warm_rerun_executes_zero_scenarios_byte_identically() {
+    let spec = CampaignSpec::small_demo();
+    let (dir, store) = fresh_store("warm");
+    let opts = StoreOptions {
+        workers: 4,
+        store: Some(&store),
+        shard: None,
+    };
+
+    let (cold, cold_stats) = report_json(&spec, &opts);
+    assert_eq!(cold_stats.scenarios, 8);
+    assert_eq!(cold_stats.executed, 8);
+    assert_eq!(cold_stats.hits, 0);
+    assert_eq!(store.len().unwrap(), 8, "every scenario persisted a blob");
+
+    let (warm, warm_stats) = report_json(&spec, &opts);
+    assert_eq!(warm_stats.executed, 0, "warm rerun executes nothing");
+    assert_eq!(warm_stats.hits, 8);
+    assert_eq!(cold, warm, "warm report must be byte-identical");
+
+    // And identical to the plain (storeless) runner's report.
+    let plain = run_campaign(&spec, 4)
+        .unwrap()
+        .report()
+        .to_json_pretty()
+        .unwrap();
+    assert_eq!(cold, plain, "the store must never change report bytes");
+
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn shard_merge_is_byte_identical_across_worker_counts() {
+    let spec = CampaignSpec::small_demo();
+    let unsharded = run_campaign(&spec, 1).unwrap().report();
+    let unsharded_json = unsharded.to_json_pretty().unwrap();
+
+    for workers in [1usize, 8] {
+        // No store: sharding must be correct on its own.
+        let mut parts = Vec::new();
+        let mut selected_total = 0;
+        for index in 1..=4 {
+            let opts = StoreOptions {
+                workers,
+                store: None,
+                shard: Some(Shard::new(index, 4).unwrap()),
+            };
+            let run = run_campaign_store(&spec, &opts).expect("demo spec is valid");
+            selected_total += run.stats.selected;
+            parts.push(run.report);
+        }
+        assert_eq!(selected_total, 8, "shards partition the grid exactly");
+
+        let merged = merge_reports(parts.clone()).expect("all shards merge");
+        assert_eq!(
+            merged.to_json_pretty().unwrap(),
+            unsharded_json,
+            "workers={workers}: shard(1..4)+merge must equal the unsharded report"
+        );
+
+        // Order independence: reversed merge input, same bytes.
+        parts.reverse();
+        let merged_rev = merge_reports(parts).expect("order must not matter");
+        assert_eq!(merged_rev.to_json_pretty().unwrap(), unsharded_json);
+    }
+}
+
+#[test]
+fn sharded_runs_share_one_store_with_the_unsharded_run() {
+    let spec = CampaignSpec::small_demo();
+    let (dir, store) = fresh_store("shared");
+
+    // Shards 1..4 run cold against the shared store, as separate CI
+    // processes would.
+    let mut parts = Vec::new();
+    for index in 1..=4 {
+        let opts = StoreOptions {
+            workers: 2,
+            store: Some(&store),
+            shard: Some(Shard::new(index, 4).unwrap()),
+        };
+        let run = run_campaign_store(&spec, &opts).unwrap();
+        assert_eq!(run.stats.hits, 0, "shard {index} runs cold");
+        assert_eq!(run.stats.executed, run.stats.selected);
+        parts.push(run.report);
+    }
+
+    // The unsharded warm run is then fully served by the shards' blobs.
+    let opts = StoreOptions {
+        workers: 4,
+        store: Some(&store),
+        shard: None,
+    };
+    let (warm_json, stats) = report_json(&spec, &opts);
+    assert_eq!(stats.executed, 0, "shards filled the store completely");
+    assert_eq!(stats.hits, 8);
+    assert_eq!(
+        warm_json,
+        merge_reports(parts).unwrap().to_json_pretty().unwrap(),
+        "merge and warm unsharded run agree byte-for-byte"
+    );
+
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn corrupt_blobs_are_misses_not_panics() {
+    let spec = CampaignSpec::small_demo();
+    let (dir, store) = fresh_store("corrupt");
+    let opts = StoreOptions {
+        workers: 4,
+        store: Some(&store),
+        shard: None,
+    };
+    let (cold, _) = report_json(&spec, &opts);
+
+    // Damage two blobs: one truncated mid-payload, one hand-edited to
+    // valid-looking-but-unchecksummed content.
+    let keys: Vec<_> = spec
+        .scenarios()
+        .iter()
+        .map(|k| scenario_store_key(&spec, k).unwrap())
+        .collect();
+    let blob_path = |hex: &str| {
+        dir.join(format!("v{}", incdes::store::FORMAT_EPOCH))
+            .join(&hex[..2])
+            .join(format!("{hex}.blob"))
+    };
+    let truncated = blob_path(&keys[0].hex());
+    let body = fs::read_to_string(&truncated).unwrap();
+    fs::write(&truncated, &body[..body.len() / 3]).unwrap();
+    let edited = blob_path(&keys[5].hex());
+    let body = fs::read_to_string(&edited).unwrap();
+    assert!(
+        body.contains("\"feasible\":true"),
+        "blob payload is compact JSON"
+    );
+    fs::write(
+        &edited,
+        body.replace("\"feasible\":true", "\"feasible\":false"),
+    )
+    .unwrap();
+    assert_eq!(store.lookup(&keys[0]), Lookup::Corrupt);
+
+    // The warm run treats both as misses, re-runs exactly those two and
+    // still reproduces the cold report byte-for-byte.
+    let (repaired, stats) = report_json(&spec, &opts);
+    assert_eq!(stats.corrupt, 2, "both damaged blobs detected");
+    assert_eq!(stats.executed, 2, "only the damaged scenarios re-ran");
+    assert_eq!(stats.hits, 6);
+    assert_eq!(repaired, cold);
+
+    // And the store is repaired: a further rerun is fully cached.
+    let (_, healed) = report_json(&spec, &opts);
+    assert_eq!(healed.executed, 0);
+    assert_eq!(healed.corrupt, 0);
+
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn spec_edits_rerun_only_the_delta() {
+    let mut spec = CampaignSpec::small_demo();
+    let (dir, store) = fresh_store("delta");
+    let opts = StoreOptions {
+        workers: 4,
+        store: Some(&store),
+        shard: None,
+    };
+    let (_, cold) = report_json(&spec, &opts);
+    assert_eq!(cold.executed, 8);
+
+    // Adding a seed re-runs only the new seed's scenarios (4 of 12):
+    // the paper's incremental argument applied to the evaluation sweep.
+    spec.seeds.push(7);
+    let (_, grown) = report_json(&spec, &opts);
+    assert_eq!(grown.scenarios, 12);
+    assert_eq!(grown.hits, 8, "old grid points stay cached");
+    assert_eq!(grown.executed, 4, "only the new seed executes");
+
+    // Dropping a size reshapes the grid (indices shift) but every
+    // surviving grid point is still served from cache.
+    spec.sizes.remove(0);
+    let (_, shrunk) = report_json(&spec, &opts);
+    assert_eq!(shrunk.scenarios, 6);
+    assert_eq!(shrunk.executed, 0, "index shifts must not evict blobs");
+    assert_eq!(shrunk.hits, 6);
+
+    let _ = fs::remove_dir_all(dir);
+}
