@@ -7,6 +7,7 @@
 //! figures merge SHARD.json... [--out FILE]
 //! figures tables REPORT.json [--csv FILE]
 //! figures bench-store [--store DIR] [--out FILE]
+//! figures bench-eval [--out FILE] [--evals N] [--full]
 //! ```
 //!
 //! `--small` switches to the scaled-down preset (seconds instead of
@@ -28,6 +29,10 @@
 //!   as aligned text + CSV (see `incdes_bench::tables`).
 //! * `bench-store` times a cold vs. warm (fully cached) demo campaign
 //!   and writes the wall-clock comparison as `BENCH_campaign.json`.
+//! * `bench-eval` times `MappingContext::evaluate` through the naive
+//!   pipeline vs. the incremental evaluation engine, per system size and
+//!   per strategy, and writes `BENCH_eval.json`; it fails unless the
+//!   engine's memo actually saved raw schedules.
 
 use incdes_bench::{
     run_fit_ablation, run_future, run_mh_ablation, run_quality, run_runtime, scaled_future, tables,
@@ -52,6 +57,7 @@ fn main() {
         Some("merge") => return merge_cmd(&args[1..]),
         Some("tables") => return tables_cmd(&args[1..]),
         Some("bench-store") => return bench_store_cmd(&args[1..]),
+        Some("bench-eval") => return bench_eval_cmd(&args[1..]),
         _ => {}
     }
     let small = args.iter().any(|a| a == "--small");
@@ -95,7 +101,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown figure '{other}' (expected f1|f2|f3|t1|ablate-fit|ablate-mh|all \
-                 or a subcommand: campaign|merge|tables|bench-store)"
+                 or a subcommand: campaign|merge|tables|bench-store|bench-eval)"
             );
             std::process::exit(2);
         }
@@ -344,6 +350,105 @@ fn bench_store_cmd(args: &[String]) {
         "# bench-store: cold {cold_ms:.1} ms, warm {warm_ms:.1} ms \
          ({} scenarios, all cached on rerun) -> {out}",
         cold.stats.scenarios
+    );
+}
+
+/// `figures bench-eval`: naive vs. incremental-engine evaluation
+/// throughput per system size and strategy, written as the
+/// `BENCH_eval.json` perf artifact. Dies unless the engine path on the
+/// largest scenario actually saved work (memo hits > 0, raw schedules <
+/// evaluations) — the cheap CI regression guard on the engine.
+fn bench_eval_cmd(args: &[String]) {
+    let mut out = "BENCH_eval.json".to_string();
+    let mut evals = 400usize;
+    let mut full = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => out = flag_value(args, &mut i, "--out").to_string(),
+            "--evals" => {
+                evals = flag_value(args, &mut i, "--evals")
+                    .parse()
+                    .unwrap_or_else(|_| die("--evals needs a positive integer"));
+            }
+            "--full" => full = true,
+            other => die(format!("unknown bench-eval flag `{other}`")),
+        }
+        i += 1;
+    }
+    let (preset, preset_name) = if full {
+        (dac2001(), "dac2001")
+    } else {
+        (dac2001_small(), "dac2001-small")
+    };
+    let (mh_cfg, sa_cfg) = configs(!full);
+
+    let t0 = Instant::now();
+    let bench = incdes_bench::run_eval_bench(&preset, evals, &mh_cfg, &sa_cfg);
+    eprintln!(
+        "# bench-eval: {} sizes x {} evals + 3 strategies in {:.1?}",
+        bench.raw.len(),
+        evals,
+        t0.elapsed()
+    );
+
+    println!("## Evaluation engine — raw evaluate() throughput (naive vs. engine)");
+    println!(
+        "{:>7} {:>8} {:>12} {:>8} {:>14} {:>14} {:>8} {:>10} {:>10}",
+        "system",
+        "current",
+        "frozen jobs",
+        "evals",
+        "naive ev/s",
+        "engine ev/s",
+        "speedup",
+        "memo hits",
+        "raw scheds"
+    );
+    for r in &bench.raw {
+        println!(
+            "{:>7} {:>8} {:>12} {:>8} {:>14.0} {:>14.0} {:>8.2} {:>10} {:>10}",
+            r.size,
+            r.current,
+            r.frozen_jobs,
+            r.evals,
+            r.naive_evals_per_sec,
+            r.engine_evals_per_sec,
+            r.speedup,
+            r.memo_hits,
+            r.raw_schedules
+        );
+    }
+    println!("\n## Evaluation engine — full strategy runs");
+    println!(
+        "{:>6} {:>6} {:>12} {:>12} {:>8} {:>8}",
+        "size", "strat", "naive ms", "engine ms", "speedup", "evals"
+    );
+    for r in &bench.strategies {
+        println!(
+            "{:>6} {:>6} {:>12.1} {:>12.1} {:>8.2} {:>8}",
+            r.size, r.strategy, r.naive_ms, r.engine_ms, r.speedup, r.evaluations
+        );
+    }
+
+    // Regression guard: on the largest scenario the engine must have
+    // skipped duplicate schedules through the memo.
+    let largest = bench.raw.last().expect("presets have sizes");
+    if largest.memo_hits == 0 {
+        die("engine memo never hit on the bench stream (expected revisits to be served)");
+    }
+    if largest.raw_schedules >= largest.evals {
+        die(format!(
+            "engine executed {} raw schedules for {} evaluations (expected fewer)",
+            largest.raw_schedules, largest.evals
+        ));
+    }
+
+    let json = incdes_bench::eval_bench::render_json(&bench, preset_name);
+    std::fs::write(&out, &json).unwrap_or_else(|e| die(format!("cannot write {out}: {e}")));
+    eprintln!(
+        "# bench-eval: largest size {} speedup {:.2}x -> {out}",
+        largest.size, largest.speedup
     );
 }
 

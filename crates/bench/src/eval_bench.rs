@@ -1,0 +1,426 @@
+//! The evaluation-engine benchmark behind `figures bench-eval`.
+//!
+//! Measures `MappingContext::evaluate` throughput (evaluations per
+//! second) on the naive pipeline (`schedule()` +
+//! `SlackProfile::from_table` + `objective::evaluate`, re-replaying the
+//! frozen schedule every call) versus the incremental engine
+//! (`FrozenBase` + `Scheduler` + memo), per system size and per
+//! strategy, on a frozen base system built from a paper preset. The
+//! `figures` binary renders the rows and persists them as
+//! `BENCH_eval.json` so the speedup is a tracked artifact.
+//!
+//! The two paths are also cross-checked here: a sample of the evaluation
+//! stream and every strategy outcome must agree between naive and engine
+//! before a row is reported.
+
+use crate::{build_base_system, current_application, BaseSystem};
+use incdes_mapping::{
+    initial_mapping, run_strategy, MappingContext, MhConfig, Move, SaConfig, Solution, Strategy,
+};
+use incdes_model::time::hyperperiod;
+use incdes_model::{AppId, Application, PeId, ProcRef, Time};
+use incdes_sched::{MsgRef, ScheduleTable};
+use incdes_synth::paper::PaperPreset;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// One row of the raw-throughput comparison: the same deterministic
+/// stream of design alternatives evaluated through both pipelines.
+///
+/// The row axis is the *system* size — the frozen processes already
+/// committed — with a fixed mid-size current application, because that
+/// is the paper's workload: the existing system grows over a product's
+/// lifetime while each incremental addition stays modest, and the naive
+/// pipeline re-replays that whole frozen history on every evaluation.
+#[derive(Debug, Clone)]
+pub struct EvalBenchRow {
+    /// Frozen processes committed to the system before the current app.
+    pub size: usize,
+    /// Processes in the current application.
+    pub current: usize,
+    /// Frozen jobs replayed by the naive path on every evaluation.
+    pub frozen_jobs: usize,
+    /// Evaluations timed per pipeline.
+    pub evals: usize,
+    /// Naive pipeline throughput.
+    pub naive_evals_per_sec: f64,
+    /// Engine pipeline throughput.
+    pub engine_evals_per_sec: f64,
+    /// `engine / naive`.
+    pub speedup: f64,
+    /// Engine evaluations answered from the solution memo.
+    pub memo_hits: usize,
+    /// Raw schedules the engine actually executed.
+    pub raw_schedules: usize,
+}
+
+/// One row of the per-strategy comparison: a full `run_strategy` on a
+/// naive context versus an engine context.
+#[derive(Debug, Clone)]
+pub struct StrategyBenchRow {
+    /// Processes in the current application.
+    pub size: usize,
+    /// Strategy display name (`AH`, `MH`, `SA`).
+    pub strategy: &'static str,
+    /// Wall-clock of the naive-context run, in milliseconds.
+    pub naive_ms: f64,
+    /// Wall-clock of the engine-context run, in milliseconds.
+    pub engine_ms: f64,
+    /// `naive_ms / engine_ms`.
+    pub speedup: f64,
+    /// Evaluations the strategy spent (identical on both paths).
+    pub evaluations: usize,
+}
+
+/// The full benchmark result.
+#[derive(Debug, Clone)]
+pub struct EvalBench {
+    /// Raw-throughput rows, one per current-application size.
+    pub raw: Vec<EvalBenchRow>,
+    /// Per-strategy rows (AH, MH, SA at every size).
+    pub strategies: Vec<StrategyBenchRow>,
+}
+
+/// Ingredients of one benchmark scenario.
+struct Scenario {
+    base: BaseSystem,
+    app: Application,
+    frozen: ScheduleTable,
+    horizon: Time,
+    id: AppId,
+}
+
+impl Scenario {
+    fn build(preset: &PaperPreset, size: usize, seed: u64) -> Scenario {
+        let base = build_base_system(preset, seed);
+        let app = current_application(preset, size, seed);
+        let mut periods = vec![base.system.horizon()];
+        periods.extend(app.graphs.iter().map(|g| g.period));
+        let horizon = hyperperiod(periods).expect("periods are harmonic and small");
+        let frozen = base
+            .system
+            .table()
+            .replicate_to(base.system.arch(), horizon)
+            .expect("horizon is a multiple of the committed horizon");
+        let id = AppId(base.system.app_count() as u32);
+        Scenario {
+            base,
+            app,
+            frozen,
+            horizon,
+            id,
+        }
+    }
+
+    fn context(&self) -> MappingContext<'_> {
+        MappingContext::new(
+            self.base.system.arch(),
+            self.id,
+            &self.app,
+            Some(&self.frozen),
+            self.horizon,
+            &self.base.future,
+            &self.base.weights,
+        )
+    }
+}
+
+/// A deterministic SA-like stream of design alternatives: a random walk
+/// of remap/slack moves from the initial mapping, with roughly a quarter
+/// of the entries revisiting an earlier state (the workload pattern the
+/// memo exists for).
+fn solution_stream(scenario: &Scenario, count: usize) -> Vec<Solution> {
+    let scratch = scenario.context();
+    let initial = initial_mapping(&scratch).expect("bench scenario is feasible");
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBE_EC);
+    let procs: Vec<(ProcRef, Vec<PeId>)> = scenario
+        .app
+        .processes()
+        .map(|(r, p)| {
+            let pes: Vec<PeId> = p
+                .wcets
+                .iter()
+                .map(|(pe, _)| pe)
+                .filter(|pe| pe.index() < scenario.base.system.arch().pe_count())
+                .collect();
+            (r, pes)
+        })
+        .collect();
+    let msgs: Vec<MsgRef> = scenario
+        .app
+        .graphs
+        .iter()
+        .enumerate()
+        .flat_map(|(gi, g)| g.dag().edge_ids().map(move |e| MsgRef::new(gi, e)))
+        .collect();
+
+    let mut stream = vec![initial.clone()];
+    let mut current = initial;
+    while stream.len() < count {
+        if stream.len() > 4 && rng.gen_range(0u32..100) < 25 {
+            // Revisit an earlier state.
+            let back = rng.gen_range(0..stream.len());
+            stream.push(stream[back].clone());
+            continue;
+        }
+        let mv = loop {
+            let dice = rng.gen_range(0u32..100);
+            if dice < 60 {
+                let (pr, pes) = &procs[rng.gen_range(0..procs.len())];
+                let candidates: Vec<PeId> = pes
+                    .iter()
+                    .copied()
+                    .filter(|&pe| current.mapping.pe_of(*pr) != Some(pe))
+                    .collect();
+                if let Some(&to) = candidates.choose(&mut rng) {
+                    break Move::Remap { proc_ref: *pr, to };
+                }
+            } else if dice < 85 {
+                let (pr, _) = &procs[rng.gen_range(0..procs.len())];
+                let h = current.hints.proc_gap(*pr);
+                break Move::ProcSlack {
+                    proc_ref: *pr,
+                    gap: if h > 0 && rng.gen_bool(0.5) {
+                        h - 1
+                    } else {
+                        h + 1
+                    },
+                };
+            } else if !msgs.is_empty() {
+                let mr = msgs[rng.gen_range(0..msgs.len())];
+                let h = current.hints.msg_slot(mr);
+                break Move::MsgSlack {
+                    msg: mr,
+                    slot: if h > 0 && rng.gen_bool(0.5) {
+                        h - 1
+                    } else {
+                        h + 1
+                    },
+                };
+            }
+        };
+        current.apply(&mv);
+        stream.push(current.clone());
+    }
+    stream
+}
+
+/// Runs the benchmark: raw-throughput rows for every size of the preset
+/// plus per-strategy rows, all on `preset.seeds[0]`.
+///
+/// # Panics
+///
+/// Panics if the two pipelines ever disagree on a result — the speedup
+/// of a wrong answer is not worth reporting.
+pub fn run_eval_bench(
+    preset: &PaperPreset,
+    evals_per_size: usize,
+    mh_cfg: &MhConfig,
+    sa_cfg: &SaConfig,
+) -> EvalBench {
+    let seed = preset.seeds[0];
+    let mut raw = Vec::new();
+    let mut strategies = Vec::new();
+
+    // Raw throughput: system-size sweep (a quarter, half and all of the
+    // preset's existing system — the preset's own base is the largest
+    // that is guaranteed to fit) around a fixed mid-size current app.
+    let current = preset.current_sizes[preset.current_sizes.len() / 2];
+    let system_sizes = [
+        preset.existing_processes / 4,
+        preset.existing_processes / 2,
+        preset.existing_processes,
+    ];
+    for system_size in system_sizes {
+        let mut sized = preset.clone();
+        sized.existing_processes = system_size;
+        let scenario = Scenario::build(&sized, current, seed);
+        let stream = solution_stream(&scenario, evals_per_size);
+
+        // Differential check on a sample before anything is timed.
+        {
+            let naive = scenario.context().with_naive_evaluation();
+            let engine = scenario.context();
+            for sol in stream.iter().take(16) {
+                match (naive.evaluate(sol), engine.evaluate(sol)) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.table, b.table, "engine/naive table mismatch");
+                        assert_eq!(a.slack, b.slack, "engine/naive slack mismatch");
+                        assert_eq!(a.cost, b.cost, "engine/naive cost mismatch");
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b, "engine/naive error mismatch"),
+                    (a, b) => panic!("engine/naive feasibility mismatch: {a:?} vs {b:?}"),
+                }
+            }
+        }
+
+        // Each repetition uses a *fresh* context (a cold memo — the
+        // revisit hits inside one pass are the workload, carrying a warm
+        // memo across passes would not be); the minimum over repetitions
+        // discards scheduler-noise outliers, as criterion would.
+        const REPS: usize = 3;
+        let time_stream = |ctx: &MappingContext<'_>| -> f64 {
+            let t = Instant::now();
+            for sol in &stream {
+                let _ = ctx.evaluate(sol);
+            }
+            t.elapsed().as_secs_f64()
+        };
+        // Untimed warmup pass per pipeline (page cache, allocator).
+        time_stream(&scenario.context().with_naive_evaluation());
+        time_stream(&scenario.context());
+
+        let mut naive_secs = f64::INFINITY;
+        let mut engine_secs = f64::INFINITY;
+        let mut memo_hits = 0;
+        let mut raw_schedules = 0;
+        for _ in 0..REPS {
+            naive_secs = naive_secs.min(time_stream(&scenario.context().with_naive_evaluation()));
+            let engine_ctx = scenario.context();
+            engine_secs = engine_secs.min(time_stream(&engine_ctx));
+            memo_hits = engine_ctx.memo_hit_count();
+            raw_schedules = engine_ctx.raw_schedule_count();
+        }
+
+        raw.push(EvalBenchRow {
+            size: system_size,
+            current,
+            frozen_jobs: scenario.frozen.jobs().len(),
+            evals: stream.len(),
+            naive_evals_per_sec: stream.len() as f64 / naive_secs.max(1e-9),
+            engine_evals_per_sec: stream.len() as f64 / engine_secs.max(1e-9),
+            speedup: naive_secs / engine_secs.max(1e-9),
+            memo_hits,
+            raw_schedules,
+        });
+    }
+
+    // Full strategy runs: current-application sweep on the standard base.
+    for &size in &preset.current_sizes {
+        let scenario = Scenario::build(preset, size, seed);
+        for strategy in [
+            Strategy::AdHoc,
+            Strategy::MappingHeuristic(*mh_cfg),
+            Strategy::SimulatedAnnealing(*sa_cfg),
+        ] {
+            let naive_ctx = scenario.context().with_naive_evaluation();
+            let t0 = Instant::now();
+            let naive_out = run_strategy(&naive_ctx, &strategy);
+            let naive_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            let engine_ctx = scenario.context();
+            let t1 = Instant::now();
+            let engine_out = run_strategy(&engine_ctx, &strategy);
+            let engine_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+            let evaluations = match (&naive_out, &engine_out) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(
+                        a.evaluation.cost,
+                        b.evaluation.cost,
+                        "strategy {} cost diverged between pipelines",
+                        strategy.name()
+                    );
+                    assert_eq!(a.stats.evaluations, b.stats.evaluations);
+                    b.stats.evaluations
+                }
+                (Err(_), Err(_)) => 0,
+                _ => panic!(
+                    "strategy {} feasibility diverged between pipelines",
+                    strategy.name()
+                ),
+            };
+            strategies.push(StrategyBenchRow {
+                size,
+                strategy: strategy.name(),
+                naive_ms,
+                engine_ms,
+                speedup: naive_ms / engine_ms.max(1e-9),
+                evaluations,
+            });
+        }
+    }
+    EvalBench { raw, strategies }
+}
+
+/// Renders the benchmark as the `BENCH_eval.json` artifact.
+pub fn render_json(bench: &EvalBench, preset_name: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"eval_engine\",\n");
+    out.push_str(&format!("  \"preset\": \"{preset_name}\",\n"));
+    out.push_str("  \"raw\": [\n");
+    for (i, r) in bench.raw.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"system_size\": {}, \"current\": {}, \"frozen_jobs\": {}, \"evals\": {}, \
+             \"naive_evals_per_sec\": {:.1}, \"engine_evals_per_sec\": {:.1}, \
+             \"speedup\": {:.2}, \"memo_hits\": {}, \"raw_schedules\": {}}}{}\n",
+            r.size,
+            r.current,
+            r.frozen_jobs,
+            r.evals,
+            r.naive_evals_per_sec,
+            r.engine_evals_per_sec,
+            r.speedup,
+            r.memo_hits,
+            r.raw_schedules,
+            if i + 1 < bench.raw.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"strategies\": [\n");
+    for (i, r) in bench.strategies.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"size\": {}, \"strategy\": \"{}\", \"naive_ms\": {:.3}, \
+             \"engine_ms\": {:.3}, \"speedup\": {:.2}, \"evaluations\": {}}}{}\n",
+            r.size,
+            r.strategy,
+            r.naive_ms,
+            r.engine_ms,
+            r.speedup,
+            r.evaluations,
+            if i + 1 < bench.strategies.len() {
+                ","
+            } else {
+                ""
+            },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdes_synth::paper::dac2001_small;
+
+    #[test]
+    fn bench_runs_and_pipelines_agree() {
+        // A tiny run: the differential assertions inside run_eval_bench
+        // are the point; sizes and eval counts stay minimal.
+        let mut preset = dac2001_small();
+        preset.current_sizes = vec![10];
+        preset.existing_processes = 40; // raw rows sweep 10 / 20 / 40
+        let bench = run_eval_bench(
+            &preset,
+            24,
+            &MhConfig {
+                max_iterations: 2,
+                ..MhConfig::default()
+            },
+            &SaConfig {
+                max_evaluations: 30,
+                ..SaConfig::quick()
+            },
+        );
+        assert_eq!(bench.raw.len(), 3);
+        assert_eq!(bench.strategies.len(), 3);
+        let r = bench.raw.last().unwrap();
+        assert!(r.memo_hits > 0, "revisits must hit the memo");
+        assert!(r.raw_schedules < r.evals, "memo must save raw schedules");
+        let json = render_json(&bench, "test");
+        assert!(json.contains("\"bench\": \"eval_engine\""));
+    }
+}

@@ -18,6 +18,12 @@
 //! binary prints the rows, and the criterion benches wrap the same
 //! functions at reduced scale.
 //!
+//! [`eval_bench`] (driving `figures bench-eval`) measures the
+//! incremental evaluation engine against the naive pipeline — raw
+//! `MappingContext::evaluate` throughput per system size plus full
+//! strategy runs — and emits the tracked `BENCH_eval.json` perf
+//! artifact next to `bench-store`'s `BENCH_campaign.json`.
+//!
 //! Since the `incdes_explore` campaign subsystem landed, [`run_quality`]
 //! and [`run_future`] are thin aggregations over a
 //! [`incdes_explore::CampaignSpec`]: the preset's axes become the
@@ -27,7 +33,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod eval_bench;
 pub mod tables;
+
+pub use eval_bench::{run_eval_bench, EvalBench, EvalBenchRow, StrategyBenchRow};
 
 use incdes_core::System;
 use incdes_explore::{

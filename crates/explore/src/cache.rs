@@ -45,7 +45,9 @@ use std::fmt;
 /// report field — so stale blobs become unreachable instead of being
 /// served as fresh results. (The store's own `FORMAT_EPOCH` covers the
 /// blob layout; this covers the meaning of the payload.)
-pub const CODE_EPOCH: u32 = 1;
+/// History: 2 — MH dedupes duplicate moves across widening rounds, so
+/// `StepReport::evaluations` dropped for MH scenarios (PR 4).
+pub const CODE_EPOCH: u32 = 2;
 
 /// The canonical, serializable identity of one scenario. Field order is
 /// fixed by this struct, so the fingerprint JSON is stable.

@@ -1,10 +1,37 @@
 //! Evaluation context shared by all mapping strategies.
+//!
+//! [`MappingContext::evaluate`] is the strategies' inner loop, called
+//! thousands of times per scenario. It runs on the incremental
+//! evaluation engine of `incdes_sched::engine`:
+//!
+//! * the frozen schedule is replayed and validated **once** into a
+//!   [`FrozenBase`], built lazily on the first evaluation;
+//! * a persistent [`Scheduler`] reuses its scratch arenas (job records,
+//!   ready heap, per-graph priority cache) across evaluations and
+//!   derives the slack profile incrementally (untouched PEs reuse the
+//!   baked frozen-only gap lists);
+//! * the per-PE and bus C2 objective terms of untouched resources are
+//!   cached across evaluations;
+//! * a solution-fingerprint memo returns previously evaluated design
+//!   alternatives without re-scheduling, so SA's revisited states and
+//!   MH's widening rounds skip duplicate schedules.
+//!
+//! [`MappingContext::evaluation_count`] keeps its historical meaning —
+//! every [`evaluate`](MappingContext::evaluate) call counts, memo hit or
+//! not — while [`MappingContext::raw_schedule_count`] reports how many
+//! schedules were actually executed. The engine is observationally
+//! equivalent to the naive `schedule()` + `SlackProfile::from_table` +
+//! `objective::evaluate` pipeline, which remains available behind
+//! [`MappingContext::with_naive_evaluation`] for differential tests and
+//! benchmarks.
 
 use crate::solution::Solution;
 use incdes_metrics::objective::{self, DesignCost, Weights};
-use incdes_model::{AppId, Application, Architecture, FutureProfile, Time};
-use incdes_sched::{schedule, AppSpec, SchedError, ScheduleTable, SlackProfile};
-use std::cell::Cell;
+use incdes_model::{AppId, Application, Architecture, FutureProfile, PeId, ProcRef, Time};
+use incdes_sched::engine::{check_horizon, FrozenBase, Scheduler};
+use incdes_sched::{schedule, AppSpec, MsgRef, SchedError, ScheduleTable, SlackProfile};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Error from a mapping strategy.
@@ -51,6 +78,47 @@ pub struct Evaluation {
     pub cost: DesignCost,
 }
 
+/// Upper bound on memoized design alternatives. When the memo fills up
+/// it is cleared wholesale (a generational reset): SA and MH revisit
+/// *recent* states, so a bounded memo keeps the hit rate high while
+/// capping the memory spent on full `Evaluation` clones.
+const MEMO_CAP: usize = 512;
+
+/// Canonical identity of a design alternative: the full mapping plus all
+/// non-zero hints, in deterministic order. Two solutions with the same
+/// key produce byte-identical schedules, so memo hits are exact (no
+/// hashing-collision risk — the key stores the actual design variables).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MemoKey {
+    mapping: Vec<(ProcRef, PeId)>,
+    proc_gaps: Vec<(ProcRef, u32)>,
+    msg_slots: Vec<(MsgRef, u32)>,
+}
+
+impl MemoKey {
+    fn of(solution: &Solution) -> Self {
+        MemoKey {
+            mapping: solution.mapping.iter().collect(),
+            proc_gaps: solution.hints.proc_gaps().collect(),
+            msg_slots: solution.hints.msg_slots().collect(),
+        }
+    }
+}
+
+/// The per-context evaluation engine state: baked frozen base, scheduler
+/// scratch, objective-term caches and the solution memo.
+#[derive(Debug, Default)]
+struct EvalEngine {
+    /// Lazily built frozen base (or the error building it produced).
+    base: Option<Result<FrozenBase, SchedError>>,
+    scheduler: Scheduler,
+    memo: HashMap<MemoKey, Result<Evaluation, SchedError>>,
+    /// Frozen-only per-PE C2 terms, filled on first use.
+    c2_pe: Vec<Option<Time>>,
+    /// Frozen-only bus C2 term, filled on first use.
+    c2_bus: Option<Time>,
+}
+
 /// Everything a strategy needs to evaluate design alternatives for one
 /// *current application* on one system state.
 #[derive(Debug)]
@@ -71,6 +139,10 @@ pub struct MappingContext<'a> {
     /// Objective-function weights.
     pub weights: &'a Weights,
     evaluations: Cell<usize>,
+    raw_schedules: Cell<usize>,
+    memo_hits: Cell<usize>,
+    naive: bool,
+    engine: RefCell<EvalEngine>,
 }
 
 impl<'a> MappingContext<'a> {
@@ -94,7 +166,23 @@ impl<'a> MappingContext<'a> {
             future,
             weights,
             evaluations: Cell::new(0),
+            raw_schedules: Cell::new(0),
+            memo_hits: Cell::new(0),
+            naive: false,
+            engine: RefCell::new(EvalEngine::default()),
         }
+    }
+
+    /// Switches this context to the naive evaluation pipeline
+    /// (`schedule()` + `SlackProfile::from_table` +
+    /// `objective::evaluate`, no frozen-base reuse, no memo). The
+    /// results are identical to the engine path; this exists as the
+    /// reference for differential tests and the `figures bench-eval`
+    /// speedup measurement.
+    #[must_use]
+    pub fn with_naive_evaluation(mut self) -> Self {
+        self.naive = true;
+        self
     }
 
     /// Schedules and scores one design alternative.
@@ -106,6 +194,95 @@ impl<'a> MappingContext<'a> {
     /// "malformed input".
     pub fn evaluate(&self, solution: &Solution) -> Result<Evaluation, SchedError> {
         self.evaluations.set(self.evaluations.get() + 1);
+        self.evaluate_inner(solution)
+    }
+
+    /// [`evaluate`](Self::evaluate) without touching
+    /// [`evaluation_count`](Self::evaluation_count) — bookkeeping
+    /// re-derivations (SA rebuilding its best snapshot at the end) must
+    /// not perturb the evaluation counts the paper tables report.
+    pub(crate) fn evaluate_snapshot(&self, solution: &Solution) -> Result<Evaluation, SchedError> {
+        self.evaluate_inner(solution)
+    }
+
+    fn evaluate_inner(&self, solution: &Solution) -> Result<Evaluation, SchedError> {
+        if self.naive {
+            return self.evaluate_naive(solution);
+        }
+        let mut engine = self.engine.borrow_mut();
+        let key = MemoKey::of(solution);
+        if let Some(hit) = engine.memo.get(&key) {
+            self.memo_hits.set(self.memo_hits.get() + 1);
+            return hit.clone();
+        }
+        let result = self.evaluate_raw(&mut engine, solution);
+        if engine.memo.len() >= MEMO_CAP {
+            engine.memo.clear();
+        }
+        engine.memo.insert(key, result.clone());
+        result
+    }
+
+    /// One full engine evaluation (memo miss).
+    fn evaluate_raw(
+        &self,
+        engine: &mut EvalEngine,
+        solution: &Solution,
+    ) -> Result<Evaluation, SchedError> {
+        let spec = AppSpec::new(self.app_id, self.app, &solution.mapping, &solution.hints);
+        // Validated before the base is consulted so error precedence
+        // matches the naive pipeline exactly.
+        check_horizon(&[spec], self.horizon)?;
+        let EvalEngine {
+            base,
+            scheduler,
+            c2_pe,
+            c2_bus,
+            ..
+        } = engine;
+        let base =
+            base.get_or_insert_with(|| FrozenBase::new(self.arch, self.frozen, self.horizon));
+        let base = match base {
+            Ok(b) => b,
+            Err(e) => return Err(e.clone()),
+        };
+        self.raw_schedules.set(self.raw_schedules.get() + 1);
+        let (table, slack) = scheduler.schedule_with_slack(self.arch, &[spec], base)?;
+
+        // C2 terms: untouched resources keep their frozen-only values,
+        // cached across evaluations; only touched ones are recomputed.
+        let t_min = self.future.t_min;
+        let touched = scheduler.touched_pes();
+        if c2_pe.len() != slack.pe_count() {
+            c2_pe.clear();
+            c2_pe.resize(slack.pe_count(), None);
+        }
+        let mut c2p = Time::ZERO;
+        for i in 0..slack.pe_count() {
+            let pe = PeId(i as u32);
+            c2p += if touched[i] {
+                incdes_metrics::c2_intervals(slack.gaps_of(pe), self.horizon, t_min)
+            } else {
+                *c2_pe[i].get_or_insert_with(|| {
+                    incdes_metrics::c2_intervals(base.gaps_of(pe), self.horizon, t_min)
+                })
+            };
+        }
+        let c2m = if scheduler.bus_touched() {
+            incdes_metrics::c2_intervals(slack.bus_windows(), self.horizon, t_min)
+        } else {
+            *c2_bus.get_or_insert_with(|| {
+                incdes_metrics::c2_intervals(base.bus_windows(), self.horizon, t_min)
+            })
+        };
+        let cost =
+            objective::evaluate_with_c2(self.arch, &slack, self.future, self.weights, c2p, c2m);
+        Ok(Evaluation { table, slack, cost })
+    }
+
+    /// The reference pipeline (no base, no scratch, no memo).
+    fn evaluate_naive(&self, solution: &Solution) -> Result<Evaluation, SchedError> {
+        self.raw_schedules.set(self.raw_schedules.get() + 1);
         let spec = AppSpec::new(self.app_id, self.app, &solution.mapping, &solution.hints);
         let table = schedule(self.arch, &[spec], self.frozen, self.horizon)?;
         let slack = SlackProfile::from_table(self.arch, &table);
@@ -113,9 +290,23 @@ impl<'a> MappingContext<'a> {
         Ok(Evaluation { table, slack, cost })
     }
 
-    /// Number of schedule evaluations performed through this context.
+    /// Number of schedule evaluations performed through this context
+    /// (every [`evaluate`](Self::evaluate) call, memo hit or not — the
+    /// historical semantics the paper tables rely on).
     pub fn evaluation_count(&self) -> usize {
         self.evaluations.get()
+    }
+
+    /// Number of raw schedules actually executed: evaluations that
+    /// missed the memo and ran the scheduler. Always ≤
+    /// [`evaluation_count`](Self::evaluation_count) on the engine path.
+    pub fn raw_schedule_count(&self) -> usize {
+        self.raw_schedules.get()
+    }
+
+    /// Number of evaluations answered from the solution memo.
+    pub fn memo_hit_count(&self) -> usize {
+        self.memo_hits.get()
     }
 }
 

@@ -20,7 +20,7 @@ use crate::solution::{Move, Solution};
 use incdes_model::{PeId, ProcRef, Time};
 use incdes_sched::MsgRef;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// Tuning knobs of [`mapping_heuristic`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -90,11 +90,20 @@ pub fn mapping_heuristic(
         // Examine the highest-potential transformations first; when none
         // of them improves, progressively widen the candidate set so MH
         // only stops at a genuine local optimum of the full move space.
+        //
+        // `current` is fixed while widening, so a move evaluated in a
+        // narrower round cannot improve in a wider one (it would have
+        // been committed on the spot) — skip the duplicates instead of
+        // re-evaluating them.
         let mut widened = *cfg;
+        let mut tried: HashSet<Move> = HashSet::new();
         loop {
             let moves = candidate_moves(ctx, &current, &current_eval, &widened);
             let mut best: Option<(Move, Evaluation)> = None;
             for mv in moves {
+                if !tried.insert(mv) {
+                    continue; // already evaluated against `current`
+                }
                 let trial = current.with_move(&mv);
                 let Ok(eval) = ctx.evaluate(&trial) else {
                     continue; // infeasible move — skip
@@ -359,6 +368,56 @@ mod tests {
         assert_eq!(out.iterations, 0);
         // Only the initial evaluation should have happened.
         assert_eq!(ctx.evaluation_count(), evals_before + 1);
+    }
+
+    /// Regression test for widening re-evaluation waste: a local optimum
+    /// that forces several widening rounds must evaluate each distinct
+    /// move exactly once, not once per round.
+    #[test]
+    fn mh_widening_deduplicates_moves() {
+        let arch = arch2();
+        // 8 independent processes allowed on PE0 only: no remap moves,
+        // and the single trailing gap makes every `ProcSlack { gap: 1 }`
+        // trial infeasible — nothing improves, so MH widens 2 → 4 → 8.
+        let mut g = ProcessGraph::new("g", Time::new(240), Time::new(240));
+        for i in 0..8 {
+            g.add_process(Process::new(format!("p{i}")).wcet(PeId(0), Time::new(20)));
+        }
+        let app = Application::new("app", vec![g]);
+        // A future demand that can never be met keeps the cost positive
+        // (no zero-cost early exit).
+        let future = FutureProfile::new(
+            Time::new(240),
+            Time::new(10_000),
+            Time::ZERO,
+            Histogram::point(Time::new(240)),
+            Histogram::point(1u32),
+        );
+        let weights = Weights::default();
+        let ctx = MappingContext::new(
+            &arch,
+            AppId(0),
+            &app,
+            None,
+            Time::new(240),
+            &future,
+            &weights,
+        );
+        let mut initial = Solution::new();
+        for i in 0..8u32 {
+            initial.mapping.assign(ProcRef::new(0, NodeId(i)), PeId(0));
+        }
+        let cfg = MhConfig {
+            process_candidates: 2,
+            ..MhConfig::default()
+        };
+        let out = mapping_heuristic(&ctx, initial, &cfg).unwrap();
+        assert_eq!(out.iterations, 0, "nothing can improve");
+        assert!(out.evaluation.cost.total > 0.0);
+        // 1 initial evaluation + 8 distinct ProcSlack moves. The widening
+        // rounds (2, 4, then 8 candidates) would re-evaluate 2 + 4 = 6 of
+        // them again without dedupe (14 + 1 evaluations in total).
+        assert_eq!(ctx.evaluation_count(), 1 + 8);
     }
 
     #[test]

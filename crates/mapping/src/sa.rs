@@ -98,8 +98,12 @@ pub fn simulated_annealing(
             MapError::InvalidInput(e)
         }
     })?;
+    // The best solution is tracked as (solution, cost) only — cloning the
+    // full `Evaluation` (schedule table + slack profile) on every
+    // improvement dominated SA's bookkeeping cost. The evaluation is
+    // re-derived once at the end (a memo hit on the engine path).
     let mut best = current.clone();
-    let mut best_eval = current_eval.clone();
+    let mut best_cost = current_eval.cost;
 
     // Move-generation tables.
     let procs: Vec<(ProcRef, Vec<PeId>)> = ctx
@@ -148,11 +152,11 @@ pub fn simulated_annealing(
                 accepted += 1;
                 current = trial;
                 current_eval = eval;
-                if current_eval.cost.total < best_eval.cost.total - 1e-12 {
+                if current_eval.cost.total < best_cost.total - 1e-12 {
                     best = current.clone();
-                    best_eval = current_eval.clone();
+                    best_cost = current_eval.cost;
                 }
-                if best_eval.cost.total <= f64::EPSILON {
+                if best_cost.total <= f64::EPSILON {
                     break 'outer; // cannot improve on zero
                 }
             }
@@ -160,6 +164,17 @@ pub fn simulated_annealing(
         temp *= cfg.cooling;
     }
 
+    // Rebuild the best evaluation. The scheduler is deterministic, so a
+    // solution that evaluated feasibly once evaluates feasibly again;
+    // `evaluate_snapshot` leaves `evaluation_count()` untouched (this is
+    // bookkeeping, not a design-space probe).
+    let best_eval = if best == current {
+        current_eval
+    } else {
+        ctx.evaluate_snapshot(&best)
+            .expect("best solution was feasible when first evaluated")
+    };
+    debug_assert_eq!(best_eval.cost.total, best_cost.total);
     Ok(SaOutcome {
         solution: best,
         evaluation: best_eval,

@@ -60,7 +60,7 @@ impl Solution {
 /// A design transformation (slide 14): move a process to a different slack
 /// on the same or a different processor, or move a message to a different
 /// slack on the bus.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Move {
     /// Map `proc_ref` onto PE `to` (a different processor's slack).
     Remap {

@@ -56,18 +56,36 @@ pub fn c1_messages_outcome(
 /// is its worst one.
 pub fn c2_processes(slack: &SlackProfile, t_min: Time) -> Time {
     (0..slack.pe_count())
-        .map(|i| {
-            min_window_slack(t_min, slack.horizon(), |a, b| {
-                slack.pe_slack_in(PeId(i as u32), a, b)
-            })
-        })
+        .map(|i| c2_processes_of(slack, PeId(i as u32), t_min))
         .sum()
+}
+
+/// The per-PE term of [`c2_processes`]: the minimum slack of `pe` in any
+/// window of length `t_min`. Exposed so the incremental evaluation
+/// engine can cache the term of PEs the current application never
+/// touches and recompute only the rest.
+pub fn c2_processes_of(slack: &SlackProfile, pe: PeId, t_min: Time) -> Time {
+    c2_intervals(slack.gaps_of(pe), slack.horizon(), t_min)
 }
 
 /// C2 for messages: the minimum free bus time in any window of length
 /// `t_min`.
 pub fn c2_messages(slack: &SlackProfile, t_min: Time) -> Time {
-    min_window_slack(t_min, slack.horizon(), |a, b| slack.bus_slack_in(a, b))
+    c2_intervals(slack.bus_windows(), slack.horizon(), t_min)
+}
+
+/// The C2 kernel on a raw interval list: the minimum total overlap of
+/// the (sorted, disjoint) intervals with any window of length `t_min`.
+/// [`c2_processes_of`] and [`c2_messages`] are both this function, which
+/// lets the evaluation engine run it directly on cached frozen-only gap
+/// lists without materializing a `SlackProfile`. The overlap kernel is
+/// `incdes_sched::slack::window_overlap` — the one also backing
+/// `SlackProfile::pe_slack_in`/`bus_slack_in`, so the two paths cannot
+/// drift.
+pub fn c2_intervals(intervals: &[(Time, Time)], horizon: Time, t_min: Time) -> Time {
+    min_window_slack(t_min, horizon, |a, b| {
+        incdes_sched::slack::window_overlap(intervals, a, b)
+    })
 }
 
 /// Minimum of `slack_in(k·t_min, (k+1)·t_min)` over the full windows in

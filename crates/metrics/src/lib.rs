@@ -52,5 +52,7 @@ pub mod criteria;
 pub mod objective;
 
 pub use binpack::{pack, FitPolicy, PackOutcome};
-pub use criteria::{c1_messages, c1_processes, c2_messages, c2_processes};
-pub use objective::{evaluate, DesignCost, Weights};
+pub use criteria::{
+    c1_messages, c1_processes, c2_intervals, c2_messages, c2_processes, c2_processes_of,
+};
+pub use objective::{evaluate, evaluate_with_c2, DesignCost, Weights};

@@ -90,10 +90,32 @@ pub fn evaluate(
     future: &FutureProfile,
     weights: &Weights,
 ) -> DesignCost {
-    let c1p = c1_processes(slack, future, weights.fit_policy);
-    let c1m = c1_messages(arch, slack, future, weights.fit_policy);
     let c2p = c2_processes(slack, future.t_min);
     let c2m = c2_messages(slack, future.t_min);
+    evaluate_with_c2(arch, slack, future, weights, c2p, c2m)
+}
+
+/// [`evaluate`] with the C2 terms supplied by the caller.
+///
+/// The C2 metrics are per-resource minima, so the incremental evaluation
+/// engine caches the per-PE terms of processors the current application
+/// never touches (their gap lists are the frozen-only ones) and the bus
+/// term when no new message was scheduled, recomputing only the rest.
+/// The caller-supplied values must equal [`c2_processes`] /
+/// [`c2_messages`] on `slack` — the weighting arithmetic lives only here
+/// so the two paths cannot diverge.
+pub fn evaluate_with_c2(
+    arch: &Architecture,
+    slack: &SlackProfile,
+    future: &FutureProfile,
+    weights: &Weights,
+    c2p: Time,
+    c2m: Time,
+) -> DesignCost {
+    debug_assert_eq!(c2p, c2_processes(slack, future.t_min));
+    debug_assert_eq!(c2m, c2_messages(slack, future.t_min));
+    let c1p = c1_processes(slack, future, weights.fit_policy);
+    let c1m = c1_messages(arch, slack, future, weights.fit_policy);
     let pen_p = future.t_need.saturating_sub(c2p);
     let pen_m = future.b_need.saturating_sub(c2m);
     let total = weights.w1_processes * c1p

@@ -1,0 +1,814 @@
+//! The incremental evaluation engine.
+//!
+//! The mapping heuristics evaluate thousands of design alternatives per
+//! scenario, and every alternative shares the same *frozen* part: the
+//! existing applications' jobs and messages, which requirement (a) of
+//! the paper forbids touching. The plain [`crate::schedule`] entry point
+//! re-replays and re-validates that frozen schedule — and re-sorts its
+//! messages, re-allocates every timeline, and re-computes priorities —
+//! on every call.
+//!
+//! This module splits the work:
+//!
+//! * [`FrozenBase`] replays and validates the frozen schedule **once**,
+//!   baking per-PE [`PeTimeline`]s, a [`BusTimeline`] occupancy
+//!   snapshot, and the frozen-only slack (gap lists and bus windows).
+//! * [`Scheduler`] holds reusable scratch arenas (job records, the ready
+//!   heap, a per-graph priority cache keyed by the node → PE assignment)
+//!   and schedules the *current* applications on top of a cheap reset of
+//!   the baked base. A steady-state evaluation performs no frozen-replay
+//!   work and near-zero allocation beyond the returned table.
+//! * [`Scheduler::schedule_with_slack`] additionally derives the
+//!   [`SlackProfile`] incrementally: PEs the current applications never
+//!   touch reuse the frozen-only gap lists, and only the bus occurrences
+//!   that actually carry a new message have their free windows patched.
+//!
+//! [`crate::schedule`] is a thin compatibility wrapper over this engine,
+//! so both paths produce bit-identical tables by construction; the
+//! equivalence property tests in `tests/engine_equivalence.rs` pin the
+//! scratch-reuse/reset logic on top of that.
+
+use crate::job::JobId;
+use crate::list::{AppSpec, SchedError};
+use crate::pe_timeline::PeTimeline;
+use crate::priority::PriorityCosts;
+use crate::slack::SlackProfile;
+use crate::table::{ScheduleTable, ScheduledJob, ScheduledMessage};
+use incdes_model::{Architecture, PeId, ProcRef, Time};
+use incdes_tdma::BusTimeline;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Checks that `horizon` is positive and a multiple of every graph
+/// period of `apps` — the per-call half of [`crate::schedule`]'s input
+/// validation (the bus-cycle half is checked once by [`FrozenBase`]).
+///
+/// # Errors
+///
+/// [`SchedError::BadHorizon`] on violation.
+pub fn check_horizon(apps: &[AppSpec<'_>], horizon: Time) -> Result<(), SchedError> {
+    if horizon.is_zero() {
+        return Err(SchedError::BadHorizon { horizon });
+    }
+    for spec in apps {
+        for g in &spec.app.graphs {
+            if g.period.is_zero() || !(horizon % g.period).is_zero() {
+                return Err(SchedError::BadHorizon { horizon });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The frozen schedule replayed, validated and baked — built once per
+/// system state, shared by every evaluation on that state.
+#[derive(Debug, Clone)]
+pub struct FrozenBase {
+    horizon: Time,
+    /// Per-PE busy timelines holding exactly the frozen jobs.
+    pes: Vec<PeTimeline>,
+    /// Bus occupancy holding exactly the frozen messages.
+    bus: BusTimeline,
+    /// The frozen jobs, in replay order.
+    jobs: Vec<ScheduledJob>,
+    /// The frozen messages, in frame-replay order.
+    msgs: Vec<ScheduledMessage>,
+    /// Frozen-only idle intervals per PE (what `SlackProfile` would
+    /// report for the frozen table alone).
+    pe_gaps: Vec<Vec<(Time, Time)>>,
+    /// Frozen-only free bus windows, in time order.
+    bus_windows: Vec<(Time, Time)>,
+    /// Slot-occurrence index behind each entry of `bus_windows`.
+    window_occ: Vec<u64>,
+}
+
+impl FrozenBase {
+    /// Replays `frozen` (if any) over `[0, horizon)` on `arch` and bakes
+    /// the result. Equivalent to the validation + replay prologue of
+    /// [`crate::schedule`], performed once.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::BadHorizon`] if `horizon` is zero or not a multiple
+    /// of the bus cycle; [`SchedError::FrozenConflict`] if the frozen
+    /// table does not cover exactly `horizon` or cannot be replayed.
+    pub fn new(
+        arch: &Architecture,
+        frozen: Option<&ScheduleTable>,
+        horizon: Time,
+    ) -> Result<Self, SchedError> {
+        if horizon.is_zero() {
+            return Err(SchedError::BadHorizon { horizon });
+        }
+        let mut bus = BusTimeline::new(arch.bus(), horizon)
+            .map_err(|_| SchedError::BadHorizon { horizon })?;
+        let mut pes: Vec<PeTimeline> = (0..arch.pe_count())
+            .map(|_| PeTimeline::new(horizon))
+            .collect();
+        let mut jobs: Vec<ScheduledJob> = Vec::new();
+        let mut msgs: Vec<ScheduledMessage> = Vec::new();
+        if let Some(fr) = frozen {
+            if fr.horizon() != horizon {
+                return Err(SchedError::FrozenConflict);
+            }
+            for j in fr.jobs() {
+                if j.pe.index() >= pes.len() {
+                    return Err(SchedError::FrozenConflict);
+                }
+                pes[j.pe.index()]
+                    .reserve(j.start, j.end)
+                    .map_err(|_| SchedError::FrozenConflict)?;
+                jobs.push(*j);
+            }
+            // Replay messages in frame order so packing offsets reproduce.
+            let mut ordered: Vec<&ScheduledMessage> = fr.messages().iter().collect();
+            ordered.sort_by_key(|m| (m.reservation.occurrence, m.reservation.transmit_start));
+            for m in ordered {
+                let r = bus
+                    .reserve_in_occurrence(
+                        m.reservation.owner,
+                        m.reservation.occurrence,
+                        m.reservation.duration(),
+                    )
+                    .map_err(|_| SchedError::FrozenConflict)?;
+                if r.transmit_start != m.reservation.transmit_start {
+                    return Err(SchedError::FrozenConflict);
+                }
+                msgs.push(*m);
+            }
+        }
+        let pe_gaps = pes.iter().map(|tl| tl.gaps()).collect();
+        let mut bus_windows = Vec::new();
+        let mut window_occ = Vec::new();
+        for idx in 0..bus.occurrence_count() {
+            let occ = bus.occurrence(idx).expect("index < count");
+            let used = bus.used(idx);
+            if used < occ.length {
+                bus_windows.push((occ.start + used, occ.end()));
+                window_occ.push(idx);
+            }
+        }
+        Ok(FrozenBase {
+            horizon,
+            pes,
+            bus,
+            jobs,
+            msgs,
+            pe_gaps,
+            bus_windows,
+            window_occ,
+        })
+    }
+
+    /// An empty base (no frozen applications) over `horizon`.
+    ///
+    /// # Errors
+    ///
+    /// As [`FrozenBase::new`].
+    pub fn empty(arch: &Architecture, horizon: Time) -> Result<Self, SchedError> {
+        FrozenBase::new(arch, None, horizon)
+    }
+
+    /// The scheduling horizon the base covers.
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// Number of PEs in the baked timelines.
+    pub fn pe_count(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// Number of frozen jobs baked into the base.
+    pub fn frozen_job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Number of frozen messages baked into the base.
+    pub fn frozen_message_count(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Frozen-only idle intervals of `pe`, in time order.
+    pub fn gaps_of(&self, pe: PeId) -> &[(Time, Time)] {
+        &self.pe_gaps[pe.index()]
+    }
+
+    /// Frozen-only free bus windows, in time order.
+    pub fn bus_windows(&self) -> &[(Time, Time)] {
+        &self.bus_windows
+    }
+}
+
+/// Internal per-job scheduling state (one expanded process instance).
+struct JobRec {
+    id: JobId,
+    pe: PeId,
+    wcet: Time,
+    release: Time,
+    deadline: Time,
+    priority: Time,
+    gap_hint: u32,
+    preds_remaining: u32,
+    ready: Time,
+    /// Index of the owning `AppSpec` in the input slice.
+    spec: usize,
+}
+
+/// Ready-queue entry. Jobs are ordered by *urgency* — the latest start
+/// time `deadline − partial critical path` (smaller = more urgent) — so
+/// tight-deadline instances are not crowded out by lax ones sharing the
+/// hyperperiod. Ties fall back to the longer critical path, then earliest
+/// ready, then the smallest job index (full determinism).
+struct ReadyEntry {
+    /// `deadline − pcp`, saturating at zero.
+    urgency: Time,
+    priority: Time,
+    ready: Time,
+    job_idx: usize,
+}
+
+impl PartialEq for ReadyEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for ReadyEntry {}
+impl PartialOrd for ReadyEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ReadyEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: larger = popped first, so reverse the
+        // urgency comparison (smallest urgency pops first).
+        other
+            .urgency
+            .cmp(&self.urgency)
+            .then_with(|| self.priority.cmp(&other.priority))
+            .then_with(|| other.ready.cmp(&self.ready))
+            .then_with(|| other.job_idx.cmp(&self.job_idx))
+    }
+}
+
+/// Cached partial-critical-path priorities of one graph slot, keyed by
+/// the exact cost inputs ([`PriorityCosts`]) the priorities are a pure
+/// function of — so the cache stays sound even when one `Scheduler` is
+/// reused across different applications or architectures (an assignment
+/// vector alone would alias graphs with different WCETs or topology).
+#[derive(Default)]
+struct PrioEntry {
+    costs: PriorityCosts,
+    prio: Vec<Time>,
+}
+
+/// The reusable scheduling engine: scratch arenas plus bookkeeping of
+/// what the last run touched (consumed by the incremental slack path).
+///
+/// One `Scheduler` serves any number of evaluations; it is cheap to
+/// construct but profitable to keep, since all per-evaluation arenas
+/// (job records, ready heap, timelines, priority cache) are reused.
+#[derive(Default)]
+pub struct Scheduler {
+    jobs: Vec<JobRec>,
+    /// Flattened per-(spec, graph) base index into `jobs`.
+    graph_bases: Vec<usize>,
+    /// Offset of each spec's first graph in `graph_bases`.
+    spec_offsets: Vec<usize>,
+    heap: BinaryHeap<ReadyEntry>,
+    pes: Vec<PeTimeline>,
+    bus: Option<BusTimeline>,
+    /// Priority cache, flattened parallel to `graph_bases`.
+    prio_cache: Vec<PrioEntry>,
+    assign_scratch: Vec<Option<PeId>>,
+    cost_scratch: PriorityCosts,
+    /// Which PEs the last run placed a new job on.
+    touched: Vec<bool>,
+    /// Bus time the last run added per slot occurrence.
+    new_bus: BTreeMap<u64, Time>,
+    raw_schedules: usize,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("raw_schedules", &self.raw_schedules)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Scheduler {
+    /// A fresh engine with empty scratch arenas.
+    pub fn new() -> Self {
+        Scheduler::default()
+    }
+
+    /// Number of raw schedules this engine has executed (every call to
+    /// [`schedule`](Self::schedule) / [`schedule_with_slack`](Self::schedule_with_slack)
+    /// that got past input validation).
+    pub fn raw_schedule_count(&self) -> usize {
+        self.raw_schedules
+    }
+
+    /// Which PEs the most recent run placed a new job on (indexed by
+    /// PE). Empty before the first run. A failed run leaves the partial
+    /// placements it made before erroring — only read this after a
+    /// successful [`schedule`](Self::schedule) /
+    /// [`schedule_with_slack`](Self::schedule_with_slack).
+    pub fn touched_pes(&self) -> &[bool] {
+        &self.touched
+    }
+
+    /// True if the most recent run placed any message on the bus. The
+    /// same caveat as [`touched_pes`](Self::touched_pes) applies to
+    /// failed runs.
+    pub fn bus_touched(&self) -> bool {
+        !self.new_bus.is_empty()
+    }
+
+    /// Schedules `apps` on top of `base`, reusing the scratch arenas.
+    /// Produces exactly the table [`crate::schedule`] would produce for
+    /// the same inputs.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::schedule`].
+    pub fn schedule(
+        &mut self,
+        arch: &Architecture,
+        apps: &[AppSpec<'_>],
+        base: &FrozenBase,
+    ) -> Result<ScheduleTable, SchedError> {
+        self.run(arch, apps, base)
+    }
+
+    /// Like [`schedule`](Self::schedule) but also derives the slack
+    /// profile incrementally: untouched PEs reuse the baked frozen-only
+    /// gap lists and only bus occurrences carrying a new message have
+    /// their free windows patched. The profile is identical to
+    /// [`SlackProfile::from_table`] on the returned table.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::schedule`].
+    pub fn schedule_with_slack(
+        &mut self,
+        arch: &Architecture,
+        apps: &[AppSpec<'_>],
+        base: &FrozenBase,
+    ) -> Result<(ScheduleTable, SlackProfile), SchedError> {
+        let table = self.run(arch, apps, base)?;
+        let slack = self.slack_profile(base);
+        Ok((table, slack))
+    }
+
+    /// The incremental slack of the most recent successful run.
+    fn slack_profile(&self, base: &FrozenBase) -> SlackProfile {
+        let pe_gaps: Vec<Vec<(Time, Time)>> = (0..self.pes.len())
+            .map(|i| {
+                if self.touched[i] {
+                    self.pes[i].gaps()
+                } else {
+                    base.pe_gaps[i].clone()
+                }
+            })
+            .collect();
+        // Every occurrence a new message landed in had free room, so it
+        // appears in the baked window list; patching is a linear merge.
+        let mut patched = 0usize;
+        let mut windows = Vec::with_capacity(base.bus_windows.len());
+        for (k, &(ws, we)) in base.bus_windows.iter().enumerate() {
+            match self.new_bus.get(&base.window_occ[k]) {
+                None => windows.push((ws, we)),
+                Some(&added) => {
+                    patched += 1;
+                    let ns = ws + added;
+                    if ns < we {
+                        windows.push((ns, we));
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(
+            patched,
+            self.new_bus.len(),
+            "every new message lands in a baked window"
+        );
+        SlackProfile::from_parts(base.horizon, pe_gaps, windows)
+    }
+
+    fn run(
+        &mut self,
+        arch: &Architecture,
+        apps: &[AppSpec<'_>],
+        base: &FrozenBase,
+    ) -> Result<ScheduleTable, SchedError> {
+        check_horizon(apps, base.horizon)?;
+        debug_assert_eq!(arch.pe_count(), base.pes.len(), "base built for this arch");
+        self.raw_schedules += 1;
+        let horizon = base.horizon;
+
+        let Scheduler {
+            jobs,
+            graph_bases,
+            spec_offsets,
+            heap,
+            pes,
+            bus,
+            prio_cache,
+            assign_scratch,
+            cost_scratch,
+            touched,
+            new_bus,
+            ..
+        } = self;
+
+        // --- Reset scratch from the baked base ---------------------------
+        if pes.len() == base.pes.len() {
+            for (tl, b) in pes.iter_mut().zip(&base.pes) {
+                tl.copy_from(b);
+            }
+        } else {
+            *pes = base.pes.clone();
+        }
+        match bus {
+            Some(b)
+                if b.horizon() == horizon
+                    && b.occurrence_count() == base.bus.occurrence_count() =>
+            {
+                b.reset_from(&base.bus);
+            }
+            _ => *bus = Some(base.bus.clone()),
+        }
+        let bus = bus.as_mut().expect("just set");
+        touched.clear();
+        touched.resize(base.pes.len(), false);
+        new_bus.clear();
+
+        let mut out_jobs: Vec<ScheduledJob> = Vec::new();
+        let mut out_msgs: Vec<ScheduledMessage> = Vec::new();
+        out_jobs.extend_from_slice(&base.jobs);
+        out_msgs.extend_from_slice(&base.msgs);
+
+        // --- Expand jobs (priorities served from the cache) ---------------
+        jobs.clear();
+        graph_bases.clear();
+        spec_offsets.clear();
+        for (si, spec) in apps.iter().enumerate() {
+            spec_offsets.push(graph_bases.len());
+            for (gi, g) in spec.app.graphs.iter().enumerate() {
+                let flat = graph_bases.len();
+                graph_bases.push(jobs.len());
+                // Exact priorities from the mapping, cached per graph
+                // slot while the cost inputs are unchanged (hint-only
+                // moves and moves in other graphs never recompute).
+                assign_scratch.clear();
+                assign_scratch.extend(
+                    g.dag()
+                        .node_ids()
+                        .map(|n| spec.mapping.pe_of(ProcRef::new(gi, n))),
+                );
+                cost_scratch.fill(arch, g, assign_scratch);
+                if prio_cache.len() <= flat {
+                    prio_cache.resize_with(flat + 1, PrioEntry::default);
+                }
+                let entry = &mut prio_cache[flat];
+                if entry.costs != *cost_scratch {
+                    entry.prio = cost_scratch.priorities(g);
+                    std::mem::swap(&mut entry.costs, cost_scratch);
+                }
+                let prio = &entry.prio;
+
+                let instances = horizon.ticks() / g.period.ticks();
+                for k in 0..instances as u32 {
+                    let release = Time::new(k as u64 * g.period.ticks());
+                    let deadline = release + g.deadline;
+                    for n in g.dag().node_ids() {
+                        let pr = ProcRef::new(gi, n);
+                        let pe = spec
+                            .mapping
+                            .pe_of(pr)
+                            .ok_or(SchedError::MappingIncomplete {
+                                app: spec.id,
+                                proc_ref: pr,
+                            })?;
+                        let wcet = g.process(n).wcets.get(pe).ok_or(SchedError::NotAllowed {
+                            app: spec.id,
+                            proc_ref: pr,
+                            pe,
+                        })?;
+                        jobs.push(JobRec {
+                            id: JobId::new(spec.id, gi, k, n),
+                            pe,
+                            wcet,
+                            release,
+                            deadline,
+                            priority: prio[n.index()],
+                            gap_hint: spec.hints.proc_gap(pr),
+                            preds_remaining: g.dag().in_degree(n) as u32,
+                            ready: release,
+                            spec: si,
+                        });
+                    }
+                }
+            }
+        }
+        let job_index =
+            |si: usize, gi: usize, instance: u32, node: incdes_graph::NodeId| -> usize {
+                let g = &apps[si].app.graphs[gi];
+                graph_bases[spec_offsets[si] + gi]
+                    + instance as usize * g.process_count()
+                    + node.index()
+            };
+
+        // --- List scheduling ----------------------------------------------
+        heap.clear();
+        for (i, j) in jobs.iter().enumerate() {
+            if j.preds_remaining == 0 {
+                heap.push(ReadyEntry {
+                    urgency: j.deadline.saturating_sub(j.priority),
+                    priority: j.priority,
+                    ready: j.ready,
+                    job_idx: i,
+                });
+            }
+        }
+
+        let mut scheduled = 0usize;
+        while let Some(entry) = heap.pop() {
+            let idx = entry.job_idx;
+            let (id, pe, wcet, ready, deadline, gap_hint, si) = {
+                let j = &jobs[idx];
+                (j.id, j.pe, j.wcet, j.ready, j.deadline, j.gap_hint, j.spec)
+            };
+            let start = pes[pe.index()]
+                .reserve_earliest(ready, wcet, gap_hint)
+                .map_err(|source| SchedError::NoGap { job: id, source })?;
+            touched[pe.index()] = true;
+            let end = start + wcet;
+            if end > deadline {
+                return Err(SchedError::DeadlineMiss {
+                    job: id,
+                    end,
+                    deadline,
+                });
+            }
+            out_jobs.push(ScheduledJob {
+                job: id,
+                pe,
+                start,
+                end,
+                release: jobs[idx].release,
+                deadline,
+            });
+            scheduled += 1;
+
+            // Propagate to successors: messages over the bus where needed.
+            let spec = &apps[si];
+            let g = &spec.app.graphs[id.graph];
+            for &e in g.dag().out_edges(id.node) {
+                let succ_node = g.dag().target(e);
+                let succ_idx = job_index(si, id.graph, id.instance, succ_node);
+                let succ_pe = jobs[succ_idx].pe;
+                let data_ready = if succ_pe == pe {
+                    end
+                } else {
+                    let mref = crate::mapping::MsgRef::new(id.graph, e);
+                    let tx = arch.bus().transmission_time(g.message(e).bytes);
+                    let r = bus
+                        .schedule_message_nth(pe, end, tx, spec.hints.msg_slot(mref) as usize)
+                        .map_err(|source| SchedError::NoSlot {
+                            job: id,
+                            msg: mref,
+                            source,
+                        })?;
+                    *new_bus.entry(r.occurrence).or_insert(Time::ZERO) += tx;
+                    out_msgs.push(ScheduledMessage {
+                        app: spec.id,
+                        msg: mref,
+                        instance: id.instance,
+                        reservation: r,
+                    });
+                    r.arrival
+                };
+                let succ = &mut jobs[succ_idx];
+                succ.ready = succ.ready.max(data_ready);
+                succ.preds_remaining -= 1;
+                if succ.preds_remaining == 0 {
+                    heap.push(ReadyEntry {
+                        urgency: succ.deadline.saturating_sub(succ.priority),
+                        priority: succ.priority,
+                        ready: succ.ready,
+                        job_idx: succ_idx,
+                    });
+                }
+            }
+        }
+        debug_assert_eq!(scheduled, jobs.len(), "acyclic graphs schedule fully");
+
+        Ok(ScheduleTable::new(horizon, out_jobs, out_msgs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{Hints, Mapping};
+    use incdes_graph::NodeId;
+    use incdes_model::{AppId, Application, BusConfig, Message, Process, ProcessGraph};
+
+    fn t(v: u64) -> Time {
+        Time::new(v)
+    }
+
+    fn arch2() -> Architecture {
+        Architecture::builder()
+            .pe("N1")
+            .pe("N2")
+            .bus(BusConfig::uniform_round(2, t(10), 1).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    fn chain_app() -> (Application, Mapping) {
+        let mut g = ProcessGraph::new("g", t(100), t(100));
+        let a = g.add_process(Process::new("a").wcet(PeId(0), t(8)));
+        let b = g.add_process(Process::new("b").wcet(PeId(1), t(6)));
+        g.add_message(a, b, Message::new("m", 4)).unwrap();
+        let app = Application::new("app", vec![g]);
+        let mut m = Mapping::new();
+        m.assign(ProcRef::new(0, a), PeId(0));
+        m.assign(ProcRef::new(0, b), PeId(1));
+        (app, m)
+    }
+
+    #[test]
+    fn engine_matches_schedule_and_reuses_scratch() {
+        let arch = arch2();
+        let (app, mapping) = chain_app();
+        let hints = Hints::empty();
+        let spec = AppSpec::new(AppId(0), &app, &mapping, &hints);
+        let reference = crate::schedule(&arch, &[spec], None, t(100)).unwrap();
+
+        let base = FrozenBase::empty(&arch, t(100)).unwrap();
+        let mut engine = Scheduler::new();
+        for _ in 0..3 {
+            let (table, slack) = engine.schedule_with_slack(&arch, &[spec], &base).unwrap();
+            assert_eq!(table, reference);
+            assert_eq!(slack, SlackProfile::from_table(&arch, &reference));
+        }
+        assert_eq!(engine.raw_schedule_count(), 3);
+        assert!(engine.touched_pes().iter().any(|&t| t));
+        assert!(engine.bus_touched());
+    }
+
+    #[test]
+    fn frozen_base_bakes_replay_once() {
+        let arch = arch2();
+        let (app, mapping) = chain_app();
+        let hints = Hints::empty();
+        let spec = AppSpec::new(AppId(0), &app, &mapping, &hints);
+        let first = crate::schedule(&arch, &[spec], None, t(100)).unwrap();
+
+        let base = FrozenBase::new(&arch, Some(&first), t(100)).unwrap();
+        assert_eq!(base.frozen_job_count(), 2);
+        assert_eq!(base.frozen_message_count(), 1);
+        assert_eq!(base.horizon(), t(100));
+        assert_eq!(base.pe_count(), 2);
+        // Frozen-only slack matches the profile of the frozen table.
+        let frozen_slack = SlackProfile::from_table(&arch, &first);
+        assert_eq!(base.gaps_of(PeId(0)), frozen_slack.gaps_of(PeId(0)));
+        assert_eq!(base.bus_windows(), frozen_slack.bus_windows());
+
+        // Scheduling a second app on the base matches the naive path.
+        let (app2, mapping2) = chain_app();
+        let spec2 = AppSpec::new(AppId(1), &app2, &mapping2, &hints);
+        let reference = crate::schedule(&arch, &[spec2], Some(&first), t(100)).unwrap();
+        let mut engine = Scheduler::new();
+        let (table, slack) = engine.schedule_with_slack(&arch, &[spec2], &base).unwrap();
+        assert_eq!(table, reference);
+        assert_eq!(slack, SlackProfile::from_table(&arch, &reference));
+    }
+
+    #[test]
+    fn frozen_base_rejects_horizon_mismatch() {
+        let arch = arch2();
+        let (app, mapping) = chain_app();
+        let hints = Hints::empty();
+        let spec = AppSpec::new(AppId(0), &app, &mapping, &hints);
+        let first = crate::schedule(&arch, &[spec], None, t(100)).unwrap();
+        assert_eq!(
+            FrozenBase::new(&arch, Some(&first), t(200)).unwrap_err(),
+            SchedError::FrozenConflict
+        );
+        assert!(matches!(
+            FrozenBase::empty(&arch, Time::ZERO).unwrap_err(),
+            SchedError::BadHorizon { .. }
+        ));
+        assert!(matches!(
+            FrozenBase::empty(&arch, t(15)).unwrap_err(),
+            SchedError::BadHorizon { .. }
+        ));
+    }
+
+    #[test]
+    fn untouched_pes_reuse_frozen_gap_lists() {
+        let arch = arch2();
+        // Current app occupies only PE0; PE1 carries only frozen load.
+        let (fapp, fmap) = chain_app();
+        let hints = Hints::empty();
+        let fspec = AppSpec::new(AppId(0), &fapp, &fmap, &hints);
+        let frozen = crate::schedule(&arch, &[fspec], None, t(100)).unwrap();
+        let base = FrozenBase::new(&arch, Some(&frozen), t(100)).unwrap();
+
+        let mut g = ProcessGraph::new("g", t(100), t(100));
+        let a = g.add_process(Process::new("a").wcet(PeId(0), t(5)));
+        let app = Application::new("solo", vec![g]);
+        let mut mapping = Mapping::new();
+        mapping.assign(ProcRef::new(0, a), PeId(0));
+        let spec = AppSpec::new(AppId(1), &app, &mapping, &hints);
+
+        let mut engine = Scheduler::new();
+        let (table, slack) = engine.schedule_with_slack(&arch, &[spec], &base).unwrap();
+        assert!(engine.touched_pes()[0]);
+        assert!(!engine.touched_pes()[1]);
+        assert!(!engine.bus_touched());
+        assert_eq!(slack.gaps_of(PeId(1)), base.gaps_of(PeId(1)));
+        assert_eq!(slack, SlackProfile::from_table(&arch, &table));
+        let _ = table.job(JobId::new(AppId(1), 0, 0, NodeId(0))).unwrap();
+    }
+
+    /// Reusing one `Scheduler` across *different* applications whose
+    /// graphs happen to share a node → PE assignment must not serve
+    /// stale priorities: the cache is keyed by the full cost inputs
+    /// (WCETs, topology, message sizes), not the assignment alone.
+    #[test]
+    fn priority_cache_does_not_alias_across_apps() {
+        let arch = arch2();
+        let base = FrozenBase::empty(&arch, t(200)).unwrap();
+        let mut engine = Scheduler::new();
+        let hints = Hints::empty();
+
+        // App A: root → long(50) and root → short(5), all on PE0 — the
+        // long branch outranks the short one.
+        let mut ga = ProcessGraph::new("ga", t(200), t(200));
+        let r = ga.add_process(Process::new("r").wcet(PeId(0), t(2)));
+        let l = ga.add_process(Process::new("l").wcet(PeId(0), t(50)));
+        let s = ga.add_process(Process::new("s").wcet(PeId(0), t(5)));
+        ga.add_message(r, l, Message::new("m1", 1)).unwrap();
+        ga.add_message(r, s, Message::new("m2", 1)).unwrap();
+        let app_a = Application::new("a", vec![ga]);
+        // App B: same shape and assignment, but the branch weights are
+        // swapped — stale priorities from A would flip its order.
+        let mut gb = ProcessGraph::new("gb", t(200), t(200));
+        let r2 = gb.add_process(Process::new("r").wcet(PeId(0), t(2)));
+        let l2 = gb.add_process(Process::new("l").wcet(PeId(0), t(5)));
+        let s2 = gb.add_process(Process::new("s").wcet(PeId(0), t(50)));
+        gb.add_message(r2, l2, Message::new("m1", 1)).unwrap();
+        gb.add_message(r2, s2, Message::new("m2", 1)).unwrap();
+        let app_b = Application::new("b", vec![gb]);
+
+        let mapping: Mapping = [
+            (ProcRef::new(0, NodeId(0)), PeId(0)),
+            (ProcRef::new(0, NodeId(1)), PeId(0)),
+            (ProcRef::new(0, NodeId(2)), PeId(0)),
+        ]
+        .into_iter()
+        .collect();
+        for app in [&app_a, &app_b, &app_a] {
+            let spec = AppSpec::new(AppId(0), app, &mapping, &hints);
+            let engine_table = engine.schedule(&arch, &[spec], &base).unwrap();
+            let naive = crate::schedule(&arch, &[spec], None, t(200)).unwrap();
+            assert_eq!(engine_table, naive, "stale priorities served");
+        }
+    }
+
+    #[test]
+    fn priority_cache_invalidates_on_remap() {
+        let arch = arch2();
+        let mut g = ProcessGraph::new("g", t(100), t(100));
+        let a = g.add_process(Process::new("a").wcet(PeId(0), t(8)).wcet(PeId(1), t(4)));
+        let b = g.add_process(Process::new("b").wcet(PeId(0), t(6)).wcet(PeId(1), t(3)));
+        g.add_message(a, b, Message::new("m", 4)).unwrap();
+        let app = Application::new("app", vec![g]);
+        let hints = Hints::empty();
+        let base = FrozenBase::empty(&arch, t(100)).unwrap();
+        let mut engine = Scheduler::new();
+
+        for assignment in [
+            [PeId(0), PeId(0)],
+            [PeId(1), PeId(1)],
+            [PeId(0), PeId(1)],
+            [PeId(0), PeId(0)],
+        ] {
+            let mut mapping = Mapping::new();
+            mapping.assign(ProcRef::new(0, NodeId(0)), assignment[0]);
+            mapping.assign(ProcRef::new(0, NodeId(1)), assignment[1]);
+            let spec = AppSpec::new(AppId(0), &app, &mapping, &hints);
+            let engine_table = engine.schedule(&arch, &[spec], &base).unwrap();
+            let naive = crate::schedule(&arch, &[spec], None, t(100)).unwrap();
+            assert_eq!(engine_table, naive, "assignment {assignment:?}");
+        }
+    }
+}

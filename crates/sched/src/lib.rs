@@ -14,7 +14,10 @@
 //! * [`job`] — hyperperiod expansion: each process graph with period `T`
 //!   contributes `H/T` job instances.
 //! * [`priority`] — partial-critical-path priorities for list scheduling.
-//! * [`list`] — the list scheduler itself ([`schedule`]).
+//! * [`list`] — the one-shot list-scheduler entry point ([`schedule`]).
+//! * [`engine`] — the incremental evaluation engine behind it:
+//!   [`FrozenBase`] bakes the frozen schedule once, [`Scheduler`] reuses
+//!   scratch arenas across evaluations and derives slack incrementally.
 //! * [`table`] — the resulting [`ScheduleTable`] plus exhaustive validity
 //!   checking and replication of frozen schedules to longer horizons.
 //! * [`slack`] — extraction of the slack profile consumed by the design
@@ -57,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod engine;
 pub mod job;
 pub mod list;
 pub mod mapping;
@@ -66,6 +70,7 @@ pub mod slack;
 pub mod table;
 
 pub use analysis::{InstanceResponse, PeLoad, ScheduleReport};
+pub use engine::{FrozenBase, Scheduler};
 pub use job::JobId;
 pub use list::{schedule, AppSpec, SchedError};
 pub use mapping::{Hints, Mapping, MsgRef};

@@ -13,16 +13,20 @@
 //! 3. every inter-PE message is placed into the earliest TDMA slot of the
 //!    sender that starts after the producer finishes (skipping slots
 //!    according to its hint).
+//!
+//! [`schedule`] is a thin compatibility wrapper over the incremental
+//! evaluation engine in [`crate::engine`]: it builds a transient
+//! [`crate::engine::FrozenBase`] and runs a fresh
+//! [`crate::engine::Scheduler`] on it. Hot loops that evaluate many
+//! design alternatives against one frozen schedule should hold on to
+//! both and skip the per-call replay entirely.
 
 use crate::job::JobId;
 use crate::mapping::{Hints, Mapping, MsgRef};
-use crate::pe_timeline::{PeTimeline, PeTimelineError};
-use crate::priority::partial_critical_path;
-use crate::table::{ScheduleTable, ScheduledJob, ScheduledMessage};
+use crate::pe_timeline::PeTimelineError;
+use crate::table::ScheduleTable;
 use incdes_model::{AppId, Application, Architecture, PeId, ProcRef, Time};
-use incdes_tdma::{BusTimeline, BusTimelineError};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use incdes_tdma::BusTimelineError;
 use std::fmt;
 
 /// One application to schedule, with its design variables.
@@ -144,62 +148,17 @@ impl SchedError {
     }
 }
 
-/// Internal per-job scheduling state.
-struct JobRec {
-    id: JobId,
-    pe: PeId,
-    wcet: Time,
-    release: Time,
-    deadline: Time,
-    priority: Time,
-    gap_hint: u32,
-    preds_remaining: u32,
-    ready: Time,
-    /// Index of the owning AppSpec in the input slice.
-    spec: usize,
-}
-
-/// Ready-queue entry. Jobs are ordered by *urgency* — the latest start
-/// time `deadline − partial critical path` (smaller = more urgent) — so
-/// tight-deadline instances are not crowded out by lax ones sharing the
-/// hyperperiod. Ties fall back to the longer critical path, then earliest
-/// ready, then the smallest job index (full determinism).
-struct ReadyEntry {
-    /// `deadline − pcp`, saturating at zero.
-    urgency: Time,
-    priority: Time,
-    ready: Time,
-    job_idx: usize,
-}
-
-impl PartialEq for ReadyEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-impl Eq for ReadyEntry {}
-impl PartialOrd for ReadyEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for ReadyEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap: larger = popped first, so reverse the
-        // urgency comparison (smallest urgency pops first).
-        other
-            .urgency
-            .cmp(&self.urgency)
-            .then_with(|| self.priority.cmp(&other.priority))
-            .then_with(|| other.ready.cmp(&self.ready))
-            .then_with(|| other.job_idx.cmp(&self.job_idx))
-    }
-}
-
 /// Builds the static cyclic schedule.
 ///
 /// `frozen`, if given, must cover exactly `horizon`; its jobs and messages
 /// are replayed first and included in the returned table.
+///
+/// This is the one-shot convenience wrapper over the evaluation engine:
+/// it replays the frozen schedule into a transient
+/// [`crate::engine::FrozenBase`] and discards the engine's scratch
+/// afterwards. Callers that evaluate many alternatives against the same
+/// frozen schedule should build the base once and reuse a
+/// [`crate::engine::Scheduler`] instead.
 ///
 /// # Errors
 ///
@@ -212,194 +171,11 @@ pub fn schedule(
     frozen: Option<&ScheduleTable>,
     horizon: Time,
 ) -> Result<ScheduleTable, SchedError> {
-    // --- Horizon checks -------------------------------------------------
-    if horizon.is_zero() {
-        return Err(SchedError::BadHorizon { horizon });
-    }
-    for spec in apps {
-        for g in &spec.app.graphs {
-            if g.period.is_zero() || !(horizon % g.period).is_zero() {
-                return Err(SchedError::BadHorizon { horizon });
-            }
-        }
-    }
-    let mut bus =
-        BusTimeline::new(arch.bus(), horizon).map_err(|_| SchedError::BadHorizon { horizon })?;
-
-    // --- Replay the frozen schedule -------------------------------------
-    let mut pes: Vec<PeTimeline> = (0..arch.pe_count())
-        .map(|_| PeTimeline::new(horizon))
-        .collect();
-    let mut out_jobs: Vec<ScheduledJob> = Vec::new();
-    let mut out_msgs: Vec<ScheduledMessage> = Vec::new();
-    if let Some(fr) = frozen {
-        if fr.horizon() != horizon {
-            return Err(SchedError::FrozenConflict);
-        }
-        for j in fr.jobs() {
-            if j.pe.index() >= pes.len() {
-                return Err(SchedError::FrozenConflict);
-            }
-            pes[j.pe.index()]
-                .reserve(j.start, j.end)
-                .map_err(|_| SchedError::FrozenConflict)?;
-            out_jobs.push(*j);
-        }
-        // Replay messages in frame order so packing offsets reproduce.
-        let mut msgs: Vec<&ScheduledMessage> = fr.messages().iter().collect();
-        msgs.sort_by_key(|m| (m.reservation.occurrence, m.reservation.transmit_start));
-        for m in msgs {
-            let r = bus
-                .reserve_in_occurrence(
-                    m.reservation.owner,
-                    m.reservation.occurrence,
-                    m.reservation.duration(),
-                )
-                .map_err(|_| SchedError::FrozenConflict)?;
-            if r.transmit_start != m.reservation.transmit_start {
-                return Err(SchedError::FrozenConflict);
-            }
-            out_msgs.push(*m);
-        }
-    }
-
-    // --- Expand jobs -----------------------------------------------------
-    let mut jobs: Vec<JobRec> = Vec::new();
-    // job index lookup: per (spec, graph) a base offset; layout is
-    // instance-major then node.
-    let mut base: Vec<Vec<usize>> = Vec::with_capacity(apps.len());
-    for (si, spec) in apps.iter().enumerate() {
-        let mut per_graph = Vec::with_capacity(spec.app.graphs.len());
-        for (gi, g) in spec.app.graphs.iter().enumerate() {
-            per_graph.push(jobs.len());
-            // Exact priorities from the mapping.
-            let prio = partial_critical_path(arch, g, |n| spec.mapping.pe_of(ProcRef::new(gi, n)));
-            let instances = horizon.ticks() / g.period.ticks();
-            let node_count = g.process_count();
-            for k in 0..instances as u32 {
-                let release = Time::new(k as u64 * g.period.ticks());
-                let deadline = release + g.deadline;
-                for n in g.dag().node_ids() {
-                    let pr = ProcRef::new(gi, n);
-                    let pe = spec
-                        .mapping
-                        .pe_of(pr)
-                        .ok_or(SchedError::MappingIncomplete {
-                            app: spec.id,
-                            proc_ref: pr,
-                        })?;
-                    let wcet = g.process(n).wcets.get(pe).ok_or(SchedError::NotAllowed {
-                        app: spec.id,
-                        proc_ref: pr,
-                        pe,
-                    })?;
-                    jobs.push(JobRec {
-                        id: JobId::new(spec.id, gi, k, n),
-                        pe,
-                        wcet,
-                        release,
-                        deadline,
-                        priority: prio[n.index()],
-                        gap_hint: spec.hints.proc_gap(pr),
-                        preds_remaining: g.dag().in_degree(n) as u32,
-                        ready: release,
-                        spec: si,
-                    });
-                }
-            }
-            let _ = node_count;
-        }
-        base.push(per_graph);
-    }
-    let job_index = |si: usize, gi: usize, instance: u32, node: incdes_graph::NodeId| -> usize {
-        let g = &apps[si].app.graphs[gi];
-        base[si][gi] + instance as usize * g.process_count() + node.index()
-    };
-
-    // --- List scheduling --------------------------------------------------
-    let mut heap: BinaryHeap<ReadyEntry> = BinaryHeap::new();
-    for (i, j) in jobs.iter().enumerate() {
-        if j.preds_remaining == 0 {
-            heap.push(ReadyEntry {
-                urgency: j.deadline.saturating_sub(j.priority),
-                priority: j.priority,
-                ready: j.ready,
-                job_idx: i,
-            });
-        }
-    }
-
-    let mut scheduled = 0usize;
-    while let Some(entry) = heap.pop() {
-        let idx = entry.job_idx;
-        let (id, pe, wcet, ready, deadline, gap_hint, si) = {
-            let j = &jobs[idx];
-            (j.id, j.pe, j.wcet, j.ready, j.deadline, j.gap_hint, j.spec)
-        };
-        let start = pes[pe.index()]
-            .reserve_earliest(ready, wcet, gap_hint)
-            .map_err(|source| SchedError::NoGap { job: id, source })?;
-        let end = start + wcet;
-        if end > deadline {
-            return Err(SchedError::DeadlineMiss {
-                job: id,
-                end,
-                deadline,
-            });
-        }
-        out_jobs.push(ScheduledJob {
-            job: id,
-            pe,
-            start,
-            end,
-            release: jobs[idx].release,
-            deadline,
-        });
-        scheduled += 1;
-
-        // Propagate to successors: messages over the bus where needed.
-        let spec = &apps[si];
-        let g = &spec.app.graphs[id.graph];
-        for &e in g.dag().out_edges(id.node) {
-            let succ_node = g.dag().target(e);
-            let succ_idx = job_index(si, id.graph, id.instance, succ_node);
-            let succ_pe = jobs[succ_idx].pe;
-            let data_ready = if succ_pe == pe {
-                end
-            } else {
-                let mref = MsgRef::new(id.graph, e);
-                let tx = arch.bus().transmission_time(g.message(e).bytes);
-                let r = bus
-                    .schedule_message_nth(pe, end, tx, spec.hints.msg_slot(mref) as usize)
-                    .map_err(|source| SchedError::NoSlot {
-                        job: id,
-                        msg: mref,
-                        source,
-                    })?;
-                out_msgs.push(ScheduledMessage {
-                    app: spec.id,
-                    msg: mref,
-                    instance: id.instance,
-                    reservation: r,
-                });
-                r.arrival
-            };
-            let succ = &mut jobs[succ_idx];
-            succ.ready = succ.ready.max(data_ready);
-            succ.preds_remaining -= 1;
-            if succ.preds_remaining == 0 {
-                heap.push(ReadyEntry {
-                    urgency: succ.deadline.saturating_sub(succ.priority),
-                    priority: succ.priority,
-                    ready: succ.ready,
-                    job_idx: succ_idx,
-                });
-            }
-        }
-    }
-    debug_assert_eq!(scheduled, jobs.len(), "acyclic graphs schedule fully");
-
-    Ok(ScheduleTable::new(horizon, out_jobs, out_msgs))
+    // Input validation runs in the historical order (horizon and period
+    // alignment before bus/frozen replay) so error precedence is stable.
+    crate::engine::check_horizon(apps, horizon)?;
+    let base = crate::engine::FrozenBase::new(arch, frozen, horizon)?;
+    crate::engine::Scheduler::new().schedule(arch, apps, &base)
 }
 
 #[cfg(test)]

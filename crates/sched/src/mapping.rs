@@ -165,6 +165,16 @@ impl Hints {
         self.msg_slot.get(&m).copied().unwrap_or(0)
     }
 
+    /// Iterator over the non-zero process gap hints, in process order.
+    pub fn proc_gaps(&self) -> impl Iterator<Item = (ProcRef, u32)> + '_ {
+        self.proc_gap.iter().map(|(&p, &s)| (p, s))
+    }
+
+    /// Iterator over the non-zero message slot hints, in message order.
+    pub fn msg_slots(&self) -> impl Iterator<Item = (MsgRef, u32)> + '_ {
+        self.msg_slot.iter().map(|(&m, &s)| (m, s))
+    }
+
     /// True if no hints are set.
     pub fn is_empty(&self) -> bool {
         self.proc_gap.is_empty() && self.msg_slot.is_empty()

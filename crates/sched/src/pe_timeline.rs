@@ -241,6 +241,16 @@ impl PeTimeline {
     pub fn busy_intervals(&self) -> &[(Time, Time)] {
         &self.busy
     }
+
+    /// Resets this timeline to an exact copy of `other`, reusing the
+    /// existing allocation. The evaluation engine calls this once per
+    /// schedule to restore the baked frozen occupancy without
+    /// reallocating.
+    pub fn copy_from(&mut self, other: &PeTimeline) {
+        self.horizon = other.horizon;
+        self.busy.clear();
+        self.busy.extend_from_slice(&other.busy);
+    }
 }
 
 #[cfg(test)]

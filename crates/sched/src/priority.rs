@@ -17,6 +17,73 @@ pub fn estimated_comm_cost(arch: &Architecture, bytes: u32) -> Time {
     tx + arch.bus().cycle_length() / 2
 }
 
+/// The exact cost inputs of [`partial_critical_path`]: per-node costs
+/// plus per-edge `(source, target, cost)` triples, in id order. The
+/// priorities are a pure function of these values, so equality of two
+/// `PriorityCosts` implies equality of the resulting priorities — which
+/// is what makes this a *sound* cache key for the evaluation engine's
+/// per-graph priority cache (an assignment vector alone would alias
+/// graphs with different WCETs, topology or message sizes).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PriorityCosts {
+    nodes: Vec<u64>,
+    edges: Vec<(u32, u32, u64)>,
+}
+
+impl PriorityCosts {
+    /// An empty cost vector (fill it with [`PriorityCosts::fill`]).
+    pub fn new() -> Self {
+        PriorityCosts::default()
+    }
+
+    /// Derives the cost inputs of `graph` under `assigned` (indexed by
+    /// node), reusing this value's allocations.
+    ///
+    /// * Node cost: WCET on the assigned PE when present, otherwise the
+    ///   mean WCET over allowed PEs.
+    /// * Edge cost: zero if both endpoints are assigned to the same PE,
+    ///   otherwise [`estimated_comm_cost`].
+    pub fn fill(&mut self, arch: &Architecture, graph: &ProcessGraph, assigned: &[Option<PeId>]) {
+        let dag = graph.dag();
+        self.nodes.clear();
+        self.edges.clear();
+        for n in dag.node_ids() {
+            let p = graph.process(n);
+            self.nodes
+                .push(match assigned[n.index()].and_then(|pe| p.wcets.get(pe)) {
+                    Some(w) => w.ticks(),
+                    None => p.wcets.average().unwrap_or(Time::ZERO).ticks(),
+                });
+        }
+        for e in dag.edge_ids() {
+            let (s, t) = dag.endpoints(e);
+            let cost = match (assigned[s.index()], assigned[t.index()]) {
+                (Some(a), Some(b)) if a == b => 0,
+                _ => estimated_comm_cost(arch, graph.message(e).bytes).ticks(),
+            };
+            self.edges.push((s.index() as u32, t.index() as u32, cost));
+        }
+    }
+
+    /// The partial-critical-path priorities under these costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic (validated applications never are)
+    /// or if the costs were filled for a different graph.
+    pub fn priorities(&self, graph: &ProcessGraph) -> Vec<Time> {
+        let dag = graph.dag();
+        assert_eq!(self.nodes.len(), graph.process_count(), "costs match graph");
+        let dist = algo::longest_path_to_sink(
+            dag,
+            |n: incdes_graph::NodeId| self.nodes[n.index()],
+            |e: incdes_graph::EdgeId| self.edges[e.index()].2,
+        )
+        .expect("process graphs are validated acyclic");
+        dist.into_iter().map(Time::new).collect()
+    }
+}
+
 /// Partial-critical-path priority of every node of `graph`, given an
 /// (optional) mapping of nodes to PEs.
 ///
@@ -33,27 +100,10 @@ pub fn partial_critical_path(
     graph: &ProcessGraph,
     mut pe_of: impl FnMut(incdes_graph::NodeId) -> Option<PeId>,
 ) -> Vec<Time> {
-    let dag = graph.dag();
-    // Pre-compute the per-node assignment so closures below don't fight
-    // over the borrow.
-    let assigned: Vec<Option<PeId>> = dag.node_ids().map(&mut pe_of).collect();
-    let node_cost = |n: incdes_graph::NodeId| -> u64 {
-        let p = graph.process(n);
-        match assigned[n.index()].and_then(|pe| p.wcets.get(pe)) {
-            Some(w) => w.ticks(),
-            None => p.wcets.average().unwrap_or(Time::ZERO).ticks(),
-        }
-    };
-    let edge_cost = |e: incdes_graph::EdgeId| -> u64 {
-        let (s, t) = dag.endpoints(e);
-        match (assigned[s.index()], assigned[t.index()]) {
-            (Some(a), Some(b)) if a == b => 0,
-            _ => estimated_comm_cost(arch, graph.message(e).bytes).ticks(),
-        }
-    };
-    let dist = algo::longest_path_to_sink(dag, node_cost, edge_cost)
-        .expect("process graphs are validated acyclic");
-    dist.into_iter().map(Time::new).collect()
+    let assigned: Vec<Option<PeId>> = graph.dag().node_ids().map(&mut pe_of).collect();
+    let mut costs = PriorityCosts::new();
+    costs.fill(arch, graph, &assigned);
+    costs.priorities(graph)
 }
 
 /// Partial-critical-path priorities for every graph of an application,

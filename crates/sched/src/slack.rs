@@ -46,6 +46,26 @@ impl SlackProfile {
         }
     }
 
+    /// Assembles a profile from precomputed parts: per-PE gap lists (in
+    /// PE order, each in time order) and bus windows (in time order).
+    ///
+    /// This is the constructor of the incremental evaluation engine
+    /// ([`crate::engine`]), which patches cached frozen-only gap lists
+    /// instead of re-deriving everything from the full table; the parts
+    /// must be exactly what [`SlackProfile::from_table`] would have
+    /// produced.
+    pub fn from_parts(
+        horizon: Time,
+        pe_gaps: Vec<Vec<(Time, Time)>>,
+        bus_windows: Vec<(Time, Time)>,
+    ) -> Self {
+        SlackProfile {
+            horizon,
+            pe_gaps,
+            bus_windows,
+        }
+    }
+
     /// The hyperperiod the profile covers.
     pub fn horizon(&self) -> Time {
         self.horizon
@@ -115,8 +135,11 @@ impl SlackProfile {
     }
 }
 
-/// Total overlap of sorted disjoint intervals with `[from, to)`.
-fn window_overlap(intervals: &[(Time, Time)], from: Time, to: Time) -> Time {
+/// Total overlap of sorted disjoint intervals with `[from, to)` — the
+/// kernel behind [`SlackProfile::pe_slack_in`]/[`SlackProfile::bus_slack_in`],
+/// exported so `incdes-metrics` runs the same kernel on raw interval
+/// lists (cached frozen-only gaps) without materializing a profile.
+pub fn window_overlap(intervals: &[(Time, Time)], from: Time, to: Time) -> Time {
     let mut total = Time::ZERO;
     for &(s, e) in intervals {
         if s >= to {

@@ -408,6 +408,19 @@ impl BusTimeline {
         })
     }
 
+    /// Resets this timeline to an exact copy of `other`, reusing the
+    /// geometry allocations. The scheduling engine calls this once per
+    /// evaluation to restore the baked frozen bus occupancy instead of
+    /// rebuilding the timeline from the bus config.
+    pub fn reset_from(&mut self, other: &BusTimeline) {
+        self.flat.clone_from(&other.flat);
+        self.by_owner.clone_from(&other.by_owner);
+        self.cycle = other.cycle;
+        self.horizon = other.horizon;
+        self.cycles = other.cycles;
+        self.occupancy.clone_from(&other.occupancy);
+    }
+
     /// Total bus time reserved so far.
     pub fn total_used(&self) -> Time {
         self.occupancy.values().map(|u| u.used).sum()
