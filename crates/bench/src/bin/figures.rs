@@ -392,47 +392,63 @@ fn bench_eval_cmd(args: &[String]) {
         t0.elapsed()
     );
 
-    println!("## Evaluation engine — raw evaluate() throughput (naive vs. engine)");
+    println!("## Evaluation engine — raw evaluate() throughput (naive vs. engine vs. delta)");
     println!(
-        "{:>7} {:>8} {:>12} {:>8} {:>14} {:>14} {:>8} {:>10} {:>10}",
+        "{:>7} {:>8} {:>12} {:>8} {:>13} {:>13} {:>13} {:>8} {:>8} {:>9} {:>10} {:>10} {:>10}",
         "system",
         "current",
         "frozen jobs",
         "evals",
         "naive ev/s",
         "engine ev/s",
+        "delta ev/s",
         "speedup",
+        "d-spdup",
+        "d/engine",
         "memo hits",
-        "raw scheds"
+        "raw scheds",
+        "delta runs"
     );
     for r in &bench.raw {
         println!(
-            "{:>7} {:>8} {:>12} {:>8} {:>14.0} {:>14.0} {:>8.2} {:>10} {:>10}",
+            "{:>7} {:>8} {:>12} {:>8} {:>13.0} {:>13.0} {:>13.0} {:>8.2} {:>8.2} {:>9.2} {:>10} {:>10} {:>10}",
             r.size,
             r.current,
             r.frozen_jobs,
             r.evals,
             r.naive_evals_per_sec,
             r.engine_evals_per_sec,
+            r.delta_evals_per_sec,
             r.speedup,
+            r.delta_speedup,
+            r.delta_vs_engine,
             r.memo_hits,
-            r.raw_schedules
+            r.raw_schedules,
+            r.delta_schedules
         );
     }
     println!("\n## Evaluation engine — full strategy runs");
     println!(
-        "{:>6} {:>6} {:>12} {:>12} {:>8} {:>8}",
-        "size", "strat", "naive ms", "engine ms", "speedup", "evals"
+        "{:>6} {:>6} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8}",
+        "size", "strat", "naive ms", "engine ms", "delta ms", "speedup", "d-spdup", "evals"
     );
     for r in &bench.strategies {
         println!(
-            "{:>6} {:>6} {:>12.1} {:>12.1} {:>8.2} {:>8}",
-            r.size, r.strategy, r.naive_ms, r.engine_ms, r.speedup, r.evaluations
+            "{:>6} {:>6} {:>12.1} {:>12.1} {:>12.1} {:>8.2} {:>8.2} {:>8}",
+            r.size,
+            r.strategy,
+            r.naive_ms,
+            r.engine_ms,
+            r.delta_ms,
+            r.speedup,
+            r.delta_speedup,
+            r.evaluations
         );
     }
 
-    // Regression guard: on the largest scenario the engine must have
-    // skipped duplicate schedules through the memo.
+    // Regression guards on the largest scenario: the memo must have
+    // skipped duplicate schedules, the delta path must have engaged,
+    // and it must beat the full engine.
     let largest = bench.raw.last().expect("presets have sizes");
     if largest.memo_hits == 0 {
         die("engine memo never hit on the bench stream (expected revisits to be served)");
@@ -441,6 +457,16 @@ fn bench_eval_cmd(args: &[String]) {
         die(format!(
             "engine executed {} raw schedules for {} evaluations (expected fewer)",
             largest.raw_schedules, largest.evals
+        ));
+    }
+    if largest.delta_schedules == 0 {
+        die("the delta path never engaged on the single-move bench stream");
+    }
+    if largest.delta_evals_per_sec <= largest.engine_evals_per_sec {
+        die(format!(
+            "delta path ({:.0} evals/s) does not beat the full engine ({:.0} evals/s) \
+             on the largest frozen base",
+            largest.delta_evals_per_sec, largest.engine_evals_per_sec
         ));
     }
 

@@ -1,16 +1,20 @@
 //! The evaluation-engine benchmark behind `figures bench-eval`.
 //!
 //! Measures `MappingContext::evaluate` throughput (evaluations per
-//! second) on the naive pipeline (`schedule()` +
+//! second) on three pipelines — the naive one (`schedule()` +
 //! `SlackProfile::from_table` + `objective::evaluate`, re-replaying the
-//! frozen schedule every call) versus the incremental engine
-//! (`FrozenBase` + `Scheduler` + memo), per system size and per
-//! strategy, on a frozen base system built from a paper preset. The
-//! `figures` binary renders the rows and persists them as
-//! `BENCH_eval.json` so the speedup is a tracked artifact.
+//! frozen schedule every call), the full engine (`FrozenBase` +
+//! `Scheduler` + memo, every raw schedule resetting from the base —
+//! `with_full_evaluation()`), and the default **delta** path
+//! (single-move neighbors splice the previous run and repack only the
+//! invalidated C1 containers) — per system size and per strategy, on a
+//! frozen base system built from a paper preset. The `figures` binary
+//! renders the rows and persists them as `BENCH_eval.json` so the
+//! speedups are tracked artifacts, and fails CI unless the delta path
+//! beats the full engine on the largest frozen base.
 //!
-//! The two paths are also cross-checked here: a sample of the evaluation
-//! stream and every strategy outcome must agree between naive and engine
+//! The paths are also cross-checked here: a sample of the evaluation
+//! stream and every strategy outcome must agree across all pipelines
 //! before a row is reported.
 
 use crate::{build_base_system, current_application, BaseSystem};
@@ -45,14 +49,24 @@ pub struct EvalBenchRow {
     pub evals: usize,
     /// Naive pipeline throughput.
     pub naive_evals_per_sec: f64,
-    /// Engine pipeline throughput.
+    /// Full-engine pipeline throughput (PR 4 behavior).
     pub engine_evals_per_sec: f64,
+    /// Delta pipeline throughput (the default path).
+    pub delta_evals_per_sec: f64,
     /// `engine / naive`.
     pub speedup: f64,
+    /// `delta / naive`.
+    pub delta_speedup: f64,
+    /// `delta / engine` — the multiplier this PR is about.
+    pub delta_vs_engine: f64,
     /// Engine evaluations answered from the solution memo.
     pub memo_hits: usize,
     /// Raw schedules the engine actually executed.
     pub raw_schedules: usize,
+    /// Raw schedules that took the delta path (delta context).
+    pub delta_schedules: usize,
+    /// Placement steps spliced verbatim from run records.
+    pub spliced_steps: usize,
 }
 
 /// One row of the per-strategy comparison: a full `run_strategy` on a
@@ -65,11 +79,15 @@ pub struct StrategyBenchRow {
     pub strategy: &'static str,
     /// Wall-clock of the naive-context run, in milliseconds.
     pub naive_ms: f64,
-    /// Wall-clock of the engine-context run, in milliseconds.
+    /// Wall-clock of the full-engine-context run, in milliseconds.
     pub engine_ms: f64,
+    /// Wall-clock of the delta-context (default) run, in milliseconds.
+    pub delta_ms: f64,
     /// `naive_ms / engine_ms`.
     pub speedup: f64,
-    /// Evaluations the strategy spent (identical on both paths).
+    /// `naive_ms / delta_ms`.
+    pub delta_speedup: f64,
+    /// Evaluations the strategy spent (identical on every path).
     pub evaluations: usize,
 }
 
@@ -241,16 +259,29 @@ pub fn run_eval_bench(
         // Differential check on a sample before anything is timed.
         {
             let naive = scenario.context().with_naive_evaluation();
-            let engine = scenario.context();
+            let engine = scenario.context().with_full_evaluation();
+            let delta = scenario.context();
             for sol in stream.iter().take(16) {
-                match (naive.evaluate(sol), engine.evaluate(sol)) {
-                    (Ok(a), Ok(b)) => {
+                match (
+                    naive.evaluate(sol),
+                    engine.evaluate(sol),
+                    delta.evaluate(sol),
+                ) {
+                    (Ok(a), Ok(b), Ok(c)) => {
                         assert_eq!(a.table, b.table, "engine/naive table mismatch");
                         assert_eq!(a.slack, b.slack, "engine/naive slack mismatch");
                         assert_eq!(a.cost, b.cost, "engine/naive cost mismatch");
+                        assert_eq!(a.table, c.table, "delta/naive table mismatch");
+                        assert_eq!(a.slack, c.slack, "delta/naive slack mismatch");
+                        assert_eq!(a.cost, c.cost, "delta/naive cost mismatch");
                     }
-                    (Err(a), Err(b)) => assert_eq!(a, b, "engine/naive error mismatch"),
-                    (a, b) => panic!("engine/naive feasibility mismatch: {a:?} vs {b:?}"),
+                    (Err(a), Err(b), Err(c)) => {
+                        assert_eq!(a, b, "engine/naive error mismatch");
+                        assert_eq!(a, c, "delta/naive error mismatch");
+                    }
+                    (a, b, c) => {
+                        panic!("pipeline feasibility mismatch: {a:?} vs {b:?} vs {c:?}")
+                    }
                 }
             }
         }
@@ -269,18 +300,25 @@ pub fn run_eval_bench(
         };
         // Untimed warmup pass per pipeline (page cache, allocator).
         time_stream(&scenario.context().with_naive_evaluation());
+        time_stream(&scenario.context().with_full_evaluation());
         time_stream(&scenario.context());
 
         let mut naive_secs = f64::INFINITY;
         let mut engine_secs = f64::INFINITY;
+        let mut delta_secs = f64::INFINITY;
         let mut memo_hits = 0;
         let mut raw_schedules = 0;
+        let mut delta_schedules = 0;
+        let mut spliced_steps = 0;
         for _ in 0..REPS {
             naive_secs = naive_secs.min(time_stream(&scenario.context().with_naive_evaluation()));
-            let engine_ctx = scenario.context();
-            engine_secs = engine_secs.min(time_stream(&engine_ctx));
-            memo_hits = engine_ctx.memo_hit_count();
-            raw_schedules = engine_ctx.raw_schedule_count();
+            engine_secs = engine_secs.min(time_stream(&scenario.context().with_full_evaluation()));
+            let delta_ctx = scenario.context();
+            delta_secs = delta_secs.min(time_stream(&delta_ctx));
+            memo_hits = delta_ctx.memo_hit_count();
+            raw_schedules = delta_ctx.raw_schedule_count();
+            delta_schedules = delta_ctx.delta_schedule_count();
+            spliced_steps = delta_ctx.spliced_step_count();
         }
 
         raw.push(EvalBenchRow {
@@ -290,9 +328,14 @@ pub fn run_eval_bench(
             evals: stream.len(),
             naive_evals_per_sec: stream.len() as f64 / naive_secs.max(1e-9),
             engine_evals_per_sec: stream.len() as f64 / engine_secs.max(1e-9),
+            delta_evals_per_sec: stream.len() as f64 / delta_secs.max(1e-9),
             speedup: naive_secs / engine_secs.max(1e-9),
+            delta_speedup: naive_secs / delta_secs.max(1e-9),
+            delta_vs_engine: engine_secs / delta_secs.max(1e-9),
             memo_hits,
             raw_schedules,
+            delta_schedules,
+            spliced_steps,
         });
     }
 
@@ -309,23 +352,36 @@ pub fn run_eval_bench(
             let naive_out = run_strategy(&naive_ctx, &strategy);
             let naive_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-            let engine_ctx = scenario.context();
+            let engine_ctx = scenario.context().with_full_evaluation();
             let t1 = Instant::now();
             let engine_out = run_strategy(&engine_ctx, &strategy);
             let engine_ms = t1.elapsed().as_secs_f64() * 1e3;
 
-            let evaluations = match (&naive_out, &engine_out) {
-                (Ok(a), Ok(b)) => {
+            let delta_ctx = scenario.context();
+            let t2 = Instant::now();
+            let delta_out = run_strategy(&delta_ctx, &strategy);
+            let delta_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+            let evaluations = match (&naive_out, &engine_out, &delta_out) {
+                (Ok(a), Ok(b), Ok(c)) => {
                     assert_eq!(
                         a.evaluation.cost,
                         b.evaluation.cost,
                         "strategy {} cost diverged between pipelines",
                         strategy.name()
                     );
+                    assert_eq!(
+                        a.evaluation.cost,
+                        c.evaluation.cost,
+                        "strategy {} cost diverged on the delta path",
+                        strategy.name()
+                    );
+                    assert_eq!(a.solution, c.solution);
                     assert_eq!(a.stats.evaluations, b.stats.evaluations);
-                    b.stats.evaluations
+                    assert_eq!(a.stats.evaluations, c.stats.evaluations);
+                    c.stats.evaluations
                 }
-                (Err(_), Err(_)) => 0,
+                (Err(_), Err(_), Err(_)) => 0,
                 _ => panic!(
                     "strategy {} feasibility diverged between pipelines",
                     strategy.name()
@@ -336,7 +392,9 @@ pub fn run_eval_bench(
                 strategy: strategy.name(),
                 naive_ms,
                 engine_ms,
+                delta_ms,
                 speedup: naive_ms / engine_ms.max(1e-9),
+                delta_speedup: naive_ms / delta_ms.max(1e-9),
                 evaluations,
             });
         }
@@ -355,16 +413,23 @@ pub fn render_json(bench: &EvalBench, preset_name: &str) -> String {
         out.push_str(&format!(
             "    {{\"system_size\": {}, \"current\": {}, \"frozen_jobs\": {}, \"evals\": {}, \
              \"naive_evals_per_sec\": {:.1}, \"engine_evals_per_sec\": {:.1}, \
-             \"speedup\": {:.2}, \"memo_hits\": {}, \"raw_schedules\": {}}}{}\n",
+             \"delta_evals_per_sec\": {:.1}, \"speedup\": {:.2}, \"delta_speedup\": {:.2}, \
+             \"delta_vs_engine\": {:.2}, \"memo_hits\": {}, \"raw_schedules\": {}, \
+             \"delta_schedules\": {}, \"spliced_steps\": {}}}{}\n",
             r.size,
             r.current,
             r.frozen_jobs,
             r.evals,
             r.naive_evals_per_sec,
             r.engine_evals_per_sec,
+            r.delta_evals_per_sec,
             r.speedup,
+            r.delta_speedup,
+            r.delta_vs_engine,
             r.memo_hits,
             r.raw_schedules,
+            r.delta_schedules,
+            r.spliced_steps,
             if i + 1 < bench.raw.len() { "," } else { "" },
         ));
     }
@@ -373,12 +438,15 @@ pub fn render_json(bench: &EvalBench, preset_name: &str) -> String {
     for (i, r) in bench.strategies.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"size\": {}, \"strategy\": \"{}\", \"naive_ms\": {:.3}, \
-             \"engine_ms\": {:.3}, \"speedup\": {:.2}, \"evaluations\": {}}}{}\n",
+             \"engine_ms\": {:.3}, \"delta_ms\": {:.3}, \"speedup\": {:.2}, \
+             \"delta_speedup\": {:.2}, \"evaluations\": {}}}{}\n",
             r.size,
             r.strategy,
             r.naive_ms,
             r.engine_ms,
+            r.delta_ms,
             r.speedup,
+            r.delta_speedup,
             r.evaluations,
             if i + 1 < bench.strategies.len() {
                 ","
@@ -420,7 +488,14 @@ mod tests {
         let r = bench.raw.last().unwrap();
         assert!(r.memo_hits > 0, "revisits must hit the memo");
         assert!(r.raw_schedules < r.evals, "memo must save raw schedules");
+        assert!(
+            r.delta_schedules > 0,
+            "the single-move stream must engage the delta path"
+        );
+        assert!(r.spliced_steps > 0, "delta runs must splice prefixes");
         let json = render_json(&bench, "test");
         assert!(json.contains("\"bench\": \"eval_engine\""));
+        assert!(json.contains("\"delta_evals_per_sec\""));
+        assert!(json.contains("\"delta_ms\""));
     }
 }

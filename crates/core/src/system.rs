@@ -4,8 +4,11 @@ use incdes_mapping::{run_strategy, MapError, MappingContext, RunStats, Solution,
 use incdes_metrics::{DesignCost, Weights};
 use incdes_model::time::{hyperperiod, HyperperiodError};
 use incdes_model::{validate, AppId, Application, Architecture, FutureProfile, ModelError, Time};
+use incdes_sched::engine::FrozenBase;
 use incdes_sched::{ScheduleTable, SlackProfile, TableError};
+use std::cell::{Cell, RefCell};
 use std::fmt;
+use std::sync::Arc;
 
 /// An application that has been committed to the system and is now frozen.
 #[derive(Debug, Clone)]
@@ -111,6 +114,15 @@ pub struct System {
     arch: Architecture,
     committed: Vec<CommittedApp>,
     table: ScheduleTable,
+    /// One baked [`FrozenBase`] per `(table state, horizon)`, shared by
+    /// every [`MappingContext`] this system hands out until the table
+    /// mutates — so a campaign script's probe streak (and the probe
+    /// preceding a matching commit) replays the frozen schedule once,
+    /// not once per step. Keyed by horizon only: the cache is cleared
+    /// on every table mutation, so entries always describe the current
+    /// table.
+    base_cache: RefCell<Option<(Time, Arc<FrozenBase>)>>,
+    base_reuse: Cell<usize>,
 }
 
 impl System {
@@ -123,7 +135,38 @@ impl System {
             arch,
             committed: Vec::new(),
             table,
+            base_cache: RefCell::new(None),
+            base_reuse: Cell::new(0),
         }
+    }
+
+    /// The shared frozen base for the current table replicated to
+    /// `horizon`, baking it on first use. `None` when baking fails —
+    /// the mapping context then reports the error through its ordinary
+    /// lazy path, keeping error precedence identical.
+    fn shared_base(&self, frozen: &ScheduleTable, horizon: Time) -> Option<Arc<FrozenBase>> {
+        let mut cache = self.base_cache.borrow_mut();
+        if let Some((cached_horizon, base)) = cache.as_ref() {
+            if *cached_horizon == horizon {
+                self.base_reuse.set(self.base_reuse.get() + 1);
+                return Some(Arc::clone(base));
+            }
+        }
+        match FrozenBase::new(&self.arch, Some(frozen), horizon) {
+            Ok(base) => {
+                let base = Arc::new(base);
+                *cache = Some((horizon, Arc::clone(&base)));
+                Some(base)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// How many mapping contexts were served a cached frozen base
+    /// instead of re-baking the frozen schedule (diagnostics; see
+    /// [`System::shared_base`]).
+    pub fn frozen_base_reuse_count(&self) -> usize {
+        self.base_reuse.get()
     }
 
     /// The architecture.
@@ -161,6 +204,7 @@ impl System {
             _ => return Err(CoreError::UnknownApp(id)),
         }
         self.table = self.table_without(&[id]);
+        *self.base_cache.borrow_mut() = None;
         Ok(())
     }
 
@@ -222,7 +266,7 @@ impl System {
         let new_horizon = self.horizon_with(&app)?;
         let frozen = self.table.replicate_to(&self.arch, new_horizon)?;
         let id = AppId(self.committed.len() as u32);
-        let ctx = MappingContext::new(
+        let mut ctx = MappingContext::new(
             &self.arch,
             id,
             &app,
@@ -231,8 +275,12 @@ impl System {
             future,
             weights,
         );
+        if let Some(base) = self.shared_base(&frozen, new_horizon) {
+            ctx = ctx.with_frozen_base(base);
+        }
         let outcome = run_strategy(&ctx, strategy)?;
         self.table = outcome.evaluation.table;
+        *self.base_cache.borrow_mut() = None;
         self.committed.push(CommittedApp {
             id,
             app,
@@ -270,7 +318,7 @@ impl System {
         let new_horizon = self.horizon_with(app)?;
         let frozen = self.table.replicate_to(&self.arch, new_horizon)?;
         let id = AppId(self.committed.len() as u32);
-        let ctx = MappingContext::new(
+        let mut ctx = MappingContext::new(
             &self.arch,
             id,
             app,
@@ -279,6 +327,9 @@ impl System {
             future,
             weights,
         );
+        if let Some(base) = self.shared_base(&frozen, new_horizon) {
+            ctx = ctx.with_frozen_base(base);
+        }
         match run_strategy(&ctx, strategy) {
             Ok(outcome) => Ok(ProbeReport {
                 feasible: true,
@@ -304,6 +355,7 @@ impl System {
     /// Replaces the stored table (modification policy internals).
     pub(crate) fn replace_state(&mut self, table: ScheduleTable) {
         self.table = table;
+        *self.base_cache.borrow_mut() = None;
     }
 
     /// Reassembles a session from its parts (snapshot restore internals;
@@ -317,6 +369,8 @@ impl System {
             arch,
             committed,
             table,
+            base_cache: RefCell::new(None),
+            base_reuse: Cell::new(0),
         }
     }
 
@@ -460,6 +514,39 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, CoreError::Validation(_)));
+    }
+
+    /// The frozen base is baked once per system state: a probe streak
+    /// (and the commit that follows at the same hyperperiod) shares one
+    /// bake, and any table mutation invalidates it.
+    #[test]
+    fn probe_streak_shares_one_frozen_base() {
+        let mut sys = System::new(arch2());
+        let w = Weights::default();
+        sys.add_application(app("v1", 120, &[10, 10]), &future(), &w, &Strategy::AdHoc)
+            .unwrap();
+        assert_eq!(sys.frozen_base_reuse_count(), 0);
+        for _ in 0..3 {
+            sys.probe_application(&app("p", 120, &[5]), &future(), &w, &Strategy::AdHoc)
+                .unwrap();
+        }
+        // First probe bakes, the next two reuse.
+        assert_eq!(sys.frozen_base_reuse_count(), 2);
+        // A commit at the same horizon reuses the probe's bake...
+        sys.add_application(app("v2", 120, &[5]), &future(), &w, &Strategy::AdHoc)
+            .unwrap();
+        assert_eq!(sys.frozen_base_reuse_count(), 3);
+        // ...and invalidates the cache: the next probe re-bakes.
+        sys.probe_application(&app("p2", 120, &[5]), &future(), &w, &Strategy::AdHoc)
+            .unwrap();
+        assert_eq!(sys.frozen_base_reuse_count(), 3);
+        sys.probe_application(&app("p3", 120, &[5]), &future(), &w, &Strategy::AdHoc)
+            .unwrap();
+        assert_eq!(sys.frozen_base_reuse_count(), 4);
+        // A horizon-growing probe does not reuse the 120-tick bake.
+        sys.probe_application(&app("p4", 240, &[5]), &future(), &w, &Strategy::AdHoc)
+            .unwrap();
+        assert_eq!(sys.frozen_base_reuse_count(), 4);
     }
 
     #[test]

@@ -451,6 +451,60 @@ mod tests {
         assert!(outcome.schedule.jobs > 0);
     }
 
+    /// Probe-heavy scripts (the paper's mappability experiment) now
+    /// share one baked `FrozenBase` per system state through
+    /// `incdes_core::System`, and every per-step context runs the
+    /// delta-scheduling path by default — the determinism guarantee
+    /// (byte-identical reports across runs and worker counts) must be
+    /// completely unaffected by either cache.
+    #[test]
+    fn probe_heavy_script_is_deterministic_with_shared_bases() {
+        let mut spec = tiny_spec();
+        spec.strategies = vec![Strategy::mh(), Strategy::sa()];
+        spec.script = vec![
+            ScriptStep::Add {
+                processes: Count::Fixed(5),
+                strategy: None,
+                future: false,
+            },
+            ScriptStep::Probe {
+                processes: Count::Fixed(4),
+                strategy: None,
+                future: false,
+            },
+            ScriptStep::Probe {
+                processes: Count::Fixed(4),
+                strategy: None,
+                future: true,
+            },
+            ScriptStep::Probe {
+                processes: Count::Fixed(6),
+                strategy: None,
+                future: false,
+            },
+            ScriptStep::Add {
+                processes: Count::Fixed(4),
+                strategy: None,
+                future: false,
+            },
+            ScriptStep::Probe {
+                processes: Count::Fixed(4),
+                strategy: None,
+                future: true,
+            },
+        ];
+        let a = run_campaign(&spec, 1).unwrap().report();
+        let b = run_campaign(&spec, 4).unwrap().report();
+        assert_eq!(
+            a.to_json_pretty().unwrap(),
+            b.to_json_pretty().unwrap(),
+            "worker count must not perturb probe-heavy campaigns"
+        );
+        for outcome in run_campaign(&spec, 2).unwrap().outcomes {
+            assert!(outcome.invariant_violations.is_empty());
+        }
+    }
+
     #[test]
     fn bad_decommission_is_recorded_not_fatal() {
         let mut spec = tiny_spec();

@@ -4,14 +4,26 @@
 //! thousands of times per scenario. It runs on the incremental
 //! evaluation engine of `incdes_sched::engine`:
 //!
-//! * the frozen schedule is replayed and validated **once** into a
-//!   [`FrozenBase`], built lazily on the first evaluation;
+//! * the frozen schedule is replayed and validated **once** into an
+//!   `Arc<FrozenBase>` — built lazily on the first evaluation, or
+//!   injected pre-built via
+//!   [`MappingContext::with_frozen_base`] so the campaign runner's
+//!   per-step contexts share one bake per system state;
 //! * a persistent [`Scheduler`] reuses its scratch arenas (job records,
-//!   ready heap, per-graph priority cache) across evaluations and
-//!   derives the slack profile incrementally (untouched PEs reuse the
-//!   baked frozen-only gap lists);
-//! * the per-PE and bus C2 objective terms of untouched resources are
-//!   cached across evaluations;
+//!   ready heap, per-graph priority cache) across evaluations;
+//! * **delta scheduling**: when the candidate differs from the
+//!   previously scheduled solution by at most
+//!   [`DELTA_MAX_CHANGED_VARS`] design variables (the single-move
+//!   neighbors MH and SA explore, plus the two-move distance between
+//!   consecutive trials proposed from one pivot), the engine undoes and
+//!   re-places only the jobs after the first changed reservation,
+//!   splicing the untouched prefix from the previous run — see the
+//!   decision rules in `incdes_sched::engine`;
+//! * the slack profiles are `Arc`-backed, so untouched resources alias
+//!   the frozen base's (or the previous evaluation's) gap lists, and
+//!   the per-resource C2 terms plus the C1 bin-packing multiset
+//!   ([`incdes_metrics::C1Cache`]) are cached **by storage identity**:
+//!   an aliased gap list is never re-measured or re-packed;
 //! * a solution-fingerprint memo returns previously evaluated design
 //!   alternatives without re-scheduling, so SA's revisited states and
 //!   MH's widening rounds skip duplicate schedules.
@@ -19,20 +31,25 @@
 //! [`MappingContext::evaluation_count`] keeps its historical meaning —
 //! every [`evaluate`](MappingContext::evaluate) call counts, memo hit or
 //! not — while [`MappingContext::raw_schedule_count`] reports how many
-//! schedules were actually executed. The engine is observationally
-//! equivalent to the naive `schedule()` + `SlackProfile::from_table` +
-//! `objective::evaluate` pipeline, which remains available behind
-//! [`MappingContext::with_naive_evaluation`] for differential tests and
-//! benchmarks.
+//! schedules were actually executed and
+//! [`MappingContext::delta_schedule_count`] how many of those took the
+//! delta path. Two reference pipelines are retained as oracles for
+//! differential tests and the `figures bench-eval` measurements:
+//! [`MappingContext::with_naive_evaluation`] (one-shot `schedule()` +
+//! `SlackProfile::from_table` + `objective::evaluate`, no reuse at all)
+//! and [`MappingContext::with_full_evaluation`] (the PR 4 engine: base +
+//! scratch reuse + memo, but every raw schedule re-places all jobs).
 
 use crate::solution::Solution;
 use incdes_metrics::objective::{self, DesignCost, Weights};
+use incdes_metrics::C1Cache;
 use incdes_model::{AppId, Application, Architecture, FutureProfile, PeId, ProcRef, Time};
-use incdes_sched::engine::{check_horizon, FrozenBase, Scheduler};
+use incdes_sched::engine::{check_horizon, ChangedVar, FrozenBase, Scheduler};
 use incdes_sched::{schedule, AppSpec, MsgRef, SchedError, ScheduleTable, SlackProfile};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Error from a mapping strategy.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,12 +104,33 @@ const MEMO_CAP: usize = 512;
 /// Canonical identity of a design alternative: the full mapping plus all
 /// non-zero hints, in deterministic order. Two solutions with the same
 /// key produce byte-identical schedules, so memo hits are exact (no
-/// hashing-collision risk — the key stores the actual design variables).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// hashing-collision risk — the key stores the actual design variables,
+/// and the hash only routes to a bucket). Doubling as the predecessor
+/// snapshot the delta gate diffs against: the sorted vectors make that
+/// diff a linear slice walk instead of B-tree iteration.
+#[derive(Debug, Default, PartialEq, Eq, Hash)]
 struct MemoKey {
     mapping: Vec<(ProcRef, PeId)>,
     proc_gaps: Vec<(ProcRef, u32)>,
     msg_slots: Vec<(MsgRef, u32)>,
+}
+
+impl Clone for MemoKey {
+    fn clone(&self) -> Self {
+        MemoKey {
+            mapping: self.mapping.clone(),
+            proc_gaps: self.proc_gaps.clone(),
+            msg_slots: self.msg_slots.clone(),
+        }
+    }
+
+    // The predecessor snapshot is refreshed on every raw schedule;
+    // reusing its allocations keeps that free.
+    fn clone_from(&mut self, source: &Self) {
+        self.mapping.clone_from(&source.mapping);
+        self.proc_gaps.clone_from(&source.proc_gaps);
+        self.msg_slots.clone_from(&source.msg_slots);
+    }
 }
 
 impl MemoKey {
@@ -105,18 +143,195 @@ impl MemoKey {
     }
 }
 
+/// The FxHash mix (Firefox/rustc's default internal hasher): the memo
+/// keys are trusted program state, not attacker input, so the DoS
+/// resistance of SipHash buys nothing here and its cost is paid on
+/// every evaluation.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxBuild = std::hash::BuildHasherDefault<FxHasher>;
+
+/// Largest number of changed design variables (mapping entries + gap
+/// hints + slot hints, counted as a symmetric difference) for which the
+/// delta-scheduling path is attempted. A remap touches at most two
+/// variables (the mapping entry plus its reset gap hint), so 4 covers
+/// two design transformations — the distance between consecutive SA/MH
+/// trials proposed from one pivot solution (undo the rejected move,
+/// apply the next). Larger diffs take the full-engine path.
+pub const DELTA_MAX_CHANGED_VARS: usize = 4;
+
+/// Walks the symmetric difference of two sorted key→value iterators,
+/// invoking `on_diff` for every differing key; gives up (returns
+/// `false`) as soon as more than `cap` differences accumulate in
+/// `count`.
+fn sym_diff<K: Ord + Copy, V: PartialEq>(
+    a: impl Iterator<Item = (K, V)>,
+    b: impl Iterator<Item = (K, V)>,
+    cap: usize,
+    count: &mut usize,
+    mut on_diff: impl FnMut(K),
+) -> bool {
+    let mut a = a.peekable();
+    let mut b = b.peekable();
+    loop {
+        let key = match (a.peek(), b.peek()) {
+            (None, None) => return true,
+            (Some(&(ka, _)), None) => {
+                a.next();
+                Some(ka)
+            }
+            (None, Some(&(kb, _))) => {
+                b.next();
+                Some(kb)
+            }
+            (Some(&(ka, _)), Some(&(kb, _))) => match ka.cmp(&kb) {
+                std::cmp::Ordering::Less => {
+                    a.next();
+                    Some(ka)
+                }
+                std::cmp::Ordering::Greater => {
+                    b.next();
+                    Some(kb)
+                }
+                std::cmp::Ordering::Equal => {
+                    let (_, va) = a.next().expect("peeked");
+                    let (_, vb) = b.next().expect("peeked");
+                    if va != vb {
+                        Some(ka)
+                    } else {
+                        None
+                    }
+                }
+            },
+        };
+        if let Some(k) = key {
+            *count += 1;
+            if *count > cap {
+                return false;
+            }
+            on_diff(k);
+        }
+    }
+}
+
+/// Collects the design variables differing between two solution keys
+/// into `vars` (sorted, deduplicated, ready for
+/// `Scheduler::schedule_delta_hinted_with_slack`). Returns `false` —
+/// and leaves `vars` unspecified — when more than `cap` variables
+/// differ; the caller then takes the full-engine path. Both keys store
+/// their variables sorted, so this is a linear slice walk.
+fn collect_key_delta(
+    prev: &MemoKey,
+    cur: &MemoKey,
+    cap: usize,
+    vars: &mut Vec<ChangedVar>,
+) -> bool {
+    vars.clear();
+    let mut count = 0usize;
+    let proc_var = |pr: ProcRef| ChangedVar::Proc {
+        spec: 0,
+        graph: pr.graph,
+        node: pr.node,
+    };
+    if !sym_diff(
+        prev.mapping.iter().copied(),
+        cur.mapping.iter().copied(),
+        cap,
+        &mut count,
+        |k| vars.push(proc_var(k)),
+    ) {
+        return false;
+    }
+    if !sym_diff(
+        prev.proc_gaps.iter().copied(),
+        cur.proc_gaps.iter().copied(),
+        cap,
+        &mut count,
+        |k| vars.push(proc_var(k)),
+    ) {
+        return false;
+    }
+    if !sym_diff(
+        prev.msg_slots.iter().copied(),
+        cur.msg_slots.iter().copied(),
+        cap,
+        &mut count,
+        |m: MsgRef| {
+            vars.push(ChangedVar::Msg {
+                spec: 0,
+                graph: m.graph,
+                edge: m.edge,
+            })
+        },
+    ) {
+        return false;
+    }
+    // A remap and its hint reset touch the same process twice; the
+    // engine wants each variable once, in expansion order.
+    vars.sort_unstable();
+    vars.dedup();
+    true
+}
+
 /// The per-context evaluation engine state: baked frozen base, scheduler
 /// scratch, objective-term caches and the solution memo.
 #[derive(Debug, Default)]
 struct EvalEngine {
-    /// Lazily built frozen base (or the error building it produced).
-    base: Option<Result<FrozenBase, SchedError>>,
+    /// Lazily built (or injected) frozen base, shared via `Arc` when the
+    /// caller reuses one bake across contexts.
+    base: Option<Result<Arc<FrozenBase>, SchedError>>,
     scheduler: Scheduler,
-    memo: HashMap<MemoKey, Result<Evaluation, SchedError>>,
-    /// Frozen-only per-PE C2 terms, filled on first use.
-    c2_pe: Vec<Option<Time>>,
-    /// Frozen-only bus C2 term, filled on first use.
-    c2_bus: Option<Time>,
+    memo: HashMap<MemoKey, Result<Evaluation, SchedError>, FxBuild>,
+    /// The key of the most recent raw schedule — the predecessor
+    /// snapshot the delta gate diffs candidates against.
+    last_key: Option<MemoKey>,
+    /// Per-PE C2 terms keyed by the gap storage they were measured on
+    /// (holding the `Arc` keeps the storage alive, making pointer
+    /// identity a sound cache key).
+    c2_pe: Vec<Option<(Arc<Vec<(Time, Time)>>, Time)>>,
+    /// Bus C2 term, keyed likewise.
+    c2_bus: Option<(Arc<Vec<(Time, Time)>>, Time)>,
+    /// Incremental C1 bin-packing state, patched by storage identity.
+    c1: C1Cache,
+    /// Scratch for the collected solution diff (no per-eval allocation).
+    vars_scratch: Vec<ChangedVar>,
 }
 
 /// Everything a strategy needs to evaluate design alternatives for one
@@ -142,6 +357,7 @@ pub struct MappingContext<'a> {
     raw_schedules: Cell<usize>,
     memo_hits: Cell<usize>,
     naive: bool,
+    full_engine: bool,
     engine: RefCell<EvalEngine>,
 }
 
@@ -169,6 +385,7 @@ impl<'a> MappingContext<'a> {
             raw_schedules: Cell::new(0),
             memo_hits: Cell::new(0),
             naive: false,
+            full_engine: false,
             engine: RefCell::new(EvalEngine::default()),
         }
     }
@@ -182,6 +399,39 @@ impl<'a> MappingContext<'a> {
     #[must_use]
     pub fn with_naive_evaluation(mut self) -> Self {
         self.naive = true;
+        self
+    }
+
+    /// Disables the delta-scheduling path: every raw schedule resets the
+    /// timelines from the frozen base and places all jobs (the PR 4
+    /// engine behavior). Results are identical to the default delta
+    /// path; this is the mid-tier oracle for differential tests and the
+    /// `figures bench-eval` delta column.
+    #[must_use]
+    pub fn with_full_evaluation(mut self) -> Self {
+        self.full_engine = true;
+        self
+    }
+
+    /// Seeds this context with a pre-built frozen base, shared across
+    /// contexts via `Arc` — the campaign runner bakes the frozen
+    /// schedule once per system state instead of once per step. The
+    /// base **must** have been built with this context's architecture,
+    /// frozen table and horizon; the horizon is checked eagerly, the
+    /// rest is the caller's contract (the result would silently describe
+    /// the wrong system otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` covers a different horizon than this context.
+    #[must_use]
+    pub fn with_frozen_base(self, base: Arc<FrozenBase>) -> Self {
+        assert_eq!(
+            base.horizon(),
+            self.horizon,
+            "shared frozen base horizon mismatch"
+        );
+        self.engine.borrow_mut().base = Some(Ok(base));
         self
     }
 
@@ -215,7 +465,7 @@ impl<'a> MappingContext<'a> {
             self.memo_hits.set(self.memo_hits.get() + 1);
             return hit.clone();
         }
-        let result = self.evaluate_raw(&mut engine, solution);
+        let result = self.evaluate_raw(&mut engine, solution, &key);
         if engine.memo.len() >= MEMO_CAP {
             engine.memo.clear();
         }
@@ -228,6 +478,7 @@ impl<'a> MappingContext<'a> {
         &self,
         engine: &mut EvalEngine,
         solution: &Solution,
+        key: &MemoKey,
     ) -> Result<Evaluation, SchedError> {
         let spec = AppSpec::new(self.app_id, self.app, &solution.mapping, &solution.hints);
         // Validated before the base is consulted so error precedence
@@ -236,47 +487,83 @@ impl<'a> MappingContext<'a> {
         let EvalEngine {
             base,
             scheduler,
+            last_key,
             c2_pe,
             c2_bus,
+            c1,
+            vars_scratch,
             ..
         } = engine;
-        let base =
-            base.get_or_insert_with(|| FrozenBase::new(self.arch, self.frozen, self.horizon));
+        let base = base.get_or_insert_with(|| {
+            FrozenBase::new(self.arch, self.frozen, self.horizon).map(Arc::new)
+        });
         let base = match base {
             Ok(b) => b,
             Err(e) => return Err(e.clone()),
         };
         self.raw_schedules.set(self.raw_schedules.get() + 1);
-        let (table, slack) = scheduler.schedule_with_slack(self.arch, &[spec], base)?;
 
-        // C2 terms: untouched resources keep their frozen-only values,
-        // cached across evaluations; only touched ones are recomputed.
+        // Delta gate: small diffs against the previously scheduled
+        // solution take the splice path, with the collected variable
+        // list letting the engine patch its job arena in place;
+        // everything else (first raw schedule, big jumps,
+        // `with_full_evaluation`) resets from the base.
+        let use_delta = !self.full_engine
+            && last_key.as_ref().is_some_and(|prev| {
+                collect_key_delta(prev, key, DELTA_MAX_CHANGED_VARS, vars_scratch)
+            });
+        let run = if use_delta {
+            scheduler.schedule_delta_hinted_with_slack(self.arch, &[spec], base, vars_scratch)
+        } else {
+            scheduler.schedule_with_slack(self.arch, &[spec], base)
+        };
+        // Successful or not, the engine's record now describes this
+        // solution (failed runs keep their completed prefix as a splice
+        // source), so future candidates diff against it.
+        match last_key {
+            Some(prev) => prev.clone_from(key),
+            None => *last_key = Some(key.clone()),
+        }
+        let (table, slack) = run?;
+
+        // C2 terms cached by storage identity: gap lists aliased from
+        // the frozen base (untouched PEs) or the previous evaluation
+        // (PEs unchanged by the delta) are never re-measured.
         let t_min = self.future.t_min;
-        let touched = scheduler.touched_pes();
         if c2_pe.len() != slack.pe_count() {
             c2_pe.clear();
             c2_pe.resize(slack.pe_count(), None);
         }
         let mut c2p = Time::ZERO;
-        for i in 0..slack.pe_count() {
-            let pe = PeId(i as u32);
-            c2p += if touched[i] {
-                incdes_metrics::c2_intervals(slack.gaps_of(pe), self.horizon, t_min)
-            } else {
-                *c2_pe[i].get_or_insert_with(|| {
-                    incdes_metrics::c2_intervals(base.gaps_of(pe), self.horizon, t_min)
-                })
+        for (i, slot) in c2_pe.iter_mut().enumerate() {
+            let shared = slack.gaps_shared(PeId(i as u32));
+            c2p += match slot {
+                Some((arc, val)) if Arc::ptr_eq(arc, shared) => *val,
+                _ => {
+                    let val = incdes_metrics::c2_intervals(shared, self.horizon, t_min);
+                    *slot = Some((Arc::clone(shared), val));
+                    val
+                }
             };
         }
-        let c2m = if scheduler.bus_touched() {
-            incdes_metrics::c2_intervals(slack.bus_windows(), self.horizon, t_min)
-        } else {
-            *c2_bus.get_or_insert_with(|| {
-                incdes_metrics::c2_intervals(base.bus_windows(), self.horizon, t_min)
-            })
+        let shared_bus = slack.bus_windows_shared();
+        let c2m = match c2_bus {
+            Some((arc, val)) if Arc::ptr_eq(arc, shared_bus) => *val,
+            _ => {
+                let val = incdes_metrics::c2_intervals(shared_bus, self.horizon, t_min);
+                *c2_bus = Some((Arc::clone(shared_bus), val));
+                val
+            }
         };
-        let cost =
-            objective::evaluate_with_c2(self.arch, &slack, self.future, self.weights, c2p, c2m);
+        let cost = objective::evaluate_with_c1_delta(
+            self.arch,
+            &slack,
+            self.future,
+            self.weights,
+            c2p,
+            c2m,
+            c1,
+        );
         Ok(Evaluation { table, slack, cost })
     }
 
@@ -307,6 +594,20 @@ impl<'a> MappingContext<'a> {
     /// Number of evaluations answered from the solution memo.
     pub fn memo_hit_count(&self) -> usize {
         self.memo_hits.get()
+    }
+
+    /// Number of raw schedules that took the delta-scheduling path
+    /// (spliced the previous run instead of resetting from the base).
+    /// Always ≤ [`raw_schedule_count`](Self::raw_schedule_count); zero
+    /// on the naive and full-engine pipelines.
+    pub fn delta_schedule_count(&self) -> usize {
+        self.engine.borrow().scheduler.delta_schedule_count()
+    }
+
+    /// Total placement steps the delta path spliced verbatim from run
+    /// records (diagnostics for benches and tests).
+    pub fn spliced_step_count(&self) -> usize {
+        self.engine.borrow().scheduler.spliced_step_count()
     }
 }
 

@@ -7,6 +7,7 @@
 
 use incdes_model::Time;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Which bin an item is placed into among those it fits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -106,6 +107,133 @@ pub fn pack(items: &[Time], containers: &[Time], policy: FitPolicy) -> PackOutco
         unpacked,
         remaining,
     }
+}
+
+/// Inserts one container of capacity `cap` into a capacity multiset.
+pub fn multiset_insert(bins: &mut BTreeMap<Time, u32>, cap: Time) {
+    *bins.entry(cap).or_insert(0) += 1;
+}
+
+/// Removes one container of capacity `cap` from a capacity multiset.
+///
+/// # Panics
+///
+/// Panics if no container of that capacity is present — the incremental
+/// C1 cache only removes capacities it previously inserted.
+pub fn multiset_remove(bins: &mut BTreeMap<Time, u32>, cap: Time) {
+    match bins.get_mut(&cap) {
+        Some(n) if *n > 1 => *n -= 1,
+        Some(_) => {
+            bins.remove(&cap);
+        }
+        None => panic!("multiset_remove of absent capacity {cap}"),
+    }
+}
+
+/// Packing totals of [`pack`] computed against a capacity *multiset*
+/// instead of an indexed container list — `O(items · log bins)` instead
+/// of `O(items · bins)`, and the multiset can be patched incrementally
+/// when only a few containers change between calls (the delta
+/// evaluation path of `incdes-mapping`).
+///
+/// Returns `(packed, unpacked)`, exactly the totals [`pack`] reports
+/// for the same item sizes and the container capacities in `bins`:
+/// best-fit picks the smallest capacity ≥ size and worst-fit the
+/// largest, so the multiset of remaining capacities evolves identically
+/// to [`pack`]'s — index-order tie-breaks select *which* equal-capacity
+/// container receives an item, never the totals. First-fit totals *do*
+/// depend on container order, which a multiset cannot represent: the
+/// call returns `None` and the caller must fall back to [`pack`].
+///
+/// `items_desc` must be sorted in decreasing order ([`pack`] considers
+/// items that way); zero-sized items are skipped (they consume
+/// nothing). The multiset is mutated during packing and restored before
+/// returning.
+pub fn pack_totals_multiset(
+    items_desc: &[Time],
+    bins: &mut BTreeMap<Time, u32>,
+    policy: FitPolicy,
+) -> Option<(Time, Time)> {
+    if matches!(policy, FitPolicy::FirstFit) {
+        return None;
+    }
+    debug_assert!(
+        items_desc.windows(2).all(|w| w[0] >= w[1]),
+        "items must be sorted decreasing"
+    );
+    let mut packed = Time::ZERO;
+    let mut unpacked = Time::ZERO;
+    // Mutations to revert, in application order: (capacity, inserted?).
+    let mut ops: Vec<(Time, bool)> = Vec::new();
+    let mut i = 0usize;
+    while i < items_desc.len() {
+        let size = items_desc[i];
+        // Run of equal-sized items (items are sorted, and the synthetic
+        // future profiles draw from coarse histograms, so runs are long).
+        let mut run = 1usize;
+        while i + run < items_desc.len() && items_desc[i + run] == size {
+            run += 1;
+        }
+        i += run;
+        if size.is_zero() {
+            continue;
+        }
+        match policy {
+            FitPolicy::BestFit => {
+                // Batched best-fit: once the minimum qualifying capacity
+                // `c` receives an item, its residual `c − size` (while
+                // still ≥ size) is strictly below every other
+                // qualifying capacity, so it stays the minimum and
+                // absorbs the next item too — a whole bin's worth of
+                // equal items is one multiset edit.
+                while run > 0 {
+                    let Some(c) = bins.range(size..).next().map(|(&c, _)| c) else {
+                        unpacked += Time::new(size.ticks() * run as u64);
+                        break;
+                    };
+                    let q = (run as u64).min(c.ticks() / size.ticks());
+                    let batch = Time::new(size.ticks() * q);
+                    multiset_remove(bins, c);
+                    ops.push((c, false));
+                    let rem = c - batch;
+                    multiset_insert(bins, rem);
+                    ops.push((rem, true));
+                    packed += batch;
+                    run -= q as usize;
+                }
+            }
+            FitPolicy::WorstFit => {
+                // Worst-fit alternates bins (the maximum moves), so the
+                // run is processed item by item.
+                for _ in 0..run {
+                    let cap = bins
+                        .iter()
+                        .next_back()
+                        .and_then(|(&c, _)| (c >= size).then_some(c));
+                    match cap {
+                        Some(c) => {
+                            multiset_remove(bins, c);
+                            ops.push((c, false));
+                            let rem = c - size;
+                            multiset_insert(bins, rem);
+                            ops.push((rem, true));
+                            packed += size;
+                        }
+                        None => unpacked += size,
+                    }
+                }
+            }
+            FitPolicy::FirstFit => unreachable!("rejected above"),
+        }
+    }
+    for &(cap, inserted) in ops.iter().rev() {
+        if inserted {
+            multiset_remove(bins, cap);
+        } else {
+            multiset_insert(bins, cap);
+        }
+    }
+    Some((packed, unpacked))
 }
 
 #[cfg(test)]
@@ -237,6 +365,78 @@ mod tests {
             for (i, &u) in used.iter().enumerate() {
                 prop_assert_eq!(u, bins_t[i] - out.remaining[i]);
             }
+        }
+
+        /// The multiset totals are *exactly* the indexed packer's totals
+        /// for best-fit and worst-fit (the policies whose totals are a
+        /// pure function of the capacity multiset), and the multiset is
+        /// restored afterwards — the contract the incremental C1 bound
+        /// is built on.
+        #[test]
+        fn prop_multiset_totals_match_pack(
+            items in proptest::collection::vec(0u64..50, 0..30),
+            bins in proptest::collection::vec(0u64..80, 0..15),
+            best in 0u8..2,
+        ) {
+            let policy = if best == 0 { FitPolicy::BestFit } else { FitPolicy::WorstFit };
+            let items_t = ts(&items);
+            let bins_t = ts(&bins);
+            let reference = pack(&items_t, &bins_t, policy);
+
+            let mut sorted = items_t.clone();
+            sorted.sort_by(|a, b| b.cmp(a));
+            let mut multiset = BTreeMap::new();
+            for &b in &bins_t {
+                multiset_insert(&mut multiset, b);
+            }
+            let snapshot = multiset.clone();
+            let (packed, unpacked) =
+                pack_totals_multiset(&sorted, &mut multiset, policy).expect("policy supported");
+            prop_assert_eq!(packed, reference.packed);
+            prop_assert_eq!(unpacked, reference.unpacked);
+            prop_assert_eq!(&multiset, &snapshot, "multiset must be restored");
+        }
+
+        /// Long runs of equal-sized items (the synthetic future
+        /// profiles' shape, which triggers the batched best-fit arm)
+        /// still produce exactly the indexed packer's totals.
+        #[test]
+        fn prop_multiset_batching_matches_pack(
+            size in 1u64..12,
+            run in 1usize..60,
+            extra in proptest::collection::vec(0u64..50, 0..8),
+            bins in proptest::collection::vec(0u64..80, 0..12),
+        ) {
+            let mut items: Vec<u64> = vec![size; run];
+            items.extend(extra);
+            let items_t = ts(&items);
+            let bins_t = ts(&bins);
+            let reference = pack(&items_t, &bins_t, FitPolicy::BestFit);
+
+            let mut sorted = items_t.clone();
+            sorted.sort_by(|a, b| b.cmp(a));
+            let mut multiset = BTreeMap::new();
+            for &b in &bins_t {
+                multiset_insert(&mut multiset, b);
+            }
+            let snapshot = multiset.clone();
+            let (packed, unpacked) =
+                pack_totals_multiset(&sorted, &mut multiset, FitPolicy::BestFit).unwrap();
+            prop_assert_eq!(packed, reference.packed);
+            prop_assert_eq!(unpacked, reference.unpacked);
+            prop_assert_eq!(&multiset, &snapshot);
+        }
+
+        /// First-fit is order-dependent: the multiset path refuses it.
+        #[test]
+        fn prop_multiset_rejects_first_fit(bins in proptest::collection::vec(1u64..10, 0..5)) {
+            let mut multiset = BTreeMap::new();
+            for &b in &ts(&bins) {
+                multiset_insert(&mut multiset, b);
+            }
+            prop_assert!(
+                pack_totals_multiset(&[Time::new(1)], &mut multiset, FitPolicy::FirstFit).is_none()
+            );
         }
 
         /// Best-fit-decreasing never leaves an item unpacked if some bin

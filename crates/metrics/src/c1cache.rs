@@ -1,0 +1,340 @@
+//! The incremental C1 bin-packing bound.
+//!
+//! The C1 metrics pack the largest expected future application into the
+//! slack containers of the current design alternative — every gap of
+//! every PE for `C1P`, every free bus window for `C1m`. The plain
+//! [`crate::criteria::c1_processes`] / [`crate::criteria::c1_messages`]
+//! path re-collects all container sizes and re-runs the `O(items ·
+//! bins)` packer on each evaluation, which scales with the *frozen*
+//! system size even though a design move changes only a handful of
+//! containers.
+//!
+//! [`C1Cache`] keeps the container capacities in a sorted multiset and
+//! patches only the gap-list segments the delta invalidated: the
+//! `Arc`-backed [`SlackProfile`] storage makes "unchanged" detectable by
+//! pointer identity (`Arc::ptr_eq`), so a single-move neighbor updates
+//! the few PEs (and possibly the bus) whose lists were rebuilt and
+//! repacks in `O(items · log bins)`. The totals are **exactly** the
+//! packer's — see [`crate::binpack::pack_totals_multiset`] for why the
+//! multiset evolution is equivalent for best-fit and worst-fit — and
+//! the order-dependent first-fit policy reports itself unsupported so
+//! callers fall back to the full packer.
+
+use crate::binpack::{multiset_insert, multiset_remove, pack_totals_multiset, FitPolicy};
+use incdes_model::{Architecture, FutureProfile, Time};
+use incdes_sched::SlackProfile;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Percentage of total item size left unpacked (0 if there were none) —
+/// the same arithmetic as [`crate::binpack::PackOutcome::unpacked_percent`],
+/// on identical integer totals, so the floats are bit-equal.
+fn unpacked_percent(packed: Time, unpacked: Time) -> f64 {
+    let total = packed + unpacked;
+    if total.is_zero() {
+        0.0
+    } else {
+        100.0 * unpacked.as_f64() / total.as_f64()
+    }
+}
+
+/// Incrementally maintained C1 packing state for one evaluation context
+/// (one architecture, one future profile, one horizon — the cache
+/// rebuilds itself whenever any of those change, so reuse across
+/// contexts is safe, just not profitable).
+#[derive(Debug, Default)]
+pub struct C1Cache {
+    /// Cache generation: what the items and multisets were built for.
+    /// The items depend on the future profile, the horizon and the
+    /// bus's bytes-per-tick rate (nothing else of the architecture), so
+    /// those three plus the policy and the PE count are the guard.
+    future: Option<FutureProfile>,
+    bytes_per_tick: u32,
+    horizon: Time,
+    policy: Option<FitPolicy>,
+    /// Future process items, sorted decreasing.
+    proc_items: Vec<Time>,
+    /// Future message items (already converted to bus time), sorted
+    /// decreasing.
+    msg_items: Vec<Time>,
+    /// Last-seen gap storage per PE. Holding the `Arc` keeps the
+    /// allocation alive, which is what makes `Arc::ptr_eq` a sound
+    /// unchanged-detector (no ABA through reuse of a freed address).
+    pe_seen: Vec<Arc<Vec<(Time, Time)>>>,
+    bus_seen: Option<Arc<Vec<(Time, Time)>>>,
+    /// Capacity multisets of all PE gaps and all bus windows.
+    pe_bins: BTreeMap<Time, u32>,
+    bus_bins: BTreeMap<Time, u32>,
+    /// Diagnostics: resources patched (vs. aliased) since construction.
+    patched_resources: usize,
+    evaluations: usize,
+}
+
+impl C1Cache {
+    /// An empty cache; the first evaluation populates it.
+    pub fn new() -> Self {
+        C1Cache::default()
+    }
+
+    /// Number of per-resource multiset patches performed so far —
+    /// resources whose gap storage was *not* aliased from the previous
+    /// evaluation. Diagnostics for tests and benches.
+    pub fn patched_resource_count(&self) -> usize {
+        self.patched_resources
+    }
+
+    /// Number of evaluations served.
+    pub fn evaluation_count(&self) -> usize {
+        self.evaluations
+    }
+
+    /// The `(C1P, C1m)` terms of `slack`, patching only the containers
+    /// whose storage changed since the previous call. Returns `None`
+    /// for [`FitPolicy::FirstFit`] (order-dependent totals — callers
+    /// fall back to the full packer).
+    pub fn c1_terms(
+        &mut self,
+        arch: &Architecture,
+        slack: &SlackProfile,
+        future: &FutureProfile,
+        policy: FitPolicy,
+    ) -> Option<(f64, f64)> {
+        if matches!(policy, FitPolicy::FirstFit) {
+            return None;
+        }
+        self.evaluations += 1;
+        let horizon = slack.horizon();
+        let fresh = self.policy != Some(policy)
+            || self.horizon != horizon
+            || self.pe_seen.len() != slack.pe_count()
+            || self.bytes_per_tick != arch.bus().bytes_per_tick
+            || self.future.as_ref() != Some(future);
+        if fresh {
+            self.rebuild(arch, slack, future, policy);
+        } else {
+            self.patch(slack);
+        }
+        let proc = pack_totals_multiset(&self.proc_items, &mut self.pe_bins, policy)
+            .expect("policy checked above");
+        let msg = pack_totals_multiset(&self.msg_items, &mut self.bus_bins, policy)
+            .expect("policy checked above");
+        Some((
+            unpacked_percent(proc.0, proc.1),
+            unpacked_percent(msg.0, msg.1),
+        ))
+    }
+
+    /// Full rebuild: items, multisets and seen-storage snapshots.
+    fn rebuild(
+        &mut self,
+        arch: &Architecture,
+        slack: &SlackProfile,
+        future: &FutureProfile,
+        policy: FitPolicy,
+    ) {
+        let horizon = slack.horizon();
+        self.horizon = horizon;
+        self.policy = Some(policy);
+        self.future = Some(future.clone());
+        self.bytes_per_tick = arch.bus().bytes_per_tick;
+        self.proc_items = future.expected_process_items(horizon);
+        self.proc_items.sort_by(|a, b| b.cmp(a));
+        self.msg_items =
+            future.expected_message_items(horizon, |bytes| arch.bus().transmission_time(bytes));
+        self.msg_items.sort_by(|a, b| b.cmp(a));
+
+        self.pe_bins.clear();
+        self.pe_seen.clear();
+        for i in 0..slack.pe_count() {
+            let shared = slack.gaps_shared(incdes_model::PeId(i as u32));
+            for &(s, e) in shared.iter() {
+                multiset_insert(&mut self.pe_bins, e - s);
+            }
+            self.pe_seen.push(Arc::clone(shared));
+        }
+        self.bus_bins.clear();
+        let shared = slack.bus_windows_shared();
+        for &(s, e) in shared.iter() {
+            multiset_insert(&mut self.bus_bins, e - s);
+        }
+        self.bus_seen = Some(Arc::clone(shared));
+    }
+
+    /// Patch pass: swap out only the resources whose storage changed.
+    fn patch(&mut self, slack: &SlackProfile) {
+        for i in 0..self.pe_seen.len() {
+            let shared = slack.gaps_shared(incdes_model::PeId(i as u32));
+            if Arc::ptr_eq(&self.pe_seen[i], shared) {
+                continue;
+            }
+            self.patched_resources += 1;
+            for &(s, e) in self.pe_seen[i].iter() {
+                multiset_remove(&mut self.pe_bins, e - s);
+            }
+            for &(s, e) in shared.iter() {
+                multiset_insert(&mut self.pe_bins, e - s);
+            }
+            self.pe_seen[i] = Arc::clone(shared);
+        }
+        let shared = slack.bus_windows_shared();
+        let stale = match &self.bus_seen {
+            Some(seen) => !Arc::ptr_eq(seen, shared),
+            None => true,
+        };
+        if stale {
+            self.patched_resources += 1;
+            if let Some(seen) = &self.bus_seen {
+                for &(s, e) in seen.iter() {
+                    multiset_remove(&mut self.bus_bins, e - s);
+                }
+            }
+            for &(s, e) in shared.iter() {
+                multiset_insert(&mut self.bus_bins, e - s);
+            }
+            self.bus_seen = Some(Arc::clone(shared));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criteria::{c1_messages, c1_processes};
+    use incdes_model::{BusConfig, Histogram};
+    use incdes_sched::SlackProfile;
+
+    fn t(v: u64) -> Time {
+        Time::new(v)
+    }
+
+    fn arch2() -> Architecture {
+        Architecture::builder()
+            .pe("N1")
+            .pe("N2")
+            .bus(BusConfig::uniform_round(2, t(10), 1).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    fn profile() -> FutureProfile {
+        FutureProfile::new(
+            t(120),
+            t(40),
+            t(10),
+            Histogram::point(t(20)),
+            Histogram::point(4u32),
+        )
+    }
+
+    /// Hand-rolled profiles with evolving shared storage: the cache must
+    /// track exactly the full recomputation at every step.
+    #[test]
+    fn cache_tracks_full_recomputation() {
+        let arch = arch2();
+        let future = profile();
+        let mut cache = C1Cache::new();
+
+        let shared_pe1 = Arc::new(vec![(t(0), t(100))]);
+        let bus = Arc::new(vec![(t(0), t(10)), (t(20), t(30))]);
+        let steps: Vec<Vec<(Time, Time)>> = vec![
+            vec![(t(0), t(480))],
+            vec![(t(0), t(30)), (t(60), t(480))],
+            vec![(t(0), t(30)), (t(60), t(400))],
+            vec![(t(0), t(30)), (t(60), t(400))],
+        ];
+        for pe0 in steps {
+            let slack = SlackProfile::from_shared(
+                t(480),
+                vec![Arc::new(pe0), Arc::clone(&shared_pe1)],
+                Arc::clone(&bus),
+            );
+            let (c1p, c1m) = cache
+                .c1_terms(&arch, &slack, &future, FitPolicy::BestFit)
+                .unwrap();
+            assert_eq!(c1p, c1_processes(&slack, &future, FitPolicy::BestFit));
+            assert_eq!(c1m, c1_messages(&arch, &slack, &future, FitPolicy::BestFit));
+        }
+        // PE1 and the bus never changed storage → only PE0 was patched
+        // (3 patch passes after the initial rebuild).
+        assert_eq!(cache.patched_resource_count(), 3);
+        assert_eq!(cache.evaluation_count(), 4);
+    }
+
+    #[test]
+    fn first_fit_reports_unsupported() {
+        let arch = arch2();
+        let slack = SlackProfile::from_parts(t(480), vec![vec![], vec![]], vec![]);
+        assert!(C1Cache::new()
+            .c1_terms(&arch, &slack, &profile(), FitPolicy::FirstFit)
+            .is_none());
+    }
+
+    #[test]
+    fn worst_fit_supported_and_exact() {
+        let arch = arch2();
+        let future = profile();
+        let slack = SlackProfile::from_parts(
+            t(480),
+            vec![vec![(t(0), t(25)), (t(100), t(130))], vec![(t(0), t(480))]],
+            vec![(t(0), t(10))],
+        );
+        let mut cache = C1Cache::new();
+        let (c1p, c1m) = cache
+            .c1_terms(&arch, &slack, &future, FitPolicy::WorstFit)
+            .unwrap();
+        assert_eq!(c1p, c1_processes(&slack, &future, FitPolicy::WorstFit));
+        assert_eq!(
+            c1m,
+            c1_messages(&arch, &slack, &future, FitPolicy::WorstFit)
+        );
+    }
+
+    /// A future-profile change (new context reusing a cache) forces a
+    /// rebuild — stale items would silently misprice C1 otherwise.
+    #[test]
+    fn future_change_rebuilds() {
+        let arch = arch2();
+        let slack = SlackProfile::from_parts(
+            t(480),
+            vec![vec![(t(0), t(30))], vec![(t(0), t(480))]],
+            vec![(t(0), t(10))],
+        );
+        let mut cache = C1Cache::new();
+        let small = profile();
+        let (c1p_small, _) = cache
+            .c1_terms(&arch, &slack, &small, FitPolicy::BestFit)
+            .unwrap();
+        assert_eq!(c1p_small, c1_processes(&slack, &small, FitPolicy::BestFit));
+        // Same horizon/policy/PE count, very different demand.
+        let big = FutureProfile::new(
+            t(120),
+            t(400),
+            t(10),
+            Histogram::point(t(200)),
+            Histogram::point(4u32),
+        );
+        let (c1p_big, _) = cache
+            .c1_terms(&arch, &slack, &big, FitPolicy::BestFit)
+            .unwrap();
+        assert_eq!(c1p_big, c1_processes(&slack, &big, FitPolicy::BestFit));
+        assert_ne!(c1p_small, c1p_big, "the demand change must be visible");
+    }
+
+    /// A PE-count change (new context reusing a cache) forces a rebuild
+    /// instead of a bogus patch.
+    #[test]
+    fn pe_count_change_rebuilds() {
+        let arch = arch2();
+        let future = profile();
+        let mut cache = C1Cache::new();
+        let slack3 = SlackProfile::from_parts(t(480), vec![vec![]; 3], vec![]);
+        cache
+            .c1_terms(&arch, &slack3, &future, FitPolicy::BestFit)
+            .unwrap();
+        let slack2 = SlackProfile::from_parts(t(480), vec![vec![(t(0), t(480))]; 2], vec![]);
+        let (c1p, _) = cache
+            .c1_terms(&arch, &slack2, &future, FitPolicy::BestFit)
+            .unwrap();
+        assert_eq!(c1p, c1_processes(&slack2, &future, FitPolicy::BestFit));
+    }
+}

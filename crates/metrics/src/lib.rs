@@ -48,11 +48,13 @@
 #![warn(missing_docs)]
 
 pub mod binpack;
+pub mod c1cache;
 pub mod criteria;
 pub mod objective;
 
-pub use binpack::{pack, FitPolicy, PackOutcome};
+pub use binpack::{pack, pack_totals_multiset, FitPolicy, PackOutcome};
+pub use c1cache::C1Cache;
 pub use criteria::{
     c1_messages, c1_processes, c2_intervals, c2_messages, c2_processes, c2_processes_of,
 };
-pub use objective::{evaluate, evaluate_with_c2, DesignCost, Weights};
+pub use objective::{evaluate, evaluate_with_c1_delta, evaluate_with_c2, DesignCost, Weights};

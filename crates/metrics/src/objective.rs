@@ -10,6 +10,7 @@
 //! like a one-tick periodic deficit.
 
 use crate::binpack::FitPolicy;
+use crate::c1cache::C1Cache;
 use crate::criteria::{c1_messages, c1_processes, c2_messages, c2_processes};
 use incdes_model::{Architecture, FutureProfile, Time};
 use incdes_sched::SlackProfile;
@@ -116,6 +117,51 @@ pub fn evaluate_with_c2(
     debug_assert_eq!(c2m, c2_messages(slack, future.t_min));
     let c1p = c1_processes(slack, future, weights.fit_policy);
     let c1m = c1_messages(arch, slack, future, weights.fit_policy);
+    combine(future, weights, c1p, c1m, c2p, c2m)
+}
+
+/// [`evaluate_with_c2`] with the C1 terms additionally served by the
+/// incremental bin-packing bound: `cache` keeps the slack containers in
+/// a patched capacity multiset (see [`C1Cache`]) and repacks only the
+/// gap-list segments the delta invalidated, detected by `Arc` identity
+/// of the profile's shared storage. The order-dependent
+/// [`FitPolicy::FirstFit`] falls back to the full packer inside, so the
+/// result is identical to [`evaluate_with_c2`] for every policy — the
+/// weighting arithmetic is shared, and the debug assertion pins the C1
+/// equality on every call of a debug build.
+pub fn evaluate_with_c1_delta(
+    arch: &Architecture,
+    slack: &SlackProfile,
+    future: &FutureProfile,
+    weights: &Weights,
+    c2p: Time,
+    c2m: Time,
+    cache: &mut C1Cache,
+) -> DesignCost {
+    debug_assert_eq!(c2p, c2_processes(slack, future.t_min));
+    debug_assert_eq!(c2m, c2_messages(slack, future.t_min));
+    let (c1p, c1m) = match cache.c1_terms(arch, slack, future, weights.fit_policy) {
+        Some(terms) => terms,
+        None => (
+            c1_processes(slack, future, weights.fit_policy),
+            c1_messages(arch, slack, future, weights.fit_policy),
+        ),
+    };
+    debug_assert_eq!(c1p, c1_processes(slack, future, weights.fit_policy));
+    debug_assert_eq!(c1m, c1_messages(arch, slack, future, weights.fit_policy));
+    combine(future, weights, c1p, c1m, c2p, c2m)
+}
+
+/// The weighting arithmetic shared by every evaluation path, so cached,
+/// incremental and fresh criteria cannot diverge in the final cost.
+fn combine(
+    future: &FutureProfile,
+    weights: &Weights,
+    c1p: f64,
+    c1m: f64,
+    c2p: Time,
+    c2m: Time,
+) -> DesignCost {
     let pen_p = future.t_need.saturating_sub(c2p);
     let pen_m = future.b_need.saturating_sub(c2m);
     let total = weights.w1_processes * c1p

@@ -8,25 +8,65 @@
 //! messages, re-allocates every timeline, and re-computes priorities —
 //! on every call.
 //!
-//! This module splits the work:
+//! This module splits the work into three tiers:
 //!
 //! * [`FrozenBase`] replays and validates the frozen schedule **once**,
 //!   baking per-PE [`PeTimeline`]s, a [`BusTimeline`] occupancy
-//!   snapshot, and the frozen-only slack (gap lists and bus windows).
+//!   snapshot, and the frozen-only slack (`Arc`-shared gap lists and bus
+//!   windows).
 //! * [`Scheduler`] holds reusable scratch arenas (job records, the ready
 //!   heap, a per-graph priority cache keyed by the node → PE assignment)
 //!   and schedules the *current* applications on top of a cheap reset of
-//!   the baked base. A steady-state evaluation performs no frozen-replay
-//!   work and near-zero allocation beyond the returned table.
-//! * [`Scheduler::schedule_with_slack`] additionally derives the
-//!   [`SlackProfile`] incrementally: PEs the current applications never
-//!   touch reuse the frozen-only gap lists, and only the bus occurrences
-//!   that actually carry a new message have their free windows patched.
+//!   the baked base — the **full-engine** path, retained as the oracle
+//!   for the tier below.
+//! * [`Scheduler::schedule_delta_with_slack`] is **delta scheduling**:
+//!   every successful run records its placement sequence (pop order,
+//!   reservations, emitted messages, per-job heap entry/exit steps).
+//!   When the next evaluation differs from the recorded one by a small
+//!   design change (the single-move neighbors the MH/SA strategies
+//!   explore almost exclusively), the engine computes the first
+//!   placement step the change can possibly affect, *undoes* only the
+//!   recorded suffix from the live timelines (no O(frozen) reset at
+//!   all), splices the untouched prefix from the record, and re-runs the
+//!   list scheduler for the suffix only. The result is bit-identical to
+//!   the full path by construction of the divergence analysis, and the
+//!   differential fuzz suite in `tests/delta_equivalence.rs` pins it
+//!   against the one-shot [`crate::schedule`] oracle.
 //!
-//! [`crate::schedule`] is a thin compatibility wrapper over this engine,
-//! so both paths produce bit-identical tables by construction; the
-//! equivalence property tests in `tests/engine_equivalence.rs` pin the
-//! scratch-reuse/reset logic on top of that.
+//! # Delta-path decision rules
+//!
+//! [`Scheduler::schedule_delta_with_slack`] falls back to the full
+//! engine (reset from the base and schedule everything) whenever
+//!
+//! * no record exists — first evaluation (a *failed* run is fine: the
+//!   partially processed step is rolled back, so the completed prefix
+//!   still satisfies the record invariant and infeasible trials — the
+//!   bulk of the MH/SA neighborhoods — stay on the delta path), or
+//! * the record was made against a *different* [`FrozenBase`] (bases
+//!   carry a unique generation id; a clone keeps its originator's id
+//!   because its content is identical), or
+//! * the job structure changed (different apps, graph shapes, instance
+//!   counts — anything that renumbers the job arena).
+//!
+//! Otherwise the divergence analysis decides how much of the record
+//! survives: a job's recorded placement is **spliced** (kept verbatim)
+//! when it was popped before the first step at which any *dirty* job
+//! could have perturbed the run. A job is processing-dirty when its own
+//! placement inputs changed (PE, gap hint, an out-edge slot hint, or a
+//! successor's PE — the latter flips message emission on/off), and
+//! key-dirty when its priority changed (a remap re-weights the moved
+//! node's ancestor cone); processing-dirty jobs invalidate from their
+//! recorded *pop* step, key-dirty jobs from the step they *entered the
+//! ready heap*, since a changed heap key can reorder pops from that
+//! point on. An arbitrary diff degrades gracefully to divergence 0 —
+//! which still skips the O(frozen) timeline reset by undoing the
+//! previous run's placements instead.
+//!
+//! The slack profiles returned by every path are `Arc`-backed
+//! ([`SlackProfile::from_shared`]): untouched PEs alias the frozen
+//! base's gap lists, and on the delta path PEs untouched *by the delta*
+//! alias the previous evaluation's lists, so profile assembly costs one
+//! reference-count bump per unchanged resource.
 
 use crate::job::JobId;
 use crate::list::{AppSpec, SchedError};
@@ -34,10 +74,12 @@ use crate::pe_timeline::PeTimeline;
 use crate::priority::PriorityCosts;
 use crate::slack::SlackProfile;
 use crate::table::{ScheduleTable, ScheduledJob, ScheduledMessage};
-use incdes_model::{Architecture, PeId, ProcRef, Time};
+use incdes_model::{AppId, Architecture, PeId, ProcRef, Time};
 use incdes_tdma::BusTimeline;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
 
 /// Checks that `horizon` is positive and a multiple of every graph
 /// period of `apps` — the per-call half of [`crate::schedule`]'s input
@@ -60,10 +102,17 @@ pub fn check_horizon(apps: &[AppSpec<'_>], horizon: Time) -> Result<(), SchedErr
     Ok(())
 }
 
+/// Source of unique [`FrozenBase`] generation ids.
+static NEXT_BASE_ID: AtomicU64 = AtomicU64::new(1);
+
 /// The frozen schedule replayed, validated and baked — built once per
-/// system state, shared by every evaluation on that state.
+/// system state, shared by every evaluation on that state (and, via
+/// [`Arc`], across the campaign runner's per-step contexts).
 #[derive(Debug, Clone)]
 pub struct FrozenBase {
+    /// Unique id of this bake (copied by `Clone` — a clone's *content*
+    /// is identical, which is all the delta-record guard needs).
+    id: u64,
     horizon: Time,
     /// Per-PE busy timelines holding exactly the frozen jobs.
     pes: Vec<PeTimeline>,
@@ -73,11 +122,11 @@ pub struct FrozenBase {
     jobs: Vec<ScheduledJob>,
     /// The frozen messages, in frame-replay order.
     msgs: Vec<ScheduledMessage>,
-    /// Frozen-only idle intervals per PE (what `SlackProfile` would
-    /// report for the frozen table alone).
-    pe_gaps: Vec<Vec<(Time, Time)>>,
-    /// Frozen-only free bus windows, in time order.
-    bus_windows: Vec<(Time, Time)>,
+    /// Frozen-only idle intervals per PE, shared with every profile that
+    /// leaves the PE untouched.
+    pe_gaps: Vec<Arc<Vec<(Time, Time)>>>,
+    /// Frozen-only free bus windows, in time order, shared likewise.
+    bus_windows: Arc<Vec<(Time, Time)>>,
     /// Slot-occurrence index behind each entry of `bus_windows`.
     window_occ: Vec<u64>,
 }
@@ -137,7 +186,7 @@ impl FrozenBase {
                 msgs.push(*m);
             }
         }
-        let pe_gaps = pes.iter().map(|tl| tl.gaps()).collect();
+        let pe_gaps = pes.iter().map(|tl| Arc::new(tl.gaps())).collect();
         let mut bus_windows = Vec::new();
         let mut window_occ = Vec::new();
         for idx in 0..bus.occurrence_count() {
@@ -149,13 +198,14 @@ impl FrozenBase {
             }
         }
         Ok(FrozenBase {
+            id: NEXT_BASE_ID.fetch_add(1, AtomicOrdering::Relaxed),
             horizon,
             pes,
             bus,
             jobs,
             msgs,
             pe_gaps,
-            bus_windows,
+            bus_windows: Arc::new(bus_windows),
             window_occ,
         })
     }
@@ -167,6 +217,13 @@ impl FrozenBase {
     /// As [`FrozenBase::new`].
     pub fn empty(arch: &Architecture, horizon: Time) -> Result<Self, SchedError> {
         FrozenBase::new(arch, None, horizon)
+    }
+
+    /// The unique generation id of this bake. Clones share it (their
+    /// content is identical); two independently built bases never do.
+    /// The delta-scheduling record is guarded by this id.
+    pub fn generation(&self) -> u64 {
+        self.id
     }
 
     /// The scheduling horizon the base covers.
@@ -194,10 +251,48 @@ impl FrozenBase {
         &self.pe_gaps[pe.index()]
     }
 
+    /// The shared storage behind [`gaps_of`](Self::gaps_of); profiles of
+    /// evaluations that leave `pe` untouched alias it.
+    pub fn gaps_shared(&self, pe: PeId) -> &Arc<Vec<(Time, Time)>> {
+        &self.pe_gaps[pe.index()]
+    }
+
     /// Frozen-only free bus windows, in time order.
     pub fn bus_windows(&self) -> &[(Time, Time)] {
         &self.bus_windows
     }
+
+    /// The shared storage behind [`bus_windows`](Self::bus_windows).
+    pub fn bus_windows_shared(&self) -> &Arc<Vec<(Time, Time)>> {
+        &self.bus_windows
+    }
+}
+
+/// A design variable that changed between two evaluated solutions,
+/// passed to [`Scheduler::schedule_delta_hinted_with_slack`] so the job
+/// arena can be patched instead of rebuilt. Sorted order (`spec`,
+/// `graph`, `node`/`edge`) matches expansion order, which keeps error
+/// reporting identical to a full expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ChangedVar {
+    /// The mapping (PE) and/or gap hint of one process changed.
+    Proc {
+        /// Index of the owning `AppSpec`.
+        spec: usize,
+        /// Graph index inside the application.
+        graph: usize,
+        /// The process node.
+        node: incdes_graph::NodeId,
+    },
+    /// The slot hint of one message changed.
+    Msg {
+        /// Index of the owning `AppSpec`.
+        spec: usize,
+        /// Graph index inside the application.
+        graph: usize,
+        /// The message edge.
+        edge: incdes_graph::EdgeId,
+    },
 }
 
 /// Internal per-job scheduling state (one expanded process instance).
@@ -209,6 +304,9 @@ struct JobRec {
     deadline: Time,
     priority: Time,
     gap_hint: u32,
+    /// Static in-degree, kept so the dynamic state can be reset without
+    /// consulting the graph.
+    in_deg: u32,
     preds_remaining: u32,
     ready: Time,
     /// Index of the owning `AppSpec` in the input slice.
@@ -226,6 +324,18 @@ struct ReadyEntry {
     priority: Time,
     ready: Time,
     job_idx: usize,
+}
+
+impl ReadyEntry {
+    fn of(jobs: &[JobRec], job_idx: usize) -> Self {
+        let j = &jobs[job_idx];
+        ReadyEntry {
+            urgency: j.deadline.saturating_sub(j.priority),
+            priority: j.priority,
+            ready: j.ready,
+            job_idx,
+        }
+    }
 }
 
 impl PartialEq for ReadyEntry {
@@ -263,8 +373,92 @@ struct PrioEntry {
     prio: Vec<Time>,
 }
 
+/// Structural identity of one graph slot under the current architecture:
+/// everything that shapes job expansion and message emission *besides*
+/// the design variables (mapping + hints). Two runs with equal shapes,
+/// equal job layout and the same [`FrozenBase`] differ only in design
+/// variables, which is exactly what the per-job dirty analysis covers.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct GraphShape {
+    period: Time,
+    deadline: Time,
+    node_count: u32,
+    /// Per edge: `(source, target, transmission time)`.
+    edges: Vec<(u32, u32, Time)>,
+}
+
+impl Clone for GraphShape {
+    fn clone(&self) -> Self {
+        GraphShape {
+            period: self.period,
+            deadline: self.deadline,
+            node_count: self.node_count,
+            edges: self.edges.clone(),
+        }
+    }
+
+    // The run record re-snapshots shapes every evaluation; reusing the
+    // edge allocation keeps that free of per-eval allocations.
+    fn clone_from(&mut self, source: &Self) {
+        self.period = source.period;
+        self.deadline = source.deadline;
+        self.node_count = source.node_count;
+        self.edges.clone_from(&source.edges);
+    }
+}
+
+/// One placement step of a recorded run, in pop order.
+#[derive(Debug, Clone, Copy)]
+struct StepRec {
+    /// Index into the job arena (stable while the job structure is).
+    job: u32,
+    start: Time,
+    end: Time,
+    /// Range into [`RunRecord::msgs`] emitted while processing this step.
+    msg_lo: u32,
+    msg_hi: u32,
+}
+
+/// The record of the last successful run: everything delta scheduling
+/// needs to splice an unchanged prefix and undo the changed suffix.
+/// Its standing invariant — established on every successful run and
+/// voided by dropping the record — is that the scheduler's live
+/// timelines hold exactly `base(base_id) + every recorded placement`.
+#[derive(Debug)]
+struct RunRecord {
+    /// [`FrozenBase::generation`] the run was made against.
+    base_id: u64,
+    /// Placement steps in pop order (one per job).
+    steps: Vec<StepRec>,
+    /// Current-app messages in emission order, step ranges index here.
+    msgs: Vec<ScheduledMessage>,
+    /// Per job: its position in `steps`.
+    pop_step: Vec<u32>,
+    /// Per job: first step index at which it sat in the ready heap.
+    push_step: Vec<u32>,
+    /// Per-job static snapshot: assigned PE, gap hint, WCET, priority.
+    pe: Vec<PeId>,
+    gap_hint: Vec<u32>,
+    wcet: Vec<Time>,
+    priority: Vec<Time>,
+    /// Per graph slot (parallel to `graph_bases`): per-edge slot hints.
+    edge_hints: Vec<Vec<u32>>,
+    /// Structure guards: the job-arena layout, per-spec application
+    /// ids (spliced messages carry them verbatim) and graph shapes of
+    /// the run.
+    graph_bases: Vec<usize>,
+    spec_offsets: Vec<usize>,
+    app_ids: Vec<AppId>,
+    shapes: Vec<GraphShape>,
+    /// Slack storage of the run, if a profile was derived — the next
+    /// delta run aliases the lists of PEs it does not change.
+    gap_arcs: Option<Vec<Arc<Vec<(Time, Time)>>>>,
+    bus_arc: Option<Arc<Vec<(Time, Time)>>>,
+}
+
 /// The reusable scheduling engine: scratch arenas plus bookkeeping of
-/// what the last run touched (consumed by the incremental slack path).
+/// what the last run touched (consumed by the incremental slack path)
+/// and the [`RunRecord`] the delta path splices from.
 ///
 /// One `Scheduler` serves any number of evaluations; it is cheap to
 /// construct but profitable to keep, since all per-evaluation arenas
@@ -276,6 +470,10 @@ pub struct Scheduler {
     graph_bases: Vec<usize>,
     /// Offset of each spec's first graph in `graph_bases`.
     spec_offsets: Vec<usize>,
+    /// Per graph slot: the per-edge slot hints of the current expansion.
+    edge_hints: Vec<Vec<u32>>,
+    /// Per graph slot: the structural shape of the current expansion.
+    shapes: Vec<GraphShape>,
     heap: BinaryHeap<ReadyEntry>,
     pes: Vec<PeTimeline>,
     bus: Option<BusTimeline>,
@@ -287,13 +485,41 @@ pub struct Scheduler {
     touched: Vec<bool>,
     /// Bus time the last run added per slot occurrence.
     new_bus: BTreeMap<u64, Time>,
+    /// Record of the last successful run (delta-splice source).
+    last: Option<RunRecord>,
+    /// Scratch: which jobs the prefix replay already popped.
+    popped: Vec<bool>,
+    /// Scratch: the current run's jobs/messages in table order.
+    cur_jobs: Vec<ScheduledJob>,
+    cur_msgs: Vec<ScheduledMessage>,
+    /// Job-arena provenance: `(app pointer, id)` per spec plus the
+    /// horizon the arena was expanded for. A hinted delta reuses the
+    /// arena only when these match exactly (same `Application` objects,
+    /// so the only possible differences are the changed variables the
+    /// caller lists).
+    arena_apps: Vec<(usize, incdes_model::AppId)>,
+    arena_horizon: Time,
+    arena_valid: bool,
+    /// Scratch: PEs whose reservations the delta run changed.
+    changed_pe: Vec<bool>,
+    /// Whether the delta run changed any bus reservation.
+    changed_bus: bool,
+    /// Whether the most recent run took the delta path.
+    last_run_delta: bool,
+    /// Slack storage of the *previous* run, consumed by `slack_profile`.
+    prev_gap_arcs: Option<Vec<Arc<Vec<(Time, Time)>>>>,
+    prev_bus_arc: Option<Arc<Vec<(Time, Time)>>>,
     raw_schedules: usize,
+    delta_schedules: usize,
+    spliced_steps: usize,
+    fresh_gap_lists: usize,
 }
 
 impl std::fmt::Debug for Scheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Scheduler")
             .field("raw_schedules", &self.raw_schedules)
+            .field("delta_schedules", &self.delta_schedules)
             .finish_non_exhaustive()
     }
 }
@@ -306,9 +532,31 @@ impl Scheduler {
 
     /// Number of raw schedules this engine has executed (every call to
     /// [`schedule`](Self::schedule) / [`schedule_with_slack`](Self::schedule_with_slack)
+    /// / [`schedule_delta_with_slack`](Self::schedule_delta_with_slack)
     /// that got past input validation).
     pub fn raw_schedule_count(&self) -> usize {
         self.raw_schedules
+    }
+
+    /// Number of raw schedules that took the delta path (spliced a
+    /// recorded prefix and undid/redid only the suffix).
+    pub fn delta_schedule_count(&self) -> usize {
+        self.delta_schedules
+    }
+
+    /// Total placement steps spliced verbatim from run records across
+    /// all delta runs (diagnostics for tests and benches).
+    pub fn spliced_step_count(&self) -> usize {
+        self.spliced_steps
+    }
+
+    /// Test probe: how many gap-list vectors the most recent slack
+    /// derivation materialized (everything else was `Arc`-aliased from
+    /// the frozen base or the previous run). Only meaningful after a
+    /// `*_with_slack` call.
+    #[doc(hidden)]
+    pub fn fresh_gap_list_count(&self) -> usize {
+        self.fresh_gap_lists
     }
 
     /// Which PEs the most recent run placed a new job on (indexed by
@@ -329,7 +577,8 @@ impl Scheduler {
 
     /// Schedules `apps` on top of `base`, reusing the scratch arenas.
     /// Produces exactly the table [`crate::schedule`] would produce for
-    /// the same inputs.
+    /// the same inputs. This is the **full-engine** path: the timelines
+    /// are reset from the baked base and every job is placed.
     ///
     /// # Errors
     ///
@@ -340,11 +589,11 @@ impl Scheduler {
         apps: &[AppSpec<'_>],
         base: &FrozenBase,
     ) -> Result<ScheduleTable, SchedError> {
-        self.run(arch, apps, base)
+        self.run(arch, apps, base, false, None)
     }
 
     /// Like [`schedule`](Self::schedule) but also derives the slack
-    /// profile incrementally: untouched PEs reuse the baked frozen-only
+    /// profile incrementally: untouched PEs alias the baked frozen-only
     /// gap lists and only bus occurrences carrying a new message have
     /// their free windows patched. The profile is identical to
     /// [`SlackProfile::from_table`] on the returned table.
@@ -358,44 +607,71 @@ impl Scheduler {
         apps: &[AppSpec<'_>],
         base: &FrozenBase,
     ) -> Result<(ScheduleTable, SlackProfile), SchedError> {
-        let table = self.run(arch, apps, base)?;
+        let table = self.run(arch, apps, base, false, None)?;
         let slack = self.slack_profile(base);
         Ok((table, slack))
     }
 
-    /// The incremental slack of the most recent successful run.
-    fn slack_profile(&self, base: &FrozenBase) -> SlackProfile {
-        let pe_gaps: Vec<Vec<(Time, Time)>> = (0..self.pes.len())
-            .map(|i| {
-                if self.touched[i] {
-                    self.pes[i].gaps()
-                } else {
-                    base.pe_gaps[i].clone()
-                }
-            })
-            .collect();
-        // Every occurrence a new message landed in had free room, so it
-        // appears in the baked window list; patching is a linear merge.
-        let mut patched = 0usize;
-        let mut windows = Vec::with_capacity(base.bus_windows.len());
-        for (k, &(ws, we)) in base.bus_windows.iter().enumerate() {
-            match self.new_bus.get(&base.window_occ[k]) {
-                None => windows.push((ws, we)),
-                Some(&added) => {
-                    patched += 1;
-                    let ns = ws + added;
-                    if ns < we {
-                        windows.push((ns, we));
-                    }
-                }
-            }
-        }
-        debug_assert_eq!(
-            patched,
-            self.new_bus.len(),
-            "every new message lands in a baked window"
-        );
-        SlackProfile::from_parts(base.horizon, pe_gaps, windows)
+    /// The **delta-scheduling** entry point: identical results to
+    /// [`schedule_with_slack`](Self::schedule_with_slack), but when a
+    /// run record applies (see the module docs for the decision rules)
+    /// only the placements after the first changed reservation are
+    /// undone and re-placed; the unchanged prefix is spliced from the
+    /// record and the O(frozen) timeline reset is skipped entirely.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::schedule`].
+    pub fn schedule_delta_with_slack(
+        &mut self,
+        arch: &Architecture,
+        apps: &[AppSpec<'_>],
+        base: &FrozenBase,
+    ) -> Result<(ScheduleTable, SlackProfile), SchedError> {
+        let table = self.run(arch, apps, base, true, None)?;
+        let slack = self.slack_profile(base);
+        Ok((table, slack))
+    }
+
+    /// [`schedule_delta_with_slack`](Self::schedule_delta_with_slack)
+    /// without the slack profile.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::schedule`].
+    pub fn schedule_delta(
+        &mut self,
+        arch: &Architecture,
+        apps: &[AppSpec<'_>],
+        base: &FrozenBase,
+    ) -> Result<ScheduleTable, SchedError> {
+        self.run(arch, apps, base, true, None)
+    }
+
+    /// [`schedule_delta_with_slack`](Self::schedule_delta_with_slack)
+    /// with the solution diff supplied by the caller: `changed` must
+    /// list **every** design variable (process mapping/gap hint, message
+    /// slot hint) that differs from the previous call, in sorted order,
+    /// and `apps` must reference the *same* `Application` objects as the
+    /// previous call. The job arena is then patched instead of rebuilt —
+    /// the dominant per-evaluation cost on small diffs. Falls back to a
+    /// full expansion (and produces identical results) whenever the
+    /// arena provenance does not match; debug builds additionally verify
+    /// the patched arena against a full expansion.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::schedule`].
+    pub fn schedule_delta_hinted_with_slack(
+        &mut self,
+        arch: &Architecture,
+        apps: &[AppSpec<'_>],
+        base: &FrozenBase,
+        changed: &[ChangedVar],
+    ) -> Result<(ScheduleTable, SlackProfile), SchedError> {
+        let table = self.run(arch, apps, base, true, Some(changed))?;
+        let slack = self.slack_profile(base);
+        Ok((table, slack))
     }
 
     fn run(
@@ -403,55 +679,93 @@ impl Scheduler {
         arch: &Architecture,
         apps: &[AppSpec<'_>],
         base: &FrozenBase,
+        try_delta: bool,
+        changed: Option<&[ChangedVar]>,
     ) -> Result<ScheduleTable, SchedError> {
         check_horizon(apps, base.horizon)?;
         debug_assert_eq!(arch.pe_count(), base.pes.len(), "base built for this arch");
         self.raw_schedules += 1;
-        let horizon = base.horizon;
+        self.last_run_delta = false;
+        self.prev_gap_arcs = None;
+        self.prev_bus_arc = None;
+        let patched = match changed {
+            Some(vars) => self.expand_incremental(arch, apps, base.horizon, vars)?,
+            None => false,
+        };
+        if !patched {
+            self.expand(arch, apps, base.horizon)?;
+        }
+        let record = if try_delta {
+            self.take_applicable_record(base)
+        } else {
+            None
+        };
+        match record {
+            Some(rec) => self.run_delta(arch, apps, base, rec),
+            None => {
+                // A stale record cannot splice, but its allocations are
+                // recycled into the new one.
+                let old = self.last.take();
+                self.run_full(arch, apps, base, old)
+            }
+        }
+    }
 
+    /// Takes the run record if it can seed a delta run on `base` with
+    /// the *current* expansion: same base, same job-arena layout, and
+    /// the same graph shapes (periods, deadlines, topology, message
+    /// transmission times) — so the only possible differences are the
+    /// design variables the per-job dirty analysis inspects.
+    fn take_applicable_record(&mut self, base: &FrozenBase) -> Option<RunRecord> {
+        let applicable = match &self.last {
+            Some(rec) => {
+                rec.base_id == base.id
+                    && rec.pe.len() == self.jobs.len()
+                    && rec.graph_bases == self.graph_bases
+                    && rec.spec_offsets == self.spec_offsets
+                    && rec.app_ids.len() == self.arena_apps.len()
+                    && rec
+                        .app_ids
+                        .iter()
+                        .zip(&self.arena_apps)
+                        .all(|(&id, &(_, cur))| id == cur)
+                    && rec.shapes == self.shapes
+            }
+            None => false,
+        };
+        if applicable {
+            self.last.take()
+        } else {
+            None
+        }
+    }
+
+    /// Expands `apps` into the job arena (priorities served from the
+    /// cache) and snapshots the per-graph edge slot hints. Touches no
+    /// timeline state, so an expansion error preserves a pending run
+    /// record.
+    fn expand(
+        &mut self,
+        arch: &Architecture,
+        apps: &[AppSpec<'_>],
+        horizon: Time,
+    ) -> Result<(), SchedError> {
+        self.arena_valid = false;
+        self.arena_horizon = horizon;
+        self.arena_apps.clear();
+        self.arena_apps
+            .extend(apps.iter().map(|s| (s.app as *const _ as usize, s.id)));
         let Scheduler {
             jobs,
             graph_bases,
             spec_offsets,
-            heap,
-            pes,
-            bus,
+            edge_hints,
+            shapes,
             prio_cache,
             assign_scratch,
             cost_scratch,
-            touched,
-            new_bus,
             ..
         } = self;
-
-        // --- Reset scratch from the baked base ---------------------------
-        if pes.len() == base.pes.len() {
-            for (tl, b) in pes.iter_mut().zip(&base.pes) {
-                tl.copy_from(b);
-            }
-        } else {
-            *pes = base.pes.clone();
-        }
-        match bus {
-            Some(b)
-                if b.horizon() == horizon
-                    && b.occurrence_count() == base.bus.occurrence_count() =>
-            {
-                b.reset_from(&base.bus);
-            }
-            _ => *bus = Some(base.bus.clone()),
-        }
-        let bus = bus.as_mut().expect("just set");
-        touched.clear();
-        touched.resize(base.pes.len(), false);
-        new_bus.clear();
-
-        let mut out_jobs: Vec<ScheduledJob> = Vec::new();
-        let mut out_msgs: Vec<ScheduledMessage> = Vec::new();
-        out_jobs.extend_from_slice(&base.jobs);
-        out_msgs.extend_from_slice(&base.msgs);
-
-        // --- Expand jobs (priorities served from the cache) ---------------
         jobs.clear();
         graph_bases.clear();
         spec_offsets.clear();
@@ -460,6 +774,33 @@ impl Scheduler {
             for (gi, g) in spec.app.graphs.iter().enumerate() {
                 let flat = graph_bases.len();
                 graph_bases.push(jobs.len());
+                // The per-slot hint and shape snapshots recycle their
+                // inner allocations across evaluations (truncated to
+                // the slot count below), like every other arena here.
+                if edge_hints.len() <= flat {
+                    edge_hints.push(Vec::new());
+                    shapes.push(GraphShape::default());
+                }
+                let eh = &mut edge_hints[flat];
+                eh.clear();
+                eh.extend(
+                    g.dag()
+                        .edge_ids()
+                        .map(|e| spec.hints.msg_slot(crate::mapping::MsgRef::new(gi, e))),
+                );
+                let sh = &mut shapes[flat];
+                sh.period = g.period;
+                sh.deadline = g.deadline;
+                sh.node_count = g.process_count() as u32;
+                sh.edges.clear();
+                sh.edges.extend(g.dag().edge_ids().map(|e| {
+                    let (s, t) = g.dag().endpoints(e);
+                    (
+                        s.index() as u32,
+                        t.index() as u32,
+                        arch.bus().transmission_time(g.message(e).bytes),
+                    )
+                }));
                 // Exact priorities from the mapping, cached per graph
                 // slot while the cost inputs are unchanged (hint-only
                 // moves and moves in other graphs never recompute).
@@ -498,6 +839,7 @@ impl Scheduler {
                             proc_ref: pr,
                             pe,
                         })?;
+                        let in_deg = g.dag().in_degree(n) as u32;
                         jobs.push(JobRec {
                             id: JobId::new(spec.id, gi, k, n),
                             pe,
@@ -506,7 +848,8 @@ impl Scheduler {
                             deadline,
                             priority: prio[n.index()],
                             gap_hint: spec.hints.proc_gap(pr),
-                            preds_remaining: g.dag().in_degree(n) as u32,
+                            in_deg,
+                            preds_remaining: in_deg,
                             ready: release,
                             spec: si,
                         });
@@ -514,101 +857,832 @@ impl Scheduler {
                 }
             }
         }
-        let job_index =
-            |si: usize, gi: usize, instance: u32, node: incdes_graph::NodeId| -> usize {
-                let g = &apps[si].app.graphs[gi];
-                graph_bases[spec_offsets[si] + gi]
-                    + instance as usize * g.process_count()
-                    + node.index()
-            };
+        self.edge_hints.truncate(self.graph_bases.len());
+        self.shapes.truncate(self.graph_bases.len());
+        self.arena_valid = true;
+        Ok(())
+    }
 
-        // --- List scheduling ----------------------------------------------
-        heap.clear();
-        for (i, j) in jobs.iter().enumerate() {
-            if j.preds_remaining == 0 {
-                heap.push(ReadyEntry {
-                    urgency: j.deadline.saturating_sub(j.priority),
-                    priority: j.priority,
-                    ready: j.ready,
-                    job_idx: i,
-                });
+    /// Patches the existing job arena with `changed` design variables
+    /// instead of re-expanding: dynamic state is reset with plain
+    /// stores, only the listed processes re-resolve their PE/WCET/hint,
+    /// and only graphs with a mapping change refresh priorities.
+    /// Returns `Ok(false)` when the arena cannot be reused (different
+    /// apps, different horizon, or a previous expansion error) — the
+    /// caller then falls back to a full expansion.
+    ///
+    /// Correctness rests on the caller's contract (`changed` lists every
+    /// differing variable, `apps` are the same objects); debug builds
+    /// re-expand from scratch afterwards and assert the arenas agree,
+    /// which the differential fuzz suite exercises heavily.
+    fn expand_incremental(
+        &mut self,
+        arch: &Architecture,
+        apps: &[AppSpec<'_>],
+        horizon: Time,
+        changed: &[ChangedVar],
+    ) -> Result<bool, SchedError> {
+        let reusable = self.arena_valid
+            && self.arena_horizon == horizon
+            && self.arena_apps.len() == apps.len()
+            && self
+                .arena_apps
+                .iter()
+                .zip(apps)
+                .all(|(&(ptr, id), s)| ptr == s.app as *const _ as usize && id == s.id);
+        if !reusable {
+            return Ok(false);
+        }
+        debug_assert!(
+            changed.windows(2).all(|w| w[0] < w[1]),
+            "changed variables must be sorted and deduplicated"
+        );
+        // The arena is only marked valid again once the patch (and its
+        // validation) completed — a failed patch forces a full expand.
+        self.arena_valid = false;
+
+        for j in &mut self.jobs {
+            j.ready = j.release;
+            j.preds_remaining = j.in_deg;
+        }
+
+        // Apply the changed variables (sorted order = expansion order,
+        // so a MappingIncomplete/NotAllowed error surfaces for the same
+        // process a full expansion would report first: unchanged
+        // processes stayed valid since they were last expanded).
+        let mut prio_dirty_prev = usize::MAX;
+        for &var in changed {
+            match var {
+                ChangedVar::Proc { spec, graph, node } => {
+                    let sp = &apps[spec];
+                    let g = &sp.app.graphs[graph];
+                    let pr = ProcRef::new(graph, node);
+                    let pe = sp.mapping.pe_of(pr).ok_or(SchedError::MappingIncomplete {
+                        app: sp.id,
+                        proc_ref: pr,
+                    })?;
+                    let wcet = g
+                        .process(node)
+                        .wcets
+                        .get(pe)
+                        .ok_or(SchedError::NotAllowed {
+                            app: sp.id,
+                            proc_ref: pr,
+                            pe,
+                        })?;
+                    let hint = sp.hints.proc_gap(pr);
+                    let flat = self.spec_offsets[spec] + graph;
+                    let nodes = g.process_count();
+                    let instances = (horizon.ticks() / g.period.ticks()) as usize;
+                    for k in 0..instances {
+                        let j = &mut self.jobs[self.graph_bases[flat] + k * nodes + node.index()];
+                        j.pe = pe;
+                        j.wcet = wcet;
+                        j.gap_hint = hint;
+                    }
+                    // Refresh the graph's priorities once per dirty graph
+                    // (vars are sorted, so repeats are adjacent).
+                    if flat != prio_dirty_prev {
+                        prio_dirty_prev = flat;
+                        let Scheduler {
+                            jobs,
+                            graph_bases,
+                            prio_cache,
+                            assign_scratch,
+                            cost_scratch,
+                            ..
+                        } = self;
+                        assign_scratch.clear();
+                        assign_scratch.extend(
+                            g.dag()
+                                .node_ids()
+                                .map(|n| sp.mapping.pe_of(ProcRef::new(graph, n))),
+                        );
+                        cost_scratch.fill(arch, g, assign_scratch);
+                        let entry = &mut prio_cache[flat];
+                        if entry.costs != *cost_scratch {
+                            entry.prio = cost_scratch.priorities(g);
+                            std::mem::swap(&mut entry.costs, cost_scratch);
+                        }
+                        for k in 0..instances {
+                            for n in 0..nodes {
+                                jobs[graph_bases[flat] + k * nodes + n].priority = entry.prio[n];
+                            }
+                        }
+                    }
+                }
+                ChangedVar::Msg { spec, graph, edge } => {
+                    let sp = &apps[spec];
+                    let flat = self.spec_offsets[spec] + graph;
+                    self.edge_hints[flat][edge.index()] =
+                        sp.hints.msg_slot(crate::mapping::MsgRef::new(graph, edge));
+                }
             }
         }
 
-        let mut scheduled = 0usize;
-        while let Some(entry) = heap.pop() {
-            let idx = entry.job_idx;
-            let (id, pe, wcet, ready, deadline, gap_hint, si) = {
-                let j = &jobs[idx];
-                (j.id, j.pe, j.wcet, j.ready, j.deadline, j.gap_hint, j.spec)
-            };
-            let start = pes[pe.index()]
-                .reserve_earliest(ready, wcet, gap_hint)
-                .map_err(|source| SchedError::NoGap { job: id, source })?;
-            touched[pe.index()] = true;
-            let end = start + wcet;
-            if end > deadline {
-                return Err(SchedError::DeadlineMiss {
-                    job: id,
-                    end,
-                    deadline,
-                });
-            }
-            out_jobs.push(ScheduledJob {
-                job: id,
-                pe,
-                start,
-                end,
-                release: jobs[idx].release,
-                deadline,
-            });
-            scheduled += 1;
+        #[cfg(debug_assertions)]
+        self.debug_verify_incremental_expand(arch, apps, horizon)?;
 
-            // Propagate to successors: messages over the bus where needed.
-            let spec = &apps[si];
-            let g = &spec.app.graphs[id.graph];
-            for &e in g.dag().out_edges(id.node) {
+        self.arena_valid = true;
+        Ok(true)
+    }
+
+    /// Debug-build oracle for [`expand_incremental`]: snapshots the
+    /// patched arena, re-expands from scratch and asserts equality —
+    /// the differential fuzz suite drives this on every hinted call.
+    #[cfg(debug_assertions)]
+    fn debug_verify_incremental_expand(
+        &mut self,
+        arch: &Architecture,
+        apps: &[AppSpec<'_>],
+        horizon: Time,
+    ) -> Result<(), SchedError> {
+        let snap: Vec<(PeId, Time, Time, u32, u32, Time)> = self
+            .jobs
+            .iter()
+            .map(|j| {
+                (
+                    j.pe,
+                    j.wcet,
+                    j.priority,
+                    j.gap_hint,
+                    j.preds_remaining,
+                    j.ready,
+                )
+            })
+            .collect();
+        let hints_snap = self.edge_hints.clone();
+        self.expand(arch, apps, horizon)?;
+        assert_eq!(self.jobs.len(), snap.len(), "patched arena lost jobs");
+        for (j, s) in self.jobs.iter().zip(&snap) {
+            assert_eq!(
+                (
+                    j.pe,
+                    j.wcet,
+                    j.priority,
+                    j.gap_hint,
+                    j.preds_remaining,
+                    j.ready
+                ),
+                *s,
+                "incremental expansion diverged from full expansion for {:?}",
+                j.id
+            );
+        }
+        assert_eq!(self.edge_hints, hints_snap, "edge hints diverged");
+        Ok(())
+    }
+
+    /// The full-engine path: reset the timelines from the baked base and
+    /// place every job. `old` is a stale record whose allocations are
+    /// recycled into the new one.
+    fn run_full(
+        &mut self,
+        arch: &Architecture,
+        apps: &[AppSpec<'_>],
+        base: &FrozenBase,
+        old: Option<RunRecord>,
+    ) -> Result<ScheduleTable, SchedError> {
+        debug_assert!(self.last.is_none(), "caller took the old record");
+        let horizon = base.horizon;
+        let n = self.jobs.len();
+
+        let (mut steps, mut rec_msgs, mut pop_step, mut push_step, carcass) = recycle(old, n);
+
+        let Scheduler {
+            jobs,
+            graph_bases,
+            spec_offsets,
+            heap,
+            pes,
+            bus,
+            touched,
+            new_bus,
+            ..
+        } = self;
+
+        // --- Reset scratch from the baked base ---------------------------
+        if pes.len() == base.pes.len() {
+            for (tl, b) in pes.iter_mut().zip(&base.pes) {
+                tl.copy_from(b);
+            }
+        } else {
+            *pes = base.pes.clone();
+        }
+        match bus {
+            Some(b)
+                if b.horizon() == horizon
+                    && b.occurrence_count() == base.bus.occurrence_count() =>
+            {
+                b.reset_from(&base.bus);
+            }
+            _ => *bus = Some(base.bus.clone()),
+        }
+        let bus = bus.as_mut().expect("just set");
+        touched.clear();
+        touched.resize(base.pes.len(), false);
+        new_bus.clear();
+
+        heap.clear();
+        for (i, j) in jobs.iter().enumerate() {
+            if j.preds_remaining == 0 {
+                push_step[i] = 0;
+                heap.push(ReadyEntry::of(jobs, i));
+            }
+        }
+
+        let run = schedule_loop(
+            arch,
+            apps,
+            jobs,
+            graph_bases,
+            spec_offsets,
+            heap,
+            pes,
+            bus,
+            touched,
+            new_bus,
+            &mut steps,
+            &mut rec_msgs,
+            &mut push_step,
+            &mut pop_step,
+        );
+
+        let table = run
+            .as_ref()
+            .ok()
+            .map(|()| self.assemble_table(base, &steps, &rec_msgs));
+        // A failed run's *completed* steps still satisfy the record
+        // invariant (the partial step was rolled back), so infeasible
+        // trials keep a splice source for the next evaluation.
+        self.store_record(base, steps, rec_msgs, pop_step, push_step, carcass);
+        run?;
+        Ok(table.expect("run succeeded"))
+    }
+
+    /// The delta path: `rec` applies to the current expansion, and the
+    /// live timelines hold exactly `base + rec placements`.
+    fn run_delta(
+        &mut self,
+        arch: &Architecture,
+        apps: &[AppSpec<'_>],
+        base: &FrozenBase,
+        mut rec: RunRecord,
+    ) -> Result<ScheduleTable, SchedError> {
+        let n = self.jobs.len();
+        let div = self.divergence(apps, &rec);
+        self.delta_schedules += 1;
+        self.spliced_steps += div;
+        self.last_run_delta = true;
+        self.prev_gap_arcs = rec.gap_arcs.take();
+        self.prev_bus_arc = rec.bus_arc.take();
+
+        let Scheduler {
+            jobs,
+            graph_bases,
+            spec_offsets,
+            heap,
+            pes,
+            bus,
+            touched,
+            new_bus,
+            popped,
+            changed_pe,
+            changed_bus,
+            ..
+        } = self;
+        let bus = bus.as_mut().expect("delta follows a recorded run");
+
+        changed_pe.clear();
+        changed_pe.resize(pes.len(), false);
+        *changed_bus = false;
+
+        // --- Undo the suffix (reverse order, so frame tails unwind) ------
+        for step in rec.steps[div..].iter().rev() {
+            for m in rec.msgs[step.msg_lo as usize..step.msg_hi as usize]
+                .iter()
+                .rev()
+            {
+                bus.unreserve_tail(&m.reservation);
+                *changed_bus = true;
+            }
+            let pe = rec.pe[step.job as usize];
+            pes[pe.index()].unreserve(step.start, step.end);
+            changed_pe[pe.index()] = true;
+        }
+        let prefix_msg_count = if div == 0 {
+            0
+        } else {
+            rec.steps[div - 1].msg_hi as usize
+        };
+
+        // --- Splice the prefix from the record ---------------------------
+        touched.clear();
+        touched.resize(base.pes.len(), false);
+        new_bus.clear();
+        popped.clear();
+        popped.resize(n, false);
+        let mut pop_step = std::mem::take(&mut rec.pop_step);
+        let mut push_step = std::mem::take(&mut rec.push_step);
+        pop_step.fill(u32::MAX);
+        push_step.fill(u32::MAX);
+        for (i, j) in jobs.iter().enumerate() {
+            if j.preds_remaining == 0 {
+                push_step[i] = 0;
+            }
+        }
+
+        for (s, step) in rec.steps[..div].iter().enumerate() {
+            let idx = step.job as usize;
+            let j = &jobs[idx];
+            debug_assert_eq!(j.pe, rec.pe[idx], "spliced jobs are clean");
+            touched[j.pe.index()] = true;
+            popped[idx] = true;
+            pop_step[idx] = s as u32;
+
+            // Re-derive successor readiness from the recorded outputs.
+            let (si, graph, instance, node, pe, end) =
+                (j.spec, j.id.graph, j.id.instance, j.id.node, j.pe, step.end);
+            let g = &apps[si].app.graphs[graph];
+            let mut cursor = step.msg_lo as usize;
+            for &e in g.dag().out_edges(node) {
                 let succ_node = g.dag().target(e);
-                let succ_idx = job_index(si, id.graph, id.instance, succ_node);
-                let succ_pe = jobs[succ_idx].pe;
-                let data_ready = if succ_pe == pe {
+                let succ_idx = job_index(
+                    apps,
+                    graph_bases,
+                    spec_offsets,
+                    si,
+                    graph,
+                    instance,
+                    succ_node,
+                );
+                let data_ready = if jobs[succ_idx].pe == pe {
                     end
                 } else {
-                    let mref = crate::mapping::MsgRef::new(id.graph, e);
-                    let tx = arch.bus().transmission_time(g.message(e).bytes);
-                    let r = bus
-                        .schedule_message_nth(pe, end, tx, spec.hints.msg_slot(mref) as usize)
-                        .map_err(|source| SchedError::NoSlot {
-                            job: id,
-                            msg: mref,
-                            source,
-                        })?;
-                    *new_bus.entry(r.occurrence).or_insert(Time::ZERO) += tx;
-                    out_msgs.push(ScheduledMessage {
-                        app: spec.id,
-                        msg: mref,
-                        instance: id.instance,
-                        reservation: r,
-                    });
-                    r.arrival
+                    let m = rec.msgs[cursor];
+                    cursor += 1;
+                    *new_bus
+                        .entry(m.reservation.occurrence)
+                        .or_insert(Time::ZERO) += m.reservation.duration();
+                    m.reservation.arrival
                 };
                 let succ = &mut jobs[succ_idx];
                 succ.ready = succ.ready.max(data_ready);
                 succ.preds_remaining -= 1;
                 if succ.preds_remaining == 0 {
-                    heap.push(ReadyEntry {
-                        urgency: succ.deadline.saturating_sub(succ.priority),
-                        priority: succ.priority,
-                        ready: succ.ready,
-                        job_idx: succ_idx,
-                    });
+                    push_step[succ_idx] = s as u32 + 1;
                 }
             }
+            debug_assert_eq!(cursor, step.msg_hi as usize, "recorded messages consumed");
         }
-        debug_assert_eq!(scheduled, jobs.len(), "acyclic graphs schedule fully");
 
-        Ok(ScheduleTable::new(horizon, out_jobs, out_msgs))
+        // --- Seed the heap with the ready-but-unpopped set ---------------
+        heap.clear();
+        for i in 0..n {
+            if !popped[i] && jobs[i].preds_remaining == 0 {
+                heap.push(ReadyEntry::of(jobs, i));
+            }
+        }
+
+        // --- Re-place the suffix through the ordinary loop ---------------
+        let mut steps = std::mem::take(&mut rec.steps);
+        let mut rec_msgs = std::mem::take(&mut rec.msgs);
+        steps.truncate(div);
+        rec_msgs.truncate(prefix_msg_count);
+        let before_msgs = rec_msgs.len();
+
+        let run = schedule_loop(
+            arch,
+            apps,
+            jobs,
+            graph_bases,
+            spec_offsets,
+            heap,
+            pes,
+            bus,
+            touched,
+            new_bus,
+            &mut steps,
+            &mut rec_msgs,
+            &mut push_step,
+            &mut pop_step,
+        );
+
+        // Every suffix placement (or message) changes its resource
+        // (only consulted by the slack derivation, i.e. on success).
+        for step in &steps[div..] {
+            changed_pe[jobs[step.job as usize].pe.index()] = true;
+        }
+        if rec_msgs.len() > before_msgs {
+            *changed_bus = true;
+        }
+
+        let table = run
+            .as_ref()
+            .ok()
+            .map(|()| self.assemble_table(base, &steps, &rec_msgs));
+        // Completed steps of a failed run still satisfy the record
+        // invariant — see `run_full` for why that matters.
+        self.store_record(base, steps, rec_msgs, pop_step, push_step, Some(rec));
+        run?;
+        Ok(table.expect("run succeeded"))
     }
+
+    /// Assembles the output table: the current run's jobs and messages
+    /// brought into canonical order (a small sort) and merged with the
+    /// frozen base's pre-sorted sequences in `O(n)` — no full-table
+    /// re-sort per evaluation.
+    fn assemble_table(
+        &mut self,
+        base: &FrozenBase,
+        steps: &[StepRec],
+        rec_msgs: &[ScheduledMessage],
+    ) -> ScheduleTable {
+        let Scheduler {
+            jobs,
+            cur_jobs,
+            cur_msgs,
+            ..
+        } = self;
+        cur_jobs.clear();
+        cur_jobs.extend(steps.iter().map(|s| {
+            let j = &jobs[s.job as usize];
+            ScheduledJob {
+                job: j.id,
+                pe: j.pe,
+                start: s.start,
+                end: s.end,
+                release: j.release,
+                deadline: j.deadline,
+            }
+        }));
+        cur_jobs.sort_by_key(|j| (j.pe, j.start, j.job));
+        cur_msgs.clear();
+        cur_msgs.extend_from_slice(rec_msgs);
+        cur_msgs.sort_by_key(|m| (m.reservation.transmit_start, m.app, m.msg, m.instance));
+        ScheduleTable::from_sorted_merge(base.horizon, &base.jobs, cur_jobs, &base.msgs, cur_msgs)
+    }
+
+    /// The first recorded step the current expansion could possibly
+    /// perturb (see the module docs for the rule).
+    fn divergence(&self, apps: &[AppSpec<'_>], rec: &RunRecord) -> usize {
+        let jobs = &self.jobs;
+        let mut div = rec.steps.len() as u32;
+        for idx in 0..jobs.len() {
+            let j = &jobs[idx];
+            let mut proc_dirty =
+                j.pe != rec.pe[idx] || j.gap_hint != rec.gap_hint[idx] || j.wcet != rec.wcet[idx];
+            let flat = self.spec_offsets[j.spec] + j.id.graph;
+            let g = &apps[j.spec].app.graphs[j.id.graph];
+            for &e in g.dag().out_edges(j.id.node) {
+                if proc_dirty {
+                    break;
+                }
+                if self.edge_hints[flat][e.index()] != rec.edge_hints[flat][e.index()] {
+                    proc_dirty = true;
+                    break;
+                }
+                let succ_idx = job_index(
+                    apps,
+                    &self.graph_bases,
+                    &self.spec_offsets,
+                    j.spec,
+                    j.id.graph,
+                    j.id.instance,
+                    g.dag().target(e),
+                );
+                if jobs[succ_idx].pe != rec.pe[succ_idx] {
+                    proc_dirty = true;
+                    break;
+                }
+            }
+            if proc_dirty {
+                div = div.min(rec.pop_step[idx]);
+            }
+            if j.priority != rec.priority[idx] {
+                div = div.min(rec.push_step[idx]);
+            }
+            if div == 0 {
+                break;
+            }
+        }
+        div as usize
+    }
+
+    /// Snapshots the finished run into `self.last` (the delta-splice
+    /// source for the next evaluation), recycling the previous record's
+    /// allocations: a steady-state evaluation snapshots with zero fresh
+    /// allocations. Oversized arenas are never recorded — `u32` step
+    /// indices cover every realistic horizon.
+    fn store_record(
+        &mut self,
+        base: &FrozenBase,
+        steps: Vec<StepRec>,
+        msgs: Vec<ScheduledMessage>,
+        pop_step: Vec<u32>,
+        push_step: Vec<u32>,
+        carcass: Option<RunRecord>,
+    ) {
+        if self.jobs.len() >= u32::MAX as usize || msgs.len() >= u32::MAX as usize {
+            self.last = None;
+            return;
+        }
+        let mut rec = carcass.unwrap_or_else(|| RunRecord {
+            base_id: 0,
+            steps: Vec::new(),
+            msgs: Vec::new(),
+            pop_step: Vec::new(),
+            push_step: Vec::new(),
+            pe: Vec::new(),
+            gap_hint: Vec::new(),
+            wcet: Vec::new(),
+            priority: Vec::new(),
+            edge_hints: Vec::new(),
+            graph_bases: Vec::new(),
+            spec_offsets: Vec::new(),
+            app_ids: Vec::new(),
+            shapes: Vec::new(),
+            gap_arcs: None,
+            bus_arc: None,
+        });
+        rec.base_id = base.id;
+        rec.steps = steps;
+        rec.msgs = msgs;
+        rec.pop_step = pop_step;
+        rec.push_step = push_step;
+        rec.pe.clear();
+        rec.pe.extend(self.jobs.iter().map(|j| j.pe));
+        rec.gap_hint.clear();
+        rec.gap_hint.extend(self.jobs.iter().map(|j| j.gap_hint));
+        rec.wcet.clear();
+        rec.wcet.extend(self.jobs.iter().map(|j| j.wcet));
+        rec.priority.clear();
+        rec.priority.extend(self.jobs.iter().map(|j| j.priority));
+        rec.edge_hints.clone_from(&self.edge_hints);
+        rec.graph_bases.clone_from(&self.graph_bases);
+        rec.spec_offsets.clone_from(&self.spec_offsets);
+        rec.app_ids.clear();
+        rec.app_ids
+            .extend(self.arena_apps.iter().map(|&(_, id)| id));
+        rec.shapes.clone_from(&self.shapes);
+        rec.gap_arcs = None;
+        rec.bus_arc = None;
+        self.last = Some(rec);
+    }
+
+    /// The incremental slack of the most recent successful run: gap
+    /// lists of untouched PEs alias the base, unchanged-by-delta PEs
+    /// alias the previous run's profile, and only changed resources are
+    /// re-derived from the live timelines.
+    fn slack_profile(&mut self, base: &FrozenBase) -> SlackProfile {
+        let prev_gaps = self.prev_gap_arcs.take();
+        let prev_bus = self.prev_bus_arc.take();
+        let mut fresh = 0usize;
+        let mut pe_gaps: Vec<Arc<Vec<(Time, Time)>>> = Vec::with_capacity(self.pes.len());
+        for i in 0..self.pes.len() {
+            let arc = if !self.touched[i] {
+                Arc::clone(&base.pe_gaps[i])
+            } else if self.last_run_delta && !self.changed_pe[i] {
+                match prev_gaps.as_ref() {
+                    // The PE kept every reservation of the previous run,
+                    // so the previous profile's list is bit-identical.
+                    Some(prev) => Arc::clone(&prev[i]),
+                    None => {
+                        fresh += 1;
+                        Arc::new(self.pes[i].gaps())
+                    }
+                }
+            } else {
+                fresh += 1;
+                Arc::new(self.pes[i].gaps())
+            };
+            pe_gaps.push(arc);
+        }
+
+        let bus_arc = if self.new_bus.is_empty() {
+            Arc::clone(&base.bus_windows)
+        } else if self.last_run_delta && !self.changed_bus && prev_bus.is_some() {
+            prev_bus.expect("just checked")
+        } else {
+            // Every occurrence a new message landed in had free room, so
+            // it appears in the baked window list; patching is a linear
+            // merge.
+            let mut patched = 0usize;
+            let mut windows = Vec::with_capacity(base.bus_windows.len());
+            for (k, &(ws, we)) in base.bus_windows.iter().enumerate() {
+                match self.new_bus.get(&base.window_occ[k]) {
+                    None => windows.push((ws, we)),
+                    Some(&added) => {
+                        patched += 1;
+                        let ns = ws + added;
+                        if ns < we {
+                            windows.push((ns, we));
+                        }
+                    }
+                }
+            }
+            debug_assert_eq!(
+                patched,
+                self.new_bus.len(),
+                "every new message lands in a baked window"
+            );
+            Arc::new(windows)
+        };
+
+        self.fresh_gap_lists = fresh;
+        if let Some(rec) = &mut self.last {
+            rec.gap_arcs = Some(pe_gaps.clone());
+            rec.bus_arc = Some(Arc::clone(&bus_arc));
+        }
+        SlackProfile::from_shared(base.horizon, pe_gaps, bus_arc)
+    }
+}
+
+/// Breaks a stale record into reusable bookkeeping vectors for the next
+/// run: steps/messages cleared, pop/push step maps refilled for `n`
+/// jobs, plus the carcass whose snapshot vectors `store_record` will
+/// recycle.
+#[allow(clippy::type_complexity)]
+fn recycle(
+    old: Option<RunRecord>,
+    n: usize,
+) -> (
+    Vec<StepRec>,
+    Vec<ScheduledMessage>,
+    Vec<u32>,
+    Vec<u32>,
+    Option<RunRecord>,
+) {
+    match old {
+        Some(mut rec) => {
+            let mut steps = std::mem::take(&mut rec.steps);
+            let mut msgs = std::mem::take(&mut rec.msgs);
+            let mut pop = std::mem::take(&mut rec.pop_step);
+            let mut push = std::mem::take(&mut rec.push_step);
+            steps.clear();
+            msgs.clear();
+            pop.clear();
+            pop.resize(n, u32::MAX);
+            push.clear();
+            push.resize(n, u32::MAX);
+            (steps, msgs, pop, push, Some(rec))
+        }
+        None => (
+            Vec::new(),
+            Vec::new(),
+            vec![u32::MAX; n],
+            vec![u32::MAX; n],
+            None,
+        ),
+    }
+}
+
+/// Flat index of job `(si, gi, instance, node)` in the arena.
+fn job_index(
+    apps: &[AppSpec<'_>],
+    graph_bases: &[usize],
+    spec_offsets: &[usize],
+    si: usize,
+    gi: usize,
+    instance: u32,
+    node: incdes_graph::NodeId,
+) -> usize {
+    let g = &apps[si].app.graphs[gi];
+    graph_bases[spec_offsets[si] + gi] + instance as usize * g.process_count() + node.index()
+}
+
+/// The list-scheduling loop shared by the full and delta paths: pops
+/// ready jobs from `heap` until none remain, reserving processor time
+/// and bus slots, appending to the output table vectors and the run
+/// record being built. The caller has already seeded the heap and (for
+/// the delta path) spliced the prefix.
+///
+/// On failure the partially processed step is **rolled back** — its
+/// reservation and any messages it already placed are undone — so the
+/// completed steps still satisfy the record invariant (`timelines =
+/// base + steps`). Infeasible trials are the bread and butter of the
+/// SA/MH neighborhoods; keeping their prefixes splicable means a failed
+/// evaluation never knocks the chain back onto the full path.
+#[allow(clippy::too_many_arguments)]
+fn schedule_loop(
+    arch: &Architecture,
+    apps: &[AppSpec<'_>],
+    jobs: &mut [JobRec],
+    graph_bases: &[usize],
+    spec_offsets: &[usize],
+    heap: &mut BinaryHeap<ReadyEntry>,
+    pes: &mut [PeTimeline],
+    bus: &mut BusTimeline,
+    touched: &mut [bool],
+    new_bus: &mut BTreeMap<u64, Time>,
+    steps: &mut Vec<StepRec>,
+    rec_msgs: &mut Vec<ScheduledMessage>,
+    push_step: &mut [u32],
+    pop_step: &mut [u32],
+) -> Result<(), SchedError> {
+    while let Some(entry) = heap.pop() {
+        let idx = entry.job_idx;
+        let step_idx = steps.len() as u32;
+        let (id, pe, wcet, ready, deadline, gap_hint, si) = {
+            let j = &jobs[idx];
+            (j.id, j.pe, j.wcet, j.ready, j.deadline, j.gap_hint, j.spec)
+        };
+        let start = pes[pe.index()]
+            .reserve_earliest(ready, wcet, gap_hint)
+            .map_err(|source| SchedError::NoGap { job: id, source })?;
+        touched[pe.index()] = true;
+        let end = start + wcet;
+        if end > deadline {
+            pes[pe.index()].unreserve(start, end);
+            return Err(SchedError::DeadlineMiss {
+                job: id,
+                end,
+                deadline,
+            });
+        }
+        pop_step[idx] = step_idx;
+        let msg_lo = rec_msgs.len() as u32;
+
+        // Propagate to successors: messages over the bus where needed.
+        let spec = &apps[si];
+        let g = &spec.app.graphs[id.graph];
+        for &e in g.dag().out_edges(id.node) {
+            let succ_node = g.dag().target(e);
+            let succ_idx = job_index(
+                apps,
+                graph_bases,
+                spec_offsets,
+                si,
+                id.graph,
+                id.instance,
+                succ_node,
+            );
+            let succ_pe = jobs[succ_idx].pe;
+            let data_ready = if succ_pe == pe {
+                end
+            } else {
+                let mref = crate::mapping::MsgRef::new(id.graph, e);
+                let tx = arch.bus().transmission_time(g.message(e).bytes);
+                match bus.schedule_message_nth(pe, end, tx, spec.hints.msg_slot(mref) as usize) {
+                    Ok(r) => {
+                        *new_bus.entry(r.occurrence).or_insert(Time::ZERO) += tx;
+                        rec_msgs.push(ScheduledMessage {
+                            app: spec.id,
+                            msg: mref,
+                            instance: id.instance,
+                            reservation: r,
+                        });
+                        r.arrival
+                    }
+                    Err(source) => {
+                        // Roll the partial step back (reverse order, so
+                        // frame tails unwind): the completed prefix
+                        // stays a valid splice source.
+                        for m in rec_msgs[msg_lo as usize..].iter().rev() {
+                            bus.unreserve_tail(&m.reservation);
+                            let occ = m.reservation.occurrence;
+                            let added = new_bus
+                                .get_mut(&occ)
+                                .expect("rolled-back message was accounted");
+                            *added -= m.reservation.duration();
+                            if added.is_zero() {
+                                new_bus.remove(&occ);
+                            }
+                        }
+                        rec_msgs.truncate(msg_lo as usize);
+                        pop_step[idx] = u32::MAX;
+                        pes[pe.index()].unreserve(start, end);
+                        return Err(SchedError::NoSlot {
+                            job: id,
+                            msg: mref,
+                            source,
+                        });
+                    }
+                }
+            };
+            let succ = &mut jobs[succ_idx];
+            succ.ready = succ.ready.max(data_ready);
+            succ.preds_remaining -= 1;
+            if succ.preds_remaining == 0 {
+                push_step[succ_idx] = step_idx + 1;
+                let e = ReadyEntry::of(jobs, succ_idx);
+                heap.push(e);
+            }
+        }
+        steps.push(StepRec {
+            job: idx as u32,
+            start,
+            end,
+            msg_lo,
+            msg_hi: rec_msgs.len() as u32,
+        });
+    }
+    debug_assert_eq!(
+        steps.len(),
+        jobs.len(),
+        "acyclic graphs schedule fully (prefix + suffix covers every job)"
+    );
+    Ok(())
 }
 
 #[cfg(test)]
@@ -661,6 +1735,252 @@ mod tests {
         assert_eq!(engine.raw_schedule_count(), 3);
         assert!(engine.touched_pes().iter().any(|&t| t));
         assert!(engine.bus_touched());
+    }
+
+    #[test]
+    fn delta_path_splices_identical_revisit() {
+        let arch = arch2();
+        let (app, mapping) = chain_app();
+        let hints = Hints::empty();
+        let spec = AppSpec::new(AppId(0), &app, &mapping, &hints);
+        let reference = crate::schedule(&arch, &[spec], None, t(100)).unwrap();
+
+        let base = FrozenBase::empty(&arch, t(100)).unwrap();
+        let mut engine = Scheduler::new();
+        // First call has no record → full path.
+        let (t1, s1) = engine
+            .schedule_delta_with_slack(&arch, &[spec], &base)
+            .unwrap();
+        assert_eq!(engine.delta_schedule_count(), 0);
+        // Second call replays the record wholesale (divergence = all).
+        let (t2, s2) = engine
+            .schedule_delta_with_slack(&arch, &[spec], &base)
+            .unwrap();
+        assert_eq!(engine.delta_schedule_count(), 1);
+        assert_eq!(engine.spliced_step_count(), 2, "both jobs spliced");
+        assert_eq!(t1, reference);
+        assert_eq!(t2, reference);
+        assert_eq!(s1, SlackProfile::from_table(&arch, &reference));
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn delta_path_tracks_single_moves() {
+        let arch = arch2();
+        let mut g = ProcessGraph::new("g", t(100), t(100));
+        let a = g.add_process(Process::new("a").wcet(PeId(0), t(8)).wcet(PeId(1), t(5)));
+        let b = g.add_process(Process::new("b").wcet(PeId(0), t(6)).wcet(PeId(1), t(6)));
+        g.add_message(a, b, Message::new("m", 4)).unwrap();
+        let app = Application::new("app", vec![g]);
+        let hints = Hints::empty();
+        let base = FrozenBase::empty(&arch, t(100)).unwrap();
+        let mut engine = Scheduler::new();
+
+        let assignments = [
+            [PeId(0), PeId(1)],
+            [PeId(0), PeId(0)],
+            [PeId(1), PeId(0)],
+            [PeId(1), PeId(1)],
+            [PeId(0), PeId(1)],
+        ];
+        for assignment in assignments {
+            let mut mapping = Mapping::new();
+            mapping.assign(ProcRef::new(0, NodeId(0)), assignment[0]);
+            mapping.assign(ProcRef::new(0, NodeId(1)), assignment[1]);
+            let spec = AppSpec::new(AppId(0), &app, &mapping, &hints);
+            let (table, slack) = engine
+                .schedule_delta_with_slack(&arch, &[spec], &base)
+                .unwrap();
+            let reference = crate::schedule(&arch, &[spec], None, t(100)).unwrap();
+            assert_eq!(table, reference, "assignment {assignment:?}");
+            assert_eq!(
+                slack,
+                SlackProfile::from_table(&arch, &reference),
+                "assignment {assignment:?}"
+            );
+        }
+        assert_eq!(engine.raw_schedule_count(), assignments.len());
+        assert_eq!(engine.delta_schedule_count(), assignments.len() - 1);
+    }
+
+    #[test]
+    fn delta_chain_survives_infeasible_moves() {
+        let arch = arch2();
+        // Two processes; remapping `a` to PE1 overflows the horizon, so
+        // that single-move delta fails mid-loop. The rolled-back partial
+        // record must keep the chain on the delta path and stay correct.
+        let mut g = ProcessGraph::new("g", t(100), t(100));
+        g.add_process(Process::new("a").wcet(PeId(0), t(8)).wcet(PeId(1), t(150)));
+        g.add_process(Process::new("b").wcet(PeId(0), t(6)).wcet(PeId(1), t(6)));
+        let app = Application::new("app", vec![g]);
+        let hints = Hints::empty();
+        let base = FrozenBase::empty(&arch, t(100)).unwrap();
+        let mut engine = Scheduler::new();
+
+        let mut good = Mapping::new();
+        good.assign(ProcRef::new(0, NodeId(0)), PeId(0));
+        good.assign(ProcRef::new(0, NodeId(1)), PeId(1));
+        let mut bad = good.clone();
+        bad.assign(ProcRef::new(0, NodeId(0)), PeId(1));
+
+        let good_spec = AppSpec::new(AppId(0), &app, &good, &hints);
+        engine
+            .schedule_delta_with_slack(&arch, &[good_spec], &base)
+            .unwrap();
+        let bad_spec = AppSpec::new(AppId(0), &app, &bad, &hints);
+        let err = engine
+            .schedule_delta_with_slack(&arch, &[bad_spec], &base)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            crate::schedule(&arch, &[bad_spec], None, t(100)).unwrap_err()
+        );
+        assert_eq!(
+            engine.delta_schedule_count(),
+            1,
+            "failure took the delta path"
+        );
+        // The failed run rolled its partial step back, so the next
+        // evaluation splices against its completed prefix — and matches
+        // the oracle exactly.
+        let (table, slack) = engine
+            .schedule_delta_with_slack(&arch, &[good_spec], &base)
+            .unwrap();
+        assert_eq!(
+            engine.delta_schedule_count(),
+            2,
+            "the partial record survives failures"
+        );
+        let reference = crate::schedule(&arch, &[good_spec], None, t(100)).unwrap();
+        assert_eq!(table, reference);
+        assert_eq!(slack, SlackProfile::from_table(&arch, &reference));
+    }
+
+    /// An `AppId` change alone (same app, same design variables) must
+    /// never splice: spliced messages carry the recorded app id
+    /// verbatim, so the record guard has to fall back to the full path.
+    #[test]
+    fn delta_record_guarded_by_app_id() {
+        let arch = arch2();
+        let (app, mapping) = chain_app();
+        let hints = Hints::empty();
+        let base = FrozenBase::empty(&arch, t(100)).unwrap();
+        let mut engine = Scheduler::new();
+
+        let spec0 = AppSpec::new(AppId(0), &app, &mapping, &hints);
+        engine
+            .schedule_delta_with_slack(&arch, &[spec0], &base)
+            .unwrap();
+        let spec1 = AppSpec::new(AppId(1), &app, &mapping, &hints);
+        let (table, slack) = engine
+            .schedule_delta_with_slack(&arch, &[spec1], &base)
+            .unwrap();
+        assert_eq!(engine.delta_schedule_count(), 0, "id change never splices");
+        let reference = crate::schedule(&arch, &[spec1], None, t(100)).unwrap();
+        assert_eq!(table, reference);
+        assert_eq!(slack, SlackProfile::from_table(&arch, &reference));
+        assert!(table.messages().iter().all(|m| m.app == AppId(1)));
+    }
+
+    /// A *shape* change (same job layout, different deadline) must never
+    /// splice — the record guard falls back to the full path.
+    #[test]
+    fn delta_record_guarded_by_graph_shape() {
+        let arch = arch2();
+        let mut g = ProcessGraph::new("g", t(100), t(100));
+        g.add_process(Process::new("a").wcet(PeId(0), t(8)));
+        let app_a = Application::new("a", vec![g]);
+        let mut g2 = ProcessGraph::new("g", t(100), t(50));
+        g2.add_process(Process::new("a").wcet(PeId(0), t(8)));
+        let app_b = Application::new("b", vec![g2]);
+        let mut mapping = Mapping::new();
+        mapping.assign(ProcRef::new(0, NodeId(0)), PeId(0));
+        let hints = Hints::empty();
+        let base = FrozenBase::empty(&arch, t(100)).unwrap();
+        let mut engine = Scheduler::new();
+
+        let spec_a = AppSpec::new(AppId(0), &app_a, &mapping, &hints);
+        let spec_b = AppSpec::new(AppId(0), &app_b, &mapping, &hints);
+        engine
+            .schedule_delta_with_slack(&arch, &[spec_a], &base)
+            .unwrap();
+        let (table, _) = engine
+            .schedule_delta_with_slack(&arch, &[spec_b], &base)
+            .unwrap();
+        assert_eq!(
+            engine.delta_schedule_count(),
+            0,
+            "shape change never splices"
+        );
+        assert_eq!(
+            table,
+            crate::schedule(&arch, &[spec_b], None, t(100)).unwrap()
+        );
+    }
+
+    #[test]
+    fn delta_record_guarded_by_base_generation() {
+        let arch = arch2();
+        let (app, mapping) = chain_app();
+        let hints = Hints::empty();
+        let spec = AppSpec::new(AppId(0), &app, &mapping, &hints);
+        let frozen = crate::schedule(&arch, &[spec], None, t(100)).unwrap();
+
+        let base_a = FrozenBase::empty(&arch, t(100)).unwrap();
+        let base_b = FrozenBase::new(&arch, Some(&frozen), t(100)).unwrap();
+        assert_ne!(base_a.generation(), base_b.generation());
+        assert_eq!(base_a.generation(), base_a.clone().generation());
+
+        let (app2, mapping2) = chain_app();
+        let spec2 = AppSpec::new(AppId(1), &app2, &mapping2, &hints);
+        let mut engine = Scheduler::new();
+        engine
+            .schedule_delta_with_slack(&arch, &[spec2], &base_a)
+            .unwrap();
+        // Same structure, different base: the record must not splice.
+        let (table, slack) = engine
+            .schedule_delta_with_slack(&arch, &[spec2], &base_b)
+            .unwrap();
+        assert_eq!(engine.delta_schedule_count(), 0);
+        let reference = crate::schedule(&arch, &[spec2], Some(&frozen), t(100)).unwrap();
+        assert_eq!(table, reference);
+        assert_eq!(slack, SlackProfile::from_table(&arch, &reference));
+    }
+
+    #[test]
+    fn shared_profiles_alias_base_storage() {
+        let arch = arch2();
+        // Current app occupies only PE0; PE1 carries only frozen load.
+        let (fapp, fmap) = chain_app();
+        let hints = Hints::empty();
+        let fspec = AppSpec::new(AppId(0), &fapp, &fmap, &hints);
+        let frozen = crate::schedule(&arch, &[fspec], None, t(100)).unwrap();
+        let base = FrozenBase::new(&arch, Some(&frozen), t(100)).unwrap();
+
+        let mut g = ProcessGraph::new("g", t(100), t(100));
+        let a = g.add_process(Process::new("a").wcet(PeId(0), t(5)));
+        let app = Application::new("solo", vec![g]);
+        let mut mapping = Mapping::new();
+        mapping.assign(ProcRef::new(0, a), PeId(0));
+        let spec = AppSpec::new(AppId(1), &app, &mapping, &hints);
+
+        let mut engine = Scheduler::new();
+        let (_, slack) = engine.schedule_with_slack(&arch, &[spec], &base).unwrap();
+        // PE1 untouched → its gap list is the base's storage, not a copy.
+        assert!(Arc::ptr_eq(
+            slack.gaps_shared(PeId(1)),
+            base.gaps_shared(PeId(1))
+        ));
+        assert!(!Arc::ptr_eq(
+            slack.gaps_shared(PeId(0)),
+            base.gaps_shared(PeId(0))
+        ));
+        // No new message → the bus windows alias the base too.
+        assert!(Arc::ptr_eq(
+            slack.bus_windows_shared(),
+            base.bus_windows_shared()
+        ));
+        assert_eq!(engine.fresh_gap_list_count(), 1, "only PE0 materialized");
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //! * [`list`] — the one-shot list-scheduler entry point ([`schedule`]).
 //! * [`engine`] — the incremental evaluation engine behind it:
 //!   [`FrozenBase`] bakes the frozen schedule once, [`Scheduler`] reuses
-//!   scratch arenas across evaluations and derives slack incrementally.
+//!   scratch arenas across evaluations, derives `Arc`-shared slack
+//!   incrementally, and **delta-schedules** single-move neighbors by
+//!   splicing the recorded placement prefix of the previous run and
+//!   re-placing only the suffix the change can affect (see the
+//!   decision rules in the [`engine`] module docs).
 //! * [`table`] — the resulting [`ScheduleTable`] plus exhaustive validity
 //!   checking and replication of frozen schedules to longer horizons.
 //! * [`slack`] — extraction of the slack profile consumed by the design
@@ -70,7 +74,7 @@ pub mod slack;
 pub mod table;
 
 pub use analysis::{InstanceResponse, PeLoad, ScheduleReport};
-pub use engine::{FrozenBase, Scheduler};
+pub use engine::{ChangedVar, FrozenBase, Scheduler};
 pub use job::JobId;
 pub use list::{schedule, AppSpec, SchedError};
 pub use mapping::{Hints, Mapping, MsgRef};

@@ -251,6 +251,24 @@ impl PeTimeline {
         self.busy.clear();
         self.busy.extend_from_slice(&other.busy);
     }
+
+    /// Removes the exact reservation `[start, end)`. The delta-scheduling
+    /// engine uses this to *undo* the previous evaluation's placements
+    /// instead of resetting the whole timeline from the frozen base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `[start, end)` is not a reservation of this timeline —
+    /// the engine only ever undoes reservations it recorded, so a miss is
+    /// a bookkeeping bug, not a recoverable condition.
+    pub fn unreserve(&mut self, start: Time, end: Time) {
+        let idx = self.busy.partition_point(|&(s, _)| s < start);
+        assert!(
+            idx < self.busy.len() && self.busy[idx] == (start, end),
+            "unreserve of [{start}, {end}) which is not reserved"
+        );
+        self.busy.remove(idx);
+    }
 }
 
 #[cfg(test)]

@@ -12,16 +12,27 @@
 use crate::table::ScheduleTable;
 use incdes_model::{Architecture, PeId, Time};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The slack left by a schedule.
+///
+/// The gap lists are `Arc`-backed copy-on-write storage: the incremental
+/// evaluation engine ([`crate::engine`]) hands out profiles whose
+/// untouched-PE gap lists *share* the frozen base's (or the previous
+/// evaluation's) storage instead of deep-cloning it. Sharing is
+/// invisible through this API — reads return plain slices, equality and
+/// serialization are by content, and the only mutators
+/// ([`gaps_mut`](Self::gaps_mut), [`bus_windows_mut`](Self::bus_windows_mut))
+/// clone-on-write, so mutating one profile is never observable through a
+/// sibling profile or the engine's caches.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SlackProfile {
     horizon: Time,
     /// Per PE: maximal idle intervals `(start, end)`, in time order.
-    pe_gaps: Vec<Vec<(Time, Time)>>,
+    pe_gaps: Vec<Arc<Vec<(Time, Time)>>>,
     /// Free bus windows `(start, end)` — the unused tail of each slot
     /// occurrence, in time order.
-    bus_windows: Vec<(Time, Time)>,
+    bus_windows: Arc<Vec<(Time, Time)>>,
 }
 
 impl SlackProfile {
@@ -36,24 +47,24 @@ impl SlackProfile {
         let pe_gaps = table
             .pe_timelines(arch)
             .iter()
-            .map(|tl| tl.gaps())
+            .map(|tl| Arc::new(tl.gaps()))
             .collect();
         let bus = table.bus_timeline(arch);
         SlackProfile {
             horizon: table.horizon(),
             pe_gaps,
-            bus_windows: bus.free_windows(),
+            bus_windows: Arc::new(bus.free_windows()),
         }
     }
 
     /// Assembles a profile from precomputed parts: per-PE gap lists (in
     /// PE order, each in time order) and bus windows (in time order).
     ///
-    /// This is the constructor of the incremental evaluation engine
-    /// ([`crate::engine`]), which patches cached frozen-only gap lists
-    /// instead of re-deriving everything from the full table; the parts
-    /// must be exactly what [`SlackProfile::from_table`] would have
-    /// produced.
+    /// This is the owned-storage constructor; the incremental evaluation
+    /// engine ([`crate::engine`]) uses [`SlackProfile::from_shared`] to
+    /// hand out profiles that share unchanged gap lists instead. The
+    /// parts must be exactly what [`SlackProfile::from_table`] would
+    /// have produced.
     pub fn from_parts(
         horizon: Time,
         pe_gaps: Vec<Vec<(Time, Time)>>,
@@ -61,9 +72,52 @@ impl SlackProfile {
     ) -> Self {
         SlackProfile {
             horizon,
+            pe_gaps: pe_gaps.into_iter().map(Arc::new).collect(),
+            bus_windows: Arc::new(bus_windows),
+        }
+    }
+
+    /// [`SlackProfile::from_parts`] with the storage supplied as shared
+    /// `Arc`s: the evaluation engine passes the frozen base's (or the
+    /// previous run's) gap lists for resources the current evaluation
+    /// did not change, so building a profile costs one reference-count
+    /// bump per untouched resource instead of a deep clone.
+    pub fn from_shared(
+        horizon: Time,
+        pe_gaps: Vec<Arc<Vec<(Time, Time)>>>,
+        bus_windows: Arc<Vec<(Time, Time)>>,
+    ) -> Self {
+        SlackProfile {
+            horizon,
             pe_gaps,
             bus_windows,
         }
+    }
+
+    /// The shared storage behind [`gaps_of`](Self::gaps_of). Exposed so
+    /// the incremental C1 cache (and tests) can detect unchanged gap
+    /// lists by `Arc::ptr_eq` instead of comparing contents.
+    pub fn gaps_shared(&self, pe: PeId) -> &Arc<Vec<(Time, Time)>> {
+        &self.pe_gaps[pe.index()]
+    }
+
+    /// The shared storage behind [`bus_windows`](Self::bus_windows).
+    pub fn bus_windows_shared(&self) -> &Arc<Vec<(Time, Time)>> {
+        &self.bus_windows
+    }
+
+    /// Mutable access to the gap list of `pe`, cloning the storage first
+    /// if it is shared (copy-on-write): mutations through this handle
+    /// are never observable through the engine's caches or another
+    /// profile sharing the same storage.
+    pub fn gaps_mut(&mut self, pe: PeId) -> &mut Vec<(Time, Time)> {
+        Arc::make_mut(&mut self.pe_gaps[pe.index()])
+    }
+
+    /// Mutable access to the bus windows, with the same copy-on-write
+    /// guarantee as [`gaps_mut`](Self::gaps_mut).
+    pub fn bus_windows_mut(&mut self) -> &mut Vec<(Time, Time)> {
+        Arc::make_mut(&mut self.bus_windows)
     }
 
     /// The hyperperiod the profile covers.

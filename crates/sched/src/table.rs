@@ -20,6 +20,7 @@ use incdes_tdma::{BusReservation, BusTimeline};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 /// One scheduled job (process instance).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -158,8 +159,12 @@ impl std::error::Error for TableError {}
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ScheduleTable {
     horizon: Time,
-    jobs: Vec<ScheduledJob>,
-    messages: Vec<ScheduledMessage>,
+    /// `Arc`-backed so cloning a table (the evaluation memo does it on
+    /// every raw schedule and every hit) is a reference-count bump, not
+    /// an `O(frozen + current)` copy. Content-immutable after
+    /// construction; [`ScheduleTable::merge`] copies-on-write.
+    jobs: Arc<Vec<ScheduledJob>>,
+    messages: Arc<Vec<ScheduledMessage>>,
 }
 
 impl ScheduleTable {
@@ -174,8 +179,70 @@ impl ScheduleTable {
         messages.sort_by_key(|m| (m.reservation.transmit_start, m.app, m.msg, m.instance));
         ScheduleTable {
             horizon,
-            jobs,
-            messages,
+            jobs: Arc::new(jobs),
+            messages: Arc::new(messages),
+        }
+    }
+
+    /// Builds a table by merging two sequences that are each already in
+    /// canonical order — the frozen base's jobs/messages and the current
+    /// run's (sorted by the caller) — in `O(n)` instead of re-sorting
+    /// the concatenation. Produces exactly what [`ScheduleTable::new`]
+    /// would: the sort is stable and no two entries share a key (jobs on
+    /// one PE have distinct starts, bus transmissions have distinct
+    /// start times), so merge order equals stable-sort order.
+    pub(crate) fn from_sorted_merge(
+        horizon: Time,
+        frozen_jobs: &[ScheduledJob],
+        current_jobs: &[ScheduledJob],
+        frozen_msgs: &[ScheduledMessage],
+        current_msgs: &[ScheduledMessage],
+    ) -> Self {
+        fn merge<T: Copy, K: Ord>(a: &[T], b: &[T], key: impl Fn(&T) -> K) -> Vec<T> {
+            let mut out = Vec::with_capacity(a.len() + b.len());
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                if key(&a[i]) <= key(&b[j]) {
+                    out.push(a[i]);
+                    i += 1;
+                } else {
+                    out.push(b[j]);
+                    j += 1;
+                }
+            }
+            out.extend_from_slice(&a[i..]);
+            out.extend_from_slice(&b[j..]);
+            out
+        }
+        let jobs = merge(frozen_jobs, current_jobs, |j| (j.pe, j.start, j.job));
+        let messages = merge(frozen_msgs, current_msgs, |m| {
+            (m.reservation.transmit_start, m.app, m.msg, m.instance)
+        });
+        debug_assert!(
+            jobs.windows(2)
+                .all(|w| (w[0].pe, w[0].start, w[0].job) <= (w[1].pe, w[1].start, w[1].job)),
+            "merge inputs were not sorted"
+        );
+        debug_assert!(
+            messages.windows(2).all(|w| {
+                (
+                    w[0].reservation.transmit_start,
+                    w[0].app,
+                    w[0].msg,
+                    w[0].instance,
+                ) <= (
+                    w[1].reservation.transmit_start,
+                    w[1].app,
+                    w[1].msg,
+                    w[1].instance,
+                )
+            }),
+            "merge inputs were not sorted"
+        );
+        ScheduleTable {
+            horizon,
+            jobs: Arc::new(jobs),
+            messages: Arc::new(messages),
         }
     }
 
@@ -183,8 +250,8 @@ impl ScheduleTable {
     pub fn empty(horizon: Time) -> Self {
         ScheduleTable {
             horizon,
-            jobs: Vec::new(),
-            messages: Vec::new(),
+            jobs: Arc::new(Vec::new()),
+            messages: Arc::new(Vec::new()),
         }
     }
 
@@ -255,11 +322,12 @@ impl ScheduleTable {
             self.horizon, other.horizon,
             "cannot merge tables over different horizons"
         );
-        self.jobs.extend(other.jobs.iter().copied());
-        self.messages.extend(other.messages.iter().copied());
-        self.jobs.sort_by_key(|j| (j.pe, j.start, j.job));
-        self.messages
-            .sort_by_key(|m| (m.reservation.transmit_start, m.app, m.msg, m.instance));
+        let jobs = Arc::make_mut(&mut self.jobs);
+        jobs.extend(other.jobs.iter().copied());
+        jobs.sort_by_key(|j| (j.pe, j.start, j.job));
+        let messages = Arc::make_mut(&mut self.messages);
+        messages.extend(other.messages.iter().copied());
+        messages.sort_by_key(|m| (m.reservation.transmit_start, m.app, m.msg, m.instance));
     }
 
     /// Replicates this table onto a longer horizon: every job and message
@@ -295,7 +363,7 @@ impl ScheduleTable {
         let mut messages = Vec::with_capacity(self.messages.len() * reps as usize);
         for k in 0..reps {
             let shift = Time::new(self.horizon.ticks() * k);
-            for j in &self.jobs {
+            for j in self.jobs.iter() {
                 // Instance numbers continue across replicas so JobIds stay
                 // unique: the graph with period T has horizon/T instances
                 // per replica.
@@ -317,7 +385,7 @@ impl ScheduleTable {
                     deadline: j.deadline + shift,
                 });
             }
-            for m in &self.messages {
+            for m in self.messages.iter() {
                 let r = m.reservation;
                 messages.push(ScheduledMessage {
                     app: m.app,
@@ -381,7 +449,7 @@ impl ScheduleTable {
         let mut tls: Vec<PeTimeline> = (0..arch.pe_count())
             .map(|_| PeTimeline::new(self.horizon))
             .collect();
-        for j in &self.jobs {
+        for j in self.jobs.iter() {
             tls[j.pe.index()]
                 .reserve(j.start, j.end)
                 .expect("table jobs are disjoint per PE");
@@ -430,7 +498,7 @@ impl ScheduleTable {
     ) -> Result<(), TableError> {
         let by_id: HashMap<JobId, &ScheduledJob> = {
             let mut m = HashMap::with_capacity(self.jobs.len());
-            for j in &self.jobs {
+            for j in self.jobs.iter() {
                 if m.insert(j.job, j).is_some() {
                     return Err(TableError::DuplicateJob(j.job));
                 }
@@ -627,7 +695,7 @@ impl ScheduleTable {
             ));
         }
         let mut row = vec![b'.'; width];
-        for m in &self.messages {
+        for m in self.messages.iter() {
             let a = scale(m.reservation.transmit_start).min(width - 1);
             let b = scale(m.reservation.arrival).clamp(a + 1, width);
             let c = label_char(m.app);

@@ -408,6 +408,38 @@ impl BusTimeline {
         })
     }
 
+    /// Undoes the most recent reservation of occurrence `occurrence` —
+    /// which must be the *tail* of the frame (TTP frames pack
+    /// contiguously, so reservations can only be unwound in reverse
+    /// order). The delta-scheduling engine uses this to undo the previous
+    /// evaluation's messages instead of resetting the whole occupancy
+    /// from the frozen base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the occurrence carries no reservation or if `reservation`
+    /// is not its current tail — the engine only unwinds reservations it
+    /// recorded, in reverse order, so a mismatch is a bookkeeping bug.
+    pub fn unreserve_tail(&mut self, reservation: &BusReservation) {
+        let occ = self
+            .occurrence(reservation.occurrence)
+            .expect("unreserve_tail of an occurrence beyond the horizon");
+        let entry = self
+            .occupancy
+            .get_mut(&reservation.occurrence)
+            .expect("unreserve_tail of an empty occurrence");
+        assert_eq!(
+            occ.start + entry.used,
+            reservation.arrival,
+            "unreserve_tail out of order: reservation is not the frame tail"
+        );
+        entry.used -= reservation.duration();
+        entry.messages -= 1;
+        if entry.used.is_zero() && entry.messages == 0 {
+            self.occupancy.remove(&reservation.occurrence);
+        }
+    }
+
     /// Resets this timeline to an exact copy of `other`, reusing the
     /// geometry allocations. The scheduling engine calls this once per
     /// evaluation to restore the baked frozen bus occupancy instead of

@@ -438,7 +438,14 @@ pub mod test_runner {
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 64 }
+            // Like the real crate: the PROPTEST_CASES environment
+            // variable overrides the built-in default, so CI can run
+            // dedicated high-case fuzz jobs without code changes.
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            ProptestConfig { cases }
         }
     }
 
