@@ -357,7 +357,10 @@ fn bench_store_cmd(args: &[String]) {
 /// throughput per system size and strategy, written as the
 /// `BENCH_eval.json` perf artifact. Dies unless the engine path on the
 /// largest scenario actually saved work (memo hits > 0, raw schedules <
-/// evaluations) — the cheap CI regression guard on the engine.
+/// evaluations), the delta path beats the full engine on raw
+/// throughput, **and** delta does not lose MH/SA strategy wall-clock on
+/// the largest current application — the cheap CI regression guards on
+/// the engine.
 fn bench_eval_cmd(args: &[String]) {
     let mut out = "BENCH_eval.json".to_string();
     let mut evals = 400usize;
@@ -429,12 +432,20 @@ fn bench_eval_cmd(args: &[String]) {
     }
     println!("\n## Evaluation engine — full strategy runs");
     println!(
-        "{:>6} {:>6} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8}",
-        "size", "strat", "naive ms", "engine ms", "delta ms", "speedup", "d-spdup", "evals"
+        "{:>6} {:>6} {:>12} {:>12} {:>12} {:>8} {:>8} {:>9} {:>8}",
+        "size",
+        "strat",
+        "naive ms",
+        "engine ms",
+        "delta ms",
+        "speedup",
+        "d-spdup",
+        "d/engine",
+        "evals"
     );
     for r in &bench.strategies {
         println!(
-            "{:>6} {:>6} {:>12.1} {:>12.1} {:>12.1} {:>8.2} {:>8.2} {:>8}",
+            "{:>6} {:>6} {:>12.1} {:>12.1} {:>12.1} {:>8.2} {:>8.2} {:>9.2} {:>8}",
             r.size,
             r.strategy,
             r.naive_ms,
@@ -442,6 +453,7 @@ fn bench_eval_cmd(args: &[String]) {
             r.delta_ms,
             r.speedup,
             r.delta_speedup,
+            r.delta_vs_engine,
             r.evaluations
         );
     }
@@ -468,6 +480,30 @@ fn bench_eval_cmd(args: &[String]) {
              on the largest frozen base",
             largest.delta_evals_per_sec, largest.engine_evals_per_sec
         ));
+    }
+    // Strategy-level guard: raw evals/s can win while a strategy still
+    // loses wall-clock (the PR 5 gap) — the delta path must not lose
+    // MH or SA on the largest current application. AH runs a couple of
+    // evaluations and stays on the full path by design; a 5 % grace
+    // absorbs timer noise on millisecond-scale runs.
+    let largest_size = bench
+        .strategies
+        .iter()
+        .map(|r| r.size)
+        .max()
+        .expect("strategy rows exist");
+    for r in bench
+        .strategies
+        .iter()
+        .filter(|r| r.size == largest_size && matches!(r.strategy, "MH" | "SA"))
+    {
+        if r.delta_vs_engine < 0.95 {
+            die(format!(
+                "delta path loses {} strategy wall-clock on size {}: {:.3} ms vs engine {:.3} ms \
+                 (delta_vs_engine {:.2})",
+                r.strategy, r.size, r.delta_ms, r.engine_ms, r.delta_vs_engine
+            ));
+        }
     }
 
     let json = incdes_bench::eval_bench::render_json(&bench, preset_name);

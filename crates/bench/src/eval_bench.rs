@@ -87,6 +87,10 @@ pub struct StrategyBenchRow {
     pub speedup: f64,
     /// `naive_ms / delta_ms`.
     pub delta_speedup: f64,
+    /// `engine_ms / delta_ms` — ≥ 1 when the delta path wins the
+    /// strategy at wall-clock, the gate `figures bench-eval` enforces
+    /// for MH and SA on the largest size.
+    pub delta_vs_engine: f64,
     /// Evaluations the strategy spent (identical on every path).
     pub evaluations: usize,
 }
@@ -339,7 +343,13 @@ pub fn run_eval_bench(
         });
     }
 
-    // Full strategy runs: current-application sweep on the standard base.
+    // Full strategy runs: current-application sweep on the standard
+    // base. Strategy wall-clocks are single runs of milliseconds, far
+    // noisier than the amortized raw streams — each tier takes the
+    // minimum over repetitions on a fresh (cold-memo) context, like the
+    // raw rows, so the strategy-level gate is not at the mercy of one
+    // scheduler hiccup.
+    const STRAT_REPS: usize = 5;
     for &size in &preset.current_sizes {
         let scenario = Scenario::build(preset, size, seed);
         for strategy in [
@@ -347,20 +357,33 @@ pub fn run_eval_bench(
             Strategy::MappingHeuristic(*mh_cfg),
             Strategy::SimulatedAnnealing(*sa_cfg),
         ] {
-            let naive_ctx = scenario.context().with_naive_evaluation();
-            let t0 = Instant::now();
-            let naive_out = run_strategy(&naive_ctx, &strategy);
-            let naive_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let mut naive_ms = f64::INFINITY;
+            let mut engine_ms = f64::INFINITY;
+            let mut delta_ms = f64::INFINITY;
+            let mut naive_out = None;
+            let mut engine_out = None;
+            let mut delta_out = None;
+            for _ in 0..STRAT_REPS {
+                let naive_ctx = scenario.context().with_naive_evaluation();
+                let t0 = Instant::now();
+                naive_out = Some(run_strategy(&naive_ctx, &strategy));
+                naive_ms = naive_ms.min(t0.elapsed().as_secs_f64() * 1e3);
 
-            let engine_ctx = scenario.context().with_full_evaluation();
-            let t1 = Instant::now();
-            let engine_out = run_strategy(&engine_ctx, &strategy);
-            let engine_ms = t1.elapsed().as_secs_f64() * 1e3;
+                let engine_ctx = scenario.context().with_full_evaluation();
+                let t1 = Instant::now();
+                engine_out = Some(run_strategy(&engine_ctx, &strategy));
+                engine_ms = engine_ms.min(t1.elapsed().as_secs_f64() * 1e3);
 
-            let delta_ctx = scenario.context();
-            let t2 = Instant::now();
-            let delta_out = run_strategy(&delta_ctx, &strategy);
-            let delta_ms = t2.elapsed().as_secs_f64() * 1e3;
+                let delta_ctx = scenario.context();
+                let t2 = Instant::now();
+                delta_out = Some(run_strategy(&delta_ctx, &strategy));
+                delta_ms = delta_ms.min(t2.elapsed().as_secs_f64() * 1e3);
+            }
+            let (naive_out, engine_out, delta_out) = (
+                naive_out.expect("at least one rep"),
+                engine_out.expect("at least one rep"),
+                delta_out.expect("at least one rep"),
+            );
 
             let evaluations = match (&naive_out, &engine_out, &delta_out) {
                 (Ok(a), Ok(b), Ok(c)) => {
@@ -395,6 +418,7 @@ pub fn run_eval_bench(
                 delta_ms,
                 speedup: naive_ms / engine_ms.max(1e-9),
                 delta_speedup: naive_ms / delta_ms.max(1e-9),
+                delta_vs_engine: engine_ms / delta_ms.max(1e-9),
                 evaluations,
             });
         }
@@ -439,7 +463,7 @@ pub fn render_json(bench: &EvalBench, preset_name: &str) -> String {
         out.push_str(&format!(
             "    {{\"size\": {}, \"strategy\": \"{}\", \"naive_ms\": {:.3}, \
              \"engine_ms\": {:.3}, \"delta_ms\": {:.3}, \"speedup\": {:.2}, \
-             \"delta_speedup\": {:.2}, \"evaluations\": {}}}{}\n",
+             \"delta_speedup\": {:.2}, \"delta_vs_engine\": {:.2}, \"evaluations\": {}}}{}\n",
             r.size,
             r.strategy,
             r.naive_ms,
@@ -447,6 +471,7 @@ pub fn render_json(bench: &EvalBench, preset_name: &str) -> String {
             r.delta_ms,
             r.speedup,
             r.delta_speedup,
+            r.delta_vs_engine,
             r.evaluations,
             if i + 1 < bench.strategies.len() {
                 ","

@@ -11,19 +11,26 @@
 //!   per-step contexts share one bake per system state;
 //! * a persistent [`Scheduler`] reuses its scratch arenas (job records,
 //!   ready heap, per-graph priority cache) across evaluations;
-//! * **delta scheduling**: when the candidate differs from the
-//!   previously scheduled solution by at most
+//! * **delta scheduling**: the context keeps the solution keys of the
+//!   last [`RECORD_CACHE_CAP`] raw schedules next to the scheduler's
+//!   fingerprint-keyed record cache. When a candidate differs from
+//!   *any* of those recorded solutions by at most
 //!   [`DELTA_MAX_CHANGED_VARS`] design variables (the single-move
 //!   neighbors MH and SA explore, plus the two-move distance between
-//!   consecutive trials proposed from one pivot), the engine undoes and
-//!   re-places only the jobs after the first changed reservation,
-//!   splicing the untouched prefix from the previous run — see the
-//!   decision rules in `incdes_sched::engine`;
+//!   consecutive trials proposed from one pivot), the engine splices
+//!   from the record with the **smallest diff** — an A→B→A revisit
+//!   chain splices B→A from A's own record with a near-zero suffix
+//!   instead of undoing everything B touched. Delta only engages after
+//!   [`DELTA_MIN_CHAIN`] raw schedules: shorter runs (AH's
+//!   two-candidate probes) can never amortize the record bookkeeping.
+//!   See the decision rules in `incdes_sched::engine`;
 //! * the slack profiles are `Arc`-backed, so untouched resources alias
 //!   the frozen base's (or the previous evaluation's) gap lists, and
-//!   the per-resource C2 terms plus the C1 bin-packing multiset
-//!   ([`incdes_metrics::C1Cache`]) are cached **by storage identity**:
-//!   an aliased gap list is never re-measured or re-packed;
+//!   the per-resource C2 terms ([`incdes_metrics::C2Cache`]) plus the
+//!   C1 bin-packing multiset ([`incdes_metrics::C1Cache`]) are cached
+//!   **by storage identity**: an aliased gap list is never re-measured
+//!   or re-packed — and a gap list that *did* change re-measures only
+//!   the `t_min` windows its diff span intersects;
 //! * a solution-fingerprint memo returns previously evaluated design
 //!   alternatives without re-scheduling, so SA's revisited states and
 //!   MH's widening rounds skip duplicate schedules.
@@ -42,13 +49,14 @@
 
 use crate::solution::Solution;
 use incdes_metrics::objective::{self, DesignCost, Weights};
-use incdes_metrics::C1Cache;
+use incdes_metrics::{C1Cache, C2Cache};
 use incdes_model::{AppId, Application, Architecture, FutureProfile, PeId, ProcRef, Time};
-use incdes_sched::engine::{check_horizon, ChangedVar, FrozenBase, Scheduler};
+use incdes_sched::engine::{check_horizon, ChangedVar, FrozenBase, Scheduler, RECORD_CACHE_CAP};
 use incdes_sched::{schedule, AppSpec, MsgRef, SchedError, ScheduleTable, SlackProfile};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// Error from a mapping strategy.
@@ -96,10 +104,19 @@ pub struct Evaluation {
 }
 
 /// Upper bound on memoized design alternatives. When the memo fills up
-/// it is cleared wholesale (a generational reset): SA and MH revisit
-/// *recent* states, so a bounded memo keeps the hit rate high while
-/// capping the memory spent on full `Evaluation` clones.
+/// the stale half is evicted (entries whose last hit is at or below the
+/// median stamp): SA and MH revisit *recent* states, so the LRU-ish
+/// policy keeps the hit rate high while capping the memory spent on
+/// full `Evaluation` clones — and, unlike a wholesale clear, it keeps
+/// the recently raw-scheduled predecessors resident, coherent with the
+/// scheduler's record cache.
 const MEMO_CAP: usize = 512;
+
+/// Minimum number of raw schedules in a context's lifetime before the
+/// delta-splice path engages. A two-evaluation probe (AH scoring each
+/// PE once) pays the record bookkeeping on the first run and then never
+/// amortizes it; short chains take the plain full-engine path.
+pub const DELTA_MIN_CHAIN: usize = 3;
 
 /// Canonical identity of a design alternative: the full mapping plus all
 /// non-zero hints, in deterministic order. Two solutions with the same
@@ -141,6 +158,25 @@ impl MemoKey {
             msg_slots: solution.hints.msg_slots().collect(),
         }
     }
+}
+
+/// A memoized evaluation with the clock tick of its last hit, for the
+/// LRU-ish eviction at [`MEMO_CAP`].
+#[derive(Debug)]
+struct MemoEntry {
+    result: Result<Evaluation, SchedError>,
+    stamp: u64,
+}
+
+/// The solution fingerprint shared with the scheduler's record cache:
+/// the FxHash of the full memo key. Collisions are harmless — the
+/// engine recomputes the exact divergence against any record it picks,
+/// so a wrong `prefer` only costs a longer splice, never a wrong
+/// schedule.
+fn fingerprint(key: &MemoKey) -> u64 {
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    h.finish()
 }
 
 /// The FxHash mix (Firefox/rustc's default internal hasher): the memo
@@ -197,58 +233,55 @@ type FxBuild = std::hash::BuildHasherDefault<FxHasher>;
 /// apply the next). Larger diffs take the full-engine path.
 pub const DELTA_MAX_CHANGED_VARS: usize = 4;
 
-/// Walks the symmetric difference of two sorted key→value iterators,
+/// Walks the symmetric difference of two sorted key→value slices,
 /// invoking `on_diff` for every differing key; gives up (returns
 /// `false`) as soon as more than `cap` differences accumulate in
-/// `count`.
+/// `count`. A plain two-pointer walk: the solution-ranking loop calls
+/// this up to `3 × RECORD_CACHE_CAP` times per raw schedule, so the
+/// per-element cost is on the strategy critical path.
 fn sym_diff<K: Ord + Copy, V: PartialEq>(
-    a: impl Iterator<Item = (K, V)>,
-    b: impl Iterator<Item = (K, V)>,
+    a: &[(K, V)],
+    b: &[(K, V)],
     cap: usize,
     count: &mut usize,
     mut on_diff: impl FnMut(K),
 ) -> bool {
-    let mut a = a.peekable();
-    let mut b = b.peekable();
-    loop {
-        let key = match (a.peek(), b.peek()) {
-            (None, None) => return true,
-            (Some(&(ka, _)), None) => {
-                a.next();
-                Some(ka)
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (ka, va) = &a[i];
+        let (kb, vb) = &b[j];
+        let k = match ka.cmp(kb) {
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+                if va == vb {
+                    continue;
+                }
+                *ka
             }
-            (None, Some(&(kb, _))) => {
-                b.next();
-                Some(kb)
+            std::cmp::Ordering::Less => {
+                i += 1;
+                *ka
             }
-            (Some(&(ka, _)), Some(&(kb, _))) => match ka.cmp(&kb) {
-                std::cmp::Ordering::Less => {
-                    a.next();
-                    Some(ka)
-                }
-                std::cmp::Ordering::Greater => {
-                    b.next();
-                    Some(kb)
-                }
-                std::cmp::Ordering::Equal => {
-                    let (_, va) = a.next().expect("peeked");
-                    let (_, vb) = b.next().expect("peeked");
-                    if va != vb {
-                        Some(ka)
-                    } else {
-                        None
-                    }
-                }
-            },
+            std::cmp::Ordering::Greater => {
+                j += 1;
+                *kb
+            }
         };
-        if let Some(k) = key {
-            *count += 1;
-            if *count > cap {
-                return false;
-            }
-            on_diff(k);
+        *count += 1;
+        if *count > cap {
+            return false;
         }
+        on_diff(k);
     }
+    for &(k, _) in a[i..].iter().chain(&b[j..]) {
+        *count += 1;
+        if *count > cap {
+            return false;
+        }
+        on_diff(k);
+    }
+    true
 }
 
 /// Collects the design variables differing between two solution keys
@@ -270,27 +303,19 @@ fn collect_key_delta(
         graph: pr.graph,
         node: pr.node,
     };
-    if !sym_diff(
-        prev.mapping.iter().copied(),
-        cur.mapping.iter().copied(),
-        cap,
-        &mut count,
-        |k| vars.push(proc_var(k)),
-    ) {
+    if !sym_diff(&prev.mapping, &cur.mapping, cap, &mut count, |k| {
+        vars.push(proc_var(k))
+    }) {
+        return false;
+    }
+    if !sym_diff(&prev.proc_gaps, &cur.proc_gaps, cap, &mut count, |k| {
+        vars.push(proc_var(k))
+    }) {
         return false;
     }
     if !sym_diff(
-        prev.proc_gaps.iter().copied(),
-        cur.proc_gaps.iter().copied(),
-        cap,
-        &mut count,
-        |k| vars.push(proc_var(k)),
-    ) {
-        return false;
-    }
-    if !sym_diff(
-        prev.msg_slots.iter().copied(),
-        cur.msg_slots.iter().copied(),
+        &prev.msg_slots,
+        &cur.msg_slots,
         cap,
         &mut count,
         |m: MsgRef| {
@@ -310,6 +335,18 @@ fn collect_key_delta(
     true
 }
 
+/// Count-only twin of [`collect_key_delta`]: the number of differing
+/// design variables between two solution keys, or `None` when more than
+/// `cap` differ. Used to rank the recorded solutions as splice sources
+/// without materializing their variable lists.
+fn count_key_delta(prev: &MemoKey, cur: &MemoKey, cap: usize) -> Option<usize> {
+    let mut count = 0usize;
+    let ok = sym_diff(&prev.mapping, &cur.mapping, cap, &mut count, |_| {})
+        && sym_diff(&prev.proc_gaps, &cur.proc_gaps, cap, &mut count, |_| {})
+        && sym_diff(&prev.msg_slots, &cur.msg_slots, cap, &mut count, |_| {});
+    ok.then_some(count)
+}
+
 /// The per-context evaluation engine state: baked frozen base, scheduler
 /// scratch, objective-term caches and the solution memo.
 #[derive(Debug, Default)]
@@ -318,20 +355,59 @@ struct EvalEngine {
     /// caller reuses one bake across contexts.
     base: Option<Result<Arc<FrozenBase>, SchedError>>,
     scheduler: Scheduler,
-    memo: HashMap<MemoKey, Result<Evaluation, SchedError>, FxBuild>,
-    /// The key of the most recent raw schedule — the predecessor
-    /// snapshot the delta gate diffs candidates against.
-    last_key: Option<MemoKey>,
-    /// Per-PE C2 terms keyed by the gap storage they were measured on
-    /// (holding the `Arc` keeps the storage alive, making pointer
-    /// identity a sound cache key).
-    c2_pe: Vec<Option<(Arc<Vec<(Time, Time)>>, Time)>>,
-    /// Bus C2 term, keyed likewise.
-    c2_bus: Option<(Arc<Vec<(Time, Time)>>, Time)>,
+    memo: HashMap<MemoKey, MemoEntry, FxBuild>,
+    /// Monotone clock stamping memo hits, for the LRU-ish eviction.
+    memo_clock: u64,
+    /// Keys of the most recent raw schedules, most recent first — the
+    /// context-side mirror of the scheduler's record cache. The front
+    /// entry is the solution the scheduler's job arena currently
+    /// describes (the arena-patch diff target); the best-diff entry
+    /// names the splice source via its fingerprint. The two caches may
+    /// drift (the scheduler evicts by its own stamps): a `prefer`
+    /// fingerprint the scheduler no longer holds silently falls back to
+    /// its live record, which is always correct.
+    recent: Vec<(u64, MemoKey)>,
+    /// Per-resource C2 terms with window-level incremental updates:
+    /// aliased gap lists hit by storage identity, changed lists
+    /// re-measure only the `t_min` windows their diff span intersects.
+    c2: C2Cache,
     /// Incremental C1 bin-packing state, patched by storage identity.
     c1: C1Cache,
     /// Scratch for the collected solution diff (no per-eval allocation).
     vars_scratch: Vec<ChangedVar>,
+}
+
+/// Records a raw schedule of `key` (fingerprint `fp`) in the recency
+/// list: the chosen splice source (if any) is bumped ahead of the LRU
+/// tail first — a run of rejected trials must not evict the pivot they
+/// all splice from — then the current key takes the front slot,
+/// recycling the evicted entry's allocations.
+fn note_raw_schedule(
+    recent: &mut Vec<(u64, MemoKey)>,
+    fp: u64,
+    key: &MemoKey,
+    chosen: Option<u64>,
+) {
+    if let Some(pf) = chosen.filter(|&pf| pf != fp) {
+        if let Some(i) = recent.iter().position(|&(f, _)| f == pf) {
+            if i > 0 {
+                let e = recent.remove(i);
+                recent.insert(0, e);
+            }
+        }
+    }
+    if let Some(i) = recent.iter().position(|&(f, _)| f == fp) {
+        let mut e = recent.remove(i);
+        e.1.clone_from(key);
+        recent.insert(0, e);
+    } else if recent.len() >= RECORD_CACHE_CAP {
+        let mut e = recent.pop().expect("len checked");
+        e.0 = fp;
+        e.1.clone_from(key);
+        recent.insert(0, e);
+    } else {
+        recent.insert(0, (fp, key.clone()));
+    }
 }
 
 /// Everything a strategy needs to evaluate design alternatives for one
@@ -373,7 +449,7 @@ impl<'a> MappingContext<'a> {
         future: &'a FutureProfile,
         weights: &'a Weights,
     ) -> Self {
-        MappingContext {
+        let ctx = MappingContext {
             arch,
             app_id,
             app,
@@ -387,7 +463,21 @@ impl<'a> MappingContext<'a> {
             naive: false,
             full_engine: false,
             engine: RefCell::new(EvalEngine::default()),
+        };
+        // Test/CI hook: `INCDES_RECORD_CACHE_CAP` overrides the
+        // scheduler's record-cache capacity so the differential suites
+        // can force eviction churn (small cap) or disable cached-record
+        // splicing entirely (0) without an API change.
+        if let Some(cap) = std::env::var("INCDES_RECORD_CACHE_CAP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            ctx.engine
+                .borrow_mut()
+                .scheduler
+                .set_record_cache_capacity(cap);
         }
+        ctx
     }
 
     /// Switches this context to the naive evaluation pipeline
@@ -461,15 +551,32 @@ impl<'a> MappingContext<'a> {
         }
         let mut engine = self.engine.borrow_mut();
         let key = MemoKey::of(solution);
-        if let Some(hit) = engine.memo.get(&key) {
+        engine.memo_clock += 1;
+        let stamp = engine.memo_clock;
+        if let Some(hit) = engine.memo.get_mut(&key) {
+            hit.stamp = stamp;
             self.memo_hits.set(self.memo_hits.get() + 1);
-            return hit.clone();
+            return hit.result.clone();
         }
         let result = self.evaluate_raw(&mut engine, solution, &key);
         if engine.memo.len() >= MEMO_CAP {
-            engine.memo.clear();
+            // LRU-ish eviction: drop the stale half (last hit at or
+            // below the median stamp). The recently raw-scheduled
+            // predecessors carry fresh stamps and stay resident, so the
+            // memo never forgets the solutions the record cache can
+            // still splice from.
+            let mut stamps: Vec<u64> = engine.memo.values().map(|e| e.stamp).collect();
+            stamps.sort_unstable();
+            let cutoff = stamps[stamps.len() / 2];
+            engine.memo.retain(|_, e| e.stamp > cutoff);
         }
-        engine.memo.insert(key, result.clone());
+        engine.memo.insert(
+            key,
+            MemoEntry {
+                result: result.clone(),
+                stamp,
+            },
+        );
         result
     }
 
@@ -487,9 +594,8 @@ impl<'a> MappingContext<'a> {
         let EvalEngine {
             base,
             scheduler,
-            last_key,
-            c2_pe,
-            c2_bus,
+            recent,
+            c2,
             c1,
             vars_scratch,
             ..
@@ -502,59 +608,85 @@ impl<'a> MappingContext<'a> {
             Err(e) => return Err(e.clone()),
         };
         self.raw_schedules.set(self.raw_schedules.get() + 1);
+        let fp = fingerprint(key);
 
-        // Delta gate: small diffs against the previously scheduled
-        // solution take the splice path, with the collected variable
-        // list letting the engine patch its job arena in place;
-        // everything else (first raw schedule, big jumps,
-        // `with_full_evaluation`) resets from the base.
-        let use_delta = !self.full_engine
-            && last_key.as_ref().is_some_and(|prev| {
-                collect_key_delta(prev, key, DELTA_MAX_CHANGED_VARS, vars_scratch)
-            });
-        let run = if use_delta {
-            scheduler.schedule_delta_hinted_with_slack(self.arch, &[spec], base, vars_scratch)
-        } else {
-            scheduler.schedule_with_slack(self.arch, &[spec], base)
+        // Delta gate: once the chain is long enough to amortize record
+        // bookkeeping, rank every recorded solution by its diff against
+        // the candidate and splice from the closest one (ties favor the
+        // most recent). A revisit chain A→B→A finds A's own record at
+        // distance ~0. Everything else (short chains, big jumps,
+        // `with_full_evaluation`) resets from the base. Records enter
+        // the scheduler's cache by promotion: the first trial that
+        // names a solution as its predecessor snapshots the live
+        // record before the run replaces it.
+        let mut best: Option<(usize, usize)> = None;
+        if !self.full_engine && self.raw_schedules.get() >= DELTA_MIN_CHAIN {
+            for (i, (rec_fp, rec_key)) in recent.iter().enumerate() {
+                if *rec_fp == fp {
+                    // Bit-identical revisit (usually one the memo
+                    // evicted, or a failed-run retry): distance zero by
+                    // definition, no counting walk needed. A fingerprint
+                    // collision would only pick a farther predecessor —
+                    // splicing stays correct for any choice.
+                    best = Some((0, i));
+                    break;
+                }
+                if let Some(diff) = count_key_delta(rec_key, key, DELTA_MAX_CHANGED_VARS) {
+                    if best.is_none_or(|(best_diff, _)| diff < best_diff) {
+                        best = Some((diff, i));
+                        if diff == 0 {
+                            // An exact revisit cannot be beaten.
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let chosen = best.map(|(_, i)| recent[i].0);
+        let run = match chosen {
+            Some(prefer) => {
+                // The job arena still describes the *front* (most
+                // recent) key; the patch hint must diff against it even
+                // when the splice source is an older record.
+                let patch = recent
+                    .first()
+                    .is_some_and(|(_, front)| {
+                        collect_key_delta(front, key, DELTA_MAX_CHANGED_VARS, vars_scratch)
+                    })
+                    .then_some(vars_scratch.as_slice());
+                scheduler.schedule_delta_keyed_with_slack(
+                    self.arch,
+                    &[spec],
+                    base,
+                    patch,
+                    fp,
+                    Some(prefer),
+                )
+            }
+            None => scheduler.schedule_keyed_with_slack(self.arch, &[spec], base, fp),
         };
-        // Successful or not, the engine's record now describes this
-        // solution (failed runs keep their completed prefix as a splice
-        // source), so future candidates diff against it.
-        match last_key {
-            Some(prev) => prev.clone_from(key),
-            None => *last_key = Some(key.clone()),
+        // Successful or not, the engine's live record now describes
+        // this solution (failed runs keep their completed prefix as a
+        // splice source), so future candidates diff against it. The
+        // full-engine tier never consults the list and skips the
+        // bookkeeping.
+        if !self.full_engine {
+            note_raw_schedule(recent, fp, key, chosen);
         }
         let (table, slack) = run?;
 
-        // C2 terms cached by storage identity: gap lists aliased from
-        // the frozen base (untouched PEs) or the previous evaluation
-        // (PEs unchanged by the delta) are never re-measured.
+        // C2 terms: gap lists aliased from the frozen base (untouched
+        // PEs) or the previous evaluation (PEs unchanged by the delta)
+        // hit by storage identity; changed lists re-measure only the
+        // windows their diff span intersects.
         let t_min = self.future.t_min;
-        if c2_pe.len() != slack.pe_count() {
-            c2_pe.clear();
-            c2_pe.resize(slack.pe_count(), None);
-        }
+        c2.set_pe_count(slack.pe_count());
         let mut c2p = Time::ZERO;
-        for (i, slot) in c2_pe.iter_mut().enumerate() {
+        for i in 0..slack.pe_count() {
             let shared = slack.gaps_shared(PeId(i as u32));
-            c2p += match slot {
-                Some((arc, val)) if Arc::ptr_eq(arc, shared) => *val,
-                _ => {
-                    let val = incdes_metrics::c2_intervals(shared, self.horizon, t_min);
-                    *slot = Some((Arc::clone(shared), val));
-                    val
-                }
-            };
+            c2p += c2.pe_term(i, shared, self.horizon, t_min);
         }
-        let shared_bus = slack.bus_windows_shared();
-        let c2m = match c2_bus {
-            Some((arc, val)) if Arc::ptr_eq(arc, shared_bus) => *val,
-            _ => {
-                let val = incdes_metrics::c2_intervals(shared_bus, self.horizon, t_min);
-                *c2_bus = Some((Arc::clone(shared_bus), val));
-                val
-            }
-        };
+        let c2m = c2.bus_term(slack.bus_windows_shared(), self.horizon, t_min);
         let cost = objective::evaluate_with_c1_delta(
             self.arch,
             &slack,
@@ -608,6 +740,24 @@ impl<'a> MappingContext<'a> {
     /// records (diagnostics for benches and tests).
     pub fn spliced_step_count(&self) -> usize {
         self.engine.borrow().scheduler.spliced_step_count()
+    }
+
+    /// Total placement steps replayed from *cached* records: the part
+    /// of a splice source's prefix the live record did not share.
+    /// Always ≤ [`spliced_step_count`](Self::spliced_step_count); zero
+    /// when every delta spliced from the live record.
+    pub fn replayed_step_count(&self) -> usize {
+        self.engine.borrow().scheduler.replayed_step_count()
+    }
+
+    /// Caps the scheduler's record cache (test hook: a small cap forces
+    /// eviction churn; `0` disables cached-record splicing entirely,
+    /// falling back to live-record-only deltas).
+    pub fn set_record_cache_capacity(&self, cap: usize) {
+        self.engine
+            .borrow_mut()
+            .scheduler
+            .set_record_cache_capacity(cap);
     }
 }
 

@@ -51,6 +51,16 @@ pub struct RunStats {
     pub iterations: usize,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
+    /// Raw engine schedules behind the evaluations (memo misses).
+    #[serde(default)]
+    pub raw_schedules: usize,
+    /// Raw schedules that took the delta path (record splicing) rather
+    /// than a full reset — zero on the naive and full-engine tiers.
+    #[serde(default)]
+    pub delta_schedules: usize,
+    /// Placement steps spliced from a run record instead of re-placed.
+    #[serde(default)]
+    pub spliced_steps: usize,
 }
 
 /// The result of running a strategy.
@@ -74,6 +84,9 @@ pub struct Outcome {
 pub fn run_strategy(ctx: &MappingContext<'_>, strategy: &Strategy) -> Result<Outcome, MapError> {
     let start = Instant::now();
     let evals_before = ctx.evaluation_count();
+    let raw_before = ctx.raw_schedule_count();
+    let delta_before = ctx.delta_schedule_count();
+    let spliced_before = ctx.spliced_step_count();
     let initial = initial_mapping(ctx)?;
     let (solution, evaluation, iterations) = match strategy {
         Strategy::AdHoc => {
@@ -102,6 +115,9 @@ pub fn run_strategy(ctx: &MappingContext<'_>, strategy: &Strategy) -> Result<Out
             evaluations: ctx.evaluation_count() - evals_before,
             iterations,
             elapsed: start.elapsed(),
+            raw_schedules: ctx.raw_schedule_count() - raw_before,
+            delta_schedules: ctx.delta_schedule_count() - delta_before,
+            spliced_steps: ctx.spliced_step_count() - spliced_before,
         },
     })
 }

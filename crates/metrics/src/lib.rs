@@ -49,11 +49,13 @@
 
 pub mod binpack;
 pub mod c1cache;
+pub mod c2cache;
 pub mod criteria;
 pub mod objective;
 
 pub use binpack::{pack, pack_totals_multiset, FitPolicy, PackOutcome};
 pub use c1cache::C1Cache;
+pub use c2cache::C2Cache;
 pub use criteria::{
     c1_messages, c1_processes, c2_intervals, c2_messages, c2_processes, c2_processes_of,
 };

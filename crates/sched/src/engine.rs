@@ -62,6 +62,34 @@
 //! which still skips the O(frozen) timeline reset by undoing the
 //! previous run's placements instead.
 //!
+//! # The record cache
+//!
+//! One live record only splices well along *chains* — it describes the
+//! previous run, which the MH/SA trial loops keep abandoning: trials
+//! T1, T2, T3 all neighbor the same pivot P, yet T2 would diff against
+//! T1 (two moves apart) instead of P (one move). The engine therefore
+//! keeps a small cache of retired records keyed by a 64-bit solution
+//! fingerprint (the same FxHash key the mapping memo uses). Records
+//! enter it by *promotion on demand*: the first run that names the live
+//! solution as its preferred predecessor snapshots the live record into
+//! the cache before replacing it — so pivots get cached the moment they
+//! are revealed as pivots, while straight-line mutation chains (which
+//! never look back) promote at most a couple of records before the
+//! throttle stops cloning. The caller ranks the cached solutions by
+//! variable diff and passes the winner's fingerprint as `prefer`; an
+//! A→B→A revisit thus splices from A's own record at distance zero even
+//! though B ran in between. Splicing from a cached record undoes the
+//! live run only down to the common prefix of the two records and
+//! *replays* the cached prefix beyond it — an exact reproduction, by
+//! induction over the shared prefix. When the undo would walk nearly
+//! the whole live record (early divergence — the typical remap, whose
+//! priority re-weighting dirties the graph's ancestor cone), the engine
+//! instead **rebases**: a bulk timeline reset from the baked base plus
+//! a replay of the whole source prefix, priced against the undo walk.
+//! Eviction is LRU by splice-use stamp; capacity is
+//! [`Scheduler::set_record_cache_capacity`] (0 disables cached-record
+//! splicing entirely, leaving single-record delta scheduling).
+//!
 //! The slack profiles returned by every path are `Arc`-backed
 //! ([`SlackProfile::from_shared`]): untouched PEs alias the frozen
 //! base's gap lists, and on the delta path PEs untouched *by the delta*
@@ -419,11 +447,14 @@ struct StepRec {
     msg_hi: u32,
 }
 
-/// The record of the last successful run: everything delta scheduling
-/// needs to splice an unchanged prefix and undo the changed suffix.
-/// Its standing invariant — established on every successful run and
-/// voided by dropping the record — is that the scheduler's live
-/// timelines hold exactly `base(base_id) + every recorded placement`.
+/// The record of one run: everything delta scheduling needs to splice
+/// an unchanged prefix and undo the changed suffix. The *live* record
+/// carries the standing invariant — established on every run and voided
+/// by dropping it — that the scheduler's live timelines hold exactly
+/// `base(base_id) + every recorded placement`. Cached records carry no
+/// timeline invariant: they describe the run that produced them, and
+/// splicing from one replays the part of its prefix the live record
+/// does not share.
 #[derive(Debug)]
 struct RunRecord {
     /// [`FrozenBase::generation`] the run was made against.
@@ -456,6 +487,92 @@ struct RunRecord {
     bus_arc: Option<Arc<Vec<(Time, Time)>>>,
 }
 
+impl Clone for RunRecord {
+    fn clone(&self) -> Self {
+        RunRecord {
+            base_id: self.base_id,
+            steps: self.steps.clone(),
+            msgs: self.msgs.clone(),
+            pop_step: self.pop_step.clone(),
+            push_step: self.push_step.clone(),
+            pe: self.pe.clone(),
+            gap_hint: self.gap_hint.clone(),
+            wcet: self.wcet.clone(),
+            priority: self.priority.clone(),
+            edge_hints: self.edge_hints.clone(),
+            graph_bases: self.graph_bases.clone(),
+            spec_offsets: self.spec_offsets.clone(),
+            app_ids: self.app_ids.clone(),
+            shapes: self.shapes.clone(),
+            gap_arcs: self.gap_arcs.clone(),
+            bus_arc: self.bus_arc.clone(),
+        }
+    }
+
+    // Cache refreshes overwrite an entry in place; reusing its
+    // allocations keeps the steady-state snapshot allocation-free.
+    fn clone_from(&mut self, source: &Self) {
+        self.base_id = source.base_id;
+        self.steps.clone_from(&source.steps);
+        self.msgs.clone_from(&source.msgs);
+        self.pop_step.clone_from(&source.pop_step);
+        self.push_step.clone_from(&source.push_step);
+        self.pe.clone_from(&source.pe);
+        self.gap_hint.clone_from(&source.gap_hint);
+        self.wcet.clone_from(&source.wcet);
+        self.priority.clone_from(&source.priority);
+        self.edge_hints.clone_from(&source.edge_hints);
+        self.graph_bases.clone_from(&source.graph_bases);
+        self.spec_offsets.clone_from(&source.spec_offsets);
+        self.app_ids.clone_from(&source.app_ids);
+        self.shapes.clone_from(&source.shapes);
+        self.gap_arcs.clone_from(&source.gap_arcs);
+        self.bus_arc.clone_from(&source.bus_arc);
+    }
+}
+
+/// Default capacity of the fingerprint-keyed record cache (the live
+/// record is tracked separately and does not count against it). Sized
+/// for the search loops' working set: one pivot plus the last few
+/// trials; anything older is almost never the closest predecessor.
+pub const RECORD_CACHE_CAP: usize = 4;
+
+/// One fingerprint-keyed record of a successful run.
+#[derive(Debug)]
+struct CacheEntry {
+    /// Solution fingerprint the caller stored the run under.
+    fp: u64,
+    /// LRU stamp (bumped on store and on use as a splice source).
+    stamp: u64,
+    rec: RunRecord,
+}
+
+/// Length of the shared placement prefix of two records: the leading
+/// steps that placed the same job at the same time on the same PE and
+/// emitted the same messages. Splicing from a cached record undoes the
+/// live record only down to this point — the shared prefix is already
+/// in the live timelines.
+fn common_prefix_len(a: &RunRecord, b: &RunRecord) -> usize {
+    let max = a.steps.len().min(b.steps.len());
+    let mut i = 0;
+    while i < max {
+        let (sa, sb) = (a.steps[i], b.steps[i]);
+        if sa.job != sb.job
+            || sa.start != sb.start
+            || sa.end != sb.end
+            || sa.msg_lo != sb.msg_lo
+            || sa.msg_hi != sb.msg_hi
+            || a.pe[sa.job as usize] != b.pe[sb.job as usize]
+            || a.msgs[sa.msg_lo as usize..sa.msg_hi as usize]
+                != b.msgs[sb.msg_lo as usize..sb.msg_hi as usize]
+        {
+            break;
+        }
+        i += 1;
+    }
+    i
+}
+
 /// The reusable scheduling engine: scratch arenas plus bookkeeping of
 /// what the last run touched (consumed by the incremental slack path)
 /// and the [`RunRecord`] the delta path splices from.
@@ -485,8 +602,26 @@ pub struct Scheduler {
     touched: Vec<bool>,
     /// Bus time the last run added per slot occurrence.
     new_bus: BTreeMap<u64, Time>,
-    /// Record of the last successful run (delta-splice source).
-    last: Option<RunRecord>,
+    /// Record describing the live timelines (`timelines = base + live
+    /// placements`) — the default splice source.
+    live: Option<RunRecord>,
+    /// Solution fingerprint of `live`, when the caller supplied one.
+    live_fp: Option<u64>,
+    /// Fingerprint-keyed records of recent successful runs, the splice
+    /// sources for revisit chains (A→B→A splices from A's own record
+    /// instead of everything B touched).
+    cache: Vec<CacheEntry>,
+    /// Record-cache capacity override (`None` = [`RECORD_CACHE_CAP`]).
+    cache_cap: Option<usize>,
+    /// LRU clock for `cache`.
+    cache_clock: u64,
+    /// Promotions since the cache was last probed. Chain-shaped runs
+    /// (every candidate's predecessor is the live record) would
+    /// otherwise snapshot a record per run that nothing ever splices
+    /// from; after two unprobed promotions the throttle closes, and
+    /// any probe — hit or miss — reopens it (a miss is the demand
+    /// signal that a pivot should have been kept).
+    unprobed_promotions: u32,
     /// Scratch: which jobs the prefix replay already popped.
     popped: Vec<bool>,
     /// Scratch: the current run's jobs/messages in table order.
@@ -512,6 +647,8 @@ pub struct Scheduler {
     raw_schedules: usize,
     delta_schedules: usize,
     spliced_steps: usize,
+    replayed_steps: usize,
+    rebased_runs: usize,
     fresh_gap_lists: usize,
 }
 
@@ -548,6 +685,49 @@ impl Scheduler {
     /// all delta runs (diagnostics for tests and benches).
     pub fn spliced_step_count(&self) -> usize {
         self.spliced_steps
+    }
+
+    /// Total placement steps *replayed* from cached records into the
+    /// live timelines: when a delta run splices from a cached record,
+    /// the part of its prefix the live record does not share is
+    /// re-reserved placement by placement (an exact reproduction — the
+    /// frame state at the replay point equals the recorded run's).
+    /// Always ≤ [`spliced_step_count`](Self::spliced_step_count).
+    pub fn replayed_step_count(&self) -> usize {
+        self.replayed_steps
+    }
+
+    /// Number of delta runs that *rebased*: reset the timelines from
+    /// the baked base and replayed the whole source prefix instead of
+    /// undoing the live suffix in place. Chosen per run by a cost
+    /// model — an early divergence makes the in-place undo walk nearly
+    /// the entire live record while the reset is a bulk copy.
+    pub fn rebase_count(&self) -> usize {
+        self.rebased_runs
+    }
+
+    /// Number of fingerprint-keyed records currently cached.
+    pub fn record_cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Overrides the record-cache capacity (default
+    /// [`RECORD_CACHE_CAP`]); `0` disables fingerprint-keyed caching
+    /// entirely. Shrinking evicts least-recently-used entries
+    /// immediately. Exposed so the differential fuzz suite can force
+    /// eviction churn.
+    pub fn set_record_cache_capacity(&mut self, cap: usize) {
+        self.cache_cap = Some(cap);
+        while self.cache.len() > cap {
+            let idx = self
+                .cache
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("cache is non-empty");
+            self.cache.swap_remove(idx);
+        }
     }
 
     /// Test probe: how many gap-list vectors the most recent slack
@@ -589,7 +769,7 @@ impl Scheduler {
         apps: &[AppSpec<'_>],
         base: &FrozenBase,
     ) -> Result<ScheduleTable, SchedError> {
-        self.run(arch, apps, base, false, None)
+        self.run(arch, apps, base, false, None, None, None)
     }
 
     /// Like [`schedule`](Self::schedule) but also derives the slack
@@ -607,7 +787,63 @@ impl Scheduler {
         apps: &[AppSpec<'_>],
         base: &FrozenBase,
     ) -> Result<(ScheduleTable, SlackProfile), SchedError> {
-        let table = self.run(arch, apps, base, false, None)?;
+        let table = self.run(arch, apps, base, false, None, None, None)?;
+        let slack = self.slack_profile(base);
+        Ok((table, slack))
+    }
+
+    /// [`schedule_with_slack`](Self::schedule_with_slack) that also
+    /// labels the run's live placement record with `fingerprint`. This
+    /// is the full-path half of the keyed API: early chain links get a
+    /// name — so a later delta call can claim one as its predecessor
+    /// via `prefer`, promoting it into the record cache — without
+    /// engaging the splice machinery themselves (which cannot amortize
+    /// on short chains).
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::schedule`].
+    pub fn schedule_keyed_with_slack(
+        &mut self,
+        arch: &Architecture,
+        apps: &[AppSpec<'_>],
+        base: &FrozenBase,
+        fingerprint: u64,
+    ) -> Result<(ScheduleTable, SlackProfile), SchedError> {
+        let table = self.run(arch, apps, base, false, None, Some(fingerprint), None)?;
+        let slack = self.slack_profile(base);
+        Ok((table, slack))
+    }
+
+    /// The record-cache delta entry point:
+    /// [`schedule_delta_hinted_with_slack`](Self::schedule_delta_hinted_with_slack)
+    /// semantics (with `changed` optional — `None` forces a full
+    /// re-expansion but still splices), plus fingerprint-keyed record
+    /// selection. `prefer` names the fingerprint of the cached record to
+    /// splice from — normally the recorded solution with the smallest
+    /// design-variable diff against the candidate, as computed by the
+    /// caller over its sorted solution keys. When `prefer` is absent,
+    /// names the live record (which promotes that record into the
+    /// cache — the demand signal), or matches nothing applicable, the
+    /// live record is spliced as usual. The run's own record becomes
+    /// the live record labeled `fingerprint`, cached only if a later
+    /// run claims it. Any `prefer` value is safe: records are
+    /// never trusted beyond the per-job divergence analysis, so a stale
+    /// or colliding fingerprint costs performance, never correctness.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::schedule`].
+    pub fn schedule_delta_keyed_with_slack(
+        &mut self,
+        arch: &Architecture,
+        apps: &[AppSpec<'_>],
+        base: &FrozenBase,
+        changed: Option<&[ChangedVar]>,
+        fingerprint: u64,
+        prefer: Option<u64>,
+    ) -> Result<(ScheduleTable, SlackProfile), SchedError> {
+        let table = self.run(arch, apps, base, true, changed, Some(fingerprint), prefer)?;
         let slack = self.slack_profile(base);
         Ok((table, slack))
     }
@@ -628,7 +864,7 @@ impl Scheduler {
         apps: &[AppSpec<'_>],
         base: &FrozenBase,
     ) -> Result<(ScheduleTable, SlackProfile), SchedError> {
-        let table = self.run(arch, apps, base, true, None)?;
+        let table = self.run(arch, apps, base, true, None, None, None)?;
         let slack = self.slack_profile(base);
         Ok((table, slack))
     }
@@ -645,7 +881,7 @@ impl Scheduler {
         apps: &[AppSpec<'_>],
         base: &FrozenBase,
     ) -> Result<ScheduleTable, SchedError> {
-        self.run(arch, apps, base, true, None)
+        self.run(arch, apps, base, true, None, None, None)
     }
 
     /// [`schedule_delta_with_slack`](Self::schedule_delta_with_slack)
@@ -669,11 +905,12 @@ impl Scheduler {
         base: &FrozenBase,
         changed: &[ChangedVar],
     ) -> Result<(ScheduleTable, SlackProfile), SchedError> {
-        let table = self.run(arch, apps, base, true, Some(changed))?;
+        let table = self.run(arch, apps, base, true, Some(changed), None, None)?;
         let slack = self.slack_profile(base);
         Ok((table, slack))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run(
         &mut self,
         arch: &Architecture,
@@ -681,6 +918,8 @@ impl Scheduler {
         base: &FrozenBase,
         try_delta: bool,
         changed: Option<&[ChangedVar]>,
+        fingerprint: Option<u64>,
+        prefer: Option<u64>,
     ) -> Result<ScheduleTable, SchedError> {
         check_horizon(apps, base.horizon)?;
         debug_assert_eq!(arch.pe_count(), base.pes.len(), "base built for this arch");
@@ -688,6 +927,12 @@ impl Scheduler {
         self.last_run_delta = false;
         self.prev_gap_arcs = None;
         self.prev_bus_arc = None;
+        // Generation guard: a rebaked base (ids are unique per bake)
+        // invalidates cached records wholesale, so a `FrozenBase` rebake
+        // upstream never leaves stale records pinning dead bakes alive.
+        if self.cache.iter().any(|e| e.rec.base_id != base.id) {
+            self.cache.retain(|e| e.rec.base_id == base.id);
+        }
         let patched = match changed {
             Some(vars) => self.expand_incremental(arch, apps, base.horizon, vars)?,
             None => false,
@@ -695,49 +940,135 @@ impl Scheduler {
         if !patched {
             self.expand(arch, apps, base.horizon)?;
         }
-        let record = if try_delta {
-            self.take_applicable_record(base)
+        let source = if try_delta {
+            self.take_splice_source(base, prefer)
         } else {
             None
         };
-        match record {
-            Some(rec) => self.run_delta(arch, apps, base, rec),
+        let result = match source {
+            Some((live, cached)) => self.run_delta(arch, apps, base, live, cached),
             None => {
                 // A stale record cannot splice, but its allocations are
                 // recycled into the new one.
-                let old = self.last.take();
+                let old = self.live.take();
                 self.run_full(arch, apps, base, old)
             }
-        }
+        };
+        // The live record now describes this candidate. Records enter
+        // the fingerprint-keyed cache by *promotion* in
+        // `take_splice_source` — the first trial that names the live
+        // record as its predecessor snapshots it before the run
+        // replaces it — so runs never spliced from again (the common
+        // case: rejected trials) cost no clone at all.
+        self.live_fp = fingerprint;
+        result
     }
 
-    /// Takes the run record if it can seed a delta run on `base` with
-    /// the *current* expansion: same base, same job-arena layout, and
-    /// the same graph shapes (periods, deadlines, topology, message
-    /// transmission times) — so the only possible differences are the
-    /// design variables the per-job dirty analysis inspects.
-    fn take_applicable_record(&mut self, base: &FrozenBase) -> Option<RunRecord> {
-        let applicable = match &self.last {
-            Some(rec) => {
-                rec.base_id == base.id
-                    && rec.pe.len() == self.jobs.len()
-                    && rec.graph_bases == self.graph_bases
-                    && rec.spec_offsets == self.spec_offsets
-                    && rec.app_ids.len() == self.arena_apps.len()
-                    && rec
-                        .app_ids
-                        .iter()
-                        .zip(&self.arena_apps)
-                        .all(|(&id, &(_, cur))| id == cur)
-                    && rec.shapes == self.shapes
-            }
-            None => false,
-        };
-        if applicable {
-            self.last.take()
-        } else {
-            None
+    /// Chooses the splice sources for a delta run. The live record must
+    /// apply — it is what the undo unwinds — or the run falls back to
+    /// the full path. When the caller prefers a cached record of a
+    /// different solution and it applies too, it is pulled from the
+    /// cache (returned to it after the run) so the run can splice the
+    /// cached prefix instead of the live one.
+    fn take_splice_source(
+        &mut self,
+        base: &FrozenBase,
+        prefer: Option<u64>,
+    ) -> Option<(RunRecord, Option<CacheEntry>)> {
+        if !self
+            .live
+            .as_ref()
+            .is_some_and(|rec| self.record_applicable(rec, base))
+        {
+            return None;
         }
+        let cached = prefer.and_then(|fp| {
+            if self.live_fp == Some(fp) {
+                // The preferred predecessor IS the live record: splice
+                // from it directly, and promote a snapshot into the
+                // cache — being named as a predecessor marks it as a
+                // pivot later trials will want to splice from after
+                // the live record moves on to this candidate. Throttled
+                // so chain-shaped runs don't clone a record per step.
+                if self.unprobed_promotions < 2 {
+                    self.cache_store(fp);
+                    self.unprobed_promotions += 1;
+                }
+                return None;
+            }
+            self.unprobed_promotions = 0;
+            let idx = self
+                .cache
+                .iter()
+                .position(|e| e.fp == fp && self.record_applicable(&e.rec, base))?;
+            let mut entry = self.cache.swap_remove(idx);
+            self.cache_clock += 1;
+            entry.stamp = self.cache_clock;
+            Some(entry)
+        });
+        Some((self.live.take().expect("checked above"), cached))
+    }
+
+    /// Whether `rec` can seed a delta run on `base` with the *current*
+    /// expansion: same base, same job-arena layout, and the same graph
+    /// shapes (periods, deadlines, topology, message transmission
+    /// times) — so the only possible differences are the design
+    /// variables the per-job dirty analysis inspects.
+    fn record_applicable(&self, rec: &RunRecord, base: &FrozenBase) -> bool {
+        rec.base_id == base.id
+            && rec.pe.len() == self.jobs.len()
+            && rec.graph_bases == self.graph_bases
+            && rec.spec_offsets == self.spec_offsets
+            && rec.app_ids.len() == self.arena_apps.len()
+            && rec
+                .app_ids
+                .iter()
+                .zip(&self.arena_apps)
+                .all(|(&id, &(_, cur))| id == cur)
+            && rec.shapes == self.shapes
+    }
+
+    /// Snapshots the live record into the fingerprint-keyed cache under
+    /// `fp`, recycling an existing or evicted entry's allocations.
+    /// Slack arcs are not cached — only the live record's arcs seed the
+    /// next profile derivation.
+    fn cache_store(&mut self, fp: u64) {
+        let cap = self.cache_cap.unwrap_or(RECORD_CACHE_CAP);
+        if cap == 0 {
+            return;
+        }
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        self.cache_clock += 1;
+        let stamp = self.cache_clock;
+        if let Some(entry) = self.cache.iter_mut().find(|e| e.fp == fp) {
+            entry.rec.clone_from(&live);
+            entry.rec.gap_arcs = None;
+            entry.rec.bus_arc = None;
+            entry.stamp = stamp;
+        } else if self.cache.len() >= cap {
+            // Evict the least recently used entry, reusing its record.
+            let idx = self
+                .cache
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("cache is non-empty");
+            let entry = &mut self.cache[idx];
+            entry.fp = fp;
+            entry.stamp = stamp;
+            entry.rec.clone_from(&live);
+            entry.rec.gap_arcs = None;
+            entry.rec.bus_arc = None;
+        } else {
+            let mut rec = live.clone();
+            rec.gap_arcs = None;
+            rec.bus_arc = None;
+            self.cache.push(CacheEntry { fp, stamp, rec });
+        }
+        self.live = Some(live);
     }
 
     /// Expands `apps` into the job arena (priorities served from the
@@ -1043,7 +1374,7 @@ impl Scheduler {
         base: &FrozenBase,
         old: Option<RunRecord>,
     ) -> Result<ScheduleTable, SchedError> {
-        debug_assert!(self.last.is_none(), "caller took the old record");
+        debug_assert!(self.live.is_none(), "caller took the old record");
         let horizon = base.horizon;
         let n = self.jobs.len();
 
@@ -1120,22 +1451,58 @@ impl Scheduler {
         Ok(table.expect("run succeeded"))
     }
 
-    /// The delta path: `rec` applies to the current expansion, and the
-    /// live timelines hold exactly `base + rec placements`.
+    /// The delta path: the splice source (`cached` if present, else
+    /// `live`) applies to the current expansion, and the live timelines
+    /// hold exactly `base + live placements`. When splicing from a
+    /// cached record the undo stops at the common prefix of the two
+    /// records and the cached prefix beyond it is *replayed* into the
+    /// timelines — an exact reproduction, because the timeline and
+    /// frame-tail state at every replayed step equals the recorded
+    /// run's state at that step by induction over the shared prefix.
     fn run_delta(
         &mut self,
         arch: &Architecture,
         apps: &[AppSpec<'_>],
         base: &FrozenBase,
-        mut rec: RunRecord,
+        mut live: RunRecord,
+        cached: Option<CacheEntry>,
     ) -> Result<ScheduleTable, SchedError> {
         let n = self.jobs.len();
-        let div = self.divergence(apps, &rec);
+        let (div, keep) = {
+            let src = cached.as_ref().map_or(&live, |e| &e.rec);
+            let div = self.divergence(apps, src);
+            let keep = match cached.as_ref() {
+                Some(e) => div.min(common_prefix_len(&live, &e.rec)),
+                None => div,
+            };
+            (div, keep)
+        };
+        // Two ways to bring the timelines to `base + src[0..div)`:
+        // unwind the live suffix in place (cheap when the live run
+        // shares a long prefix with the source, as in raw mutation
+        // streams), or reset from the baked base — a bulk copy — and
+        // replay the whole source prefix (cheap when the divergence is
+        // early and the undo would walk nearly the entire live
+        // record, as in pivot/trial neighborhoods where a remap
+        // re-weights the whole graph's priorities). The reset is
+        // priced at a fraction of the per-step splice-out cost.
+        let rebase = live.steps.len() - keep > keep + base.jobs.len() / 16 + 2;
         self.delta_schedules += 1;
         self.spliced_steps += div;
+        self.replayed_steps += if rebase { div } else { div - keep };
+        if rebase {
+            self.rebased_runs += 1;
+        }
         self.last_run_delta = true;
-        self.prev_gap_arcs = rec.gap_arcs.take();
-        self.prev_bus_arc = rec.bus_arc.take();
+        self.prev_gap_arcs = live.gap_arcs.take();
+        self.prev_bus_arc = live.bus_arc.take();
+
+        // Scratch recycled from the live record; its remaining snapshot
+        // vectors become the carcass `store_record` refills below.
+        let mut pop_step = std::mem::take(&mut live.pop_step);
+        let mut push_step = std::mem::take(&mut live.push_step);
+        let mut steps = std::mem::take(&mut live.steps);
+        let mut rec_msgs = std::mem::take(&mut live.msgs);
 
         let Scheduler {
             jobs,
@@ -1157,45 +1524,94 @@ impl Scheduler {
         changed_pe.resize(pes.len(), false);
         *changed_bus = false;
 
-        // --- Undo the suffix (reverse order, so frame tails unwind) ------
-        for step in rec.steps[div..].iter().rev() {
-            for m in rec.msgs[step.msg_lo as usize..step.msg_hi as usize]
-                .iter()
-                .rev()
-            {
-                bus.unreserve_tail(&m.reservation);
+        let (src_steps, src_msgs, src_pe): (&[StepRec], &[ScheduledMessage], &[PeId]) =
+            match cached.as_ref() {
+                Some(e) => (&e.rec.steps, &e.rec.msgs, &e.rec.pe),
+                None => (&steps, &rec_msgs, &live.pe),
+            };
+
+        let replay_from = if rebase {
+            // --- Rebase: wipe the live run with a bulk reset ------------
+            // Every PE the wiped run had touched may end up with a
+            // different gap list, so its previous-profile alias is dead.
+            for step in steps.iter() {
+                changed_pe[live.pe[step.job as usize].index()] = true;
+            }
+            if !rec_msgs.is_empty() {
                 *changed_bus = true;
             }
-            let pe = rec.pe[step.job as usize];
-            pes[pe.index()].unreserve(step.start, step.end);
+            for (tl, b) in pes.iter_mut().zip(&base.pes) {
+                tl.copy_from(b);
+            }
+            bus.reset_from(&base.bus);
+            0
+        } else {
+            // --- Undo the live suffix (reverse order, frame tails unwind)
+            for step in steps[keep..].iter().rev() {
+                for m in rec_msgs[step.msg_lo as usize..step.msg_hi as usize]
+                    .iter()
+                    .rev()
+                {
+                    bus.unreserve_tail(&m.reservation);
+                    *changed_bus = true;
+                }
+                let pe = live.pe[step.job as usize];
+                pes[pe.index()].unreserve(step.start, step.end);
+                changed_pe[pe.index()] = true;
+            }
+            keep
+        };
+
+        // --- Replay the source prefix the timelines do not hold ----------
+        // (an in-place undo from the live source leaves `replay_from ==
+        // keep == div` and the range is empty)
+        for step in &src_steps[replay_from..div] {
+            let pe = src_pe[step.job as usize];
+            pes[pe.index()]
+                .reserve(step.start, step.end)
+                .expect("replayed placement fits its recorded interval");
             changed_pe[pe.index()] = true;
+            for m in &src_msgs[step.msg_lo as usize..step.msg_hi as usize] {
+                let r = bus
+                    .reserve_in_occurrence(
+                        m.reservation.owner,
+                        m.reservation.occurrence,
+                        m.reservation.duration(),
+                    )
+                    .expect("replayed message fits its recorded frame");
+                debug_assert_eq!(
+                    r.transmit_start, m.reservation.transmit_start,
+                    "replayed reservation reproduces the recorded offset"
+                );
+                *changed_bus = true;
+            }
         }
         let prefix_msg_count = if div == 0 {
             0
         } else {
-            rec.steps[div - 1].msg_hi as usize
+            src_steps[div - 1].msg_hi as usize
         };
 
-        // --- Splice the prefix from the record ---------------------------
+        // --- Splice the prefix from the source record --------------------
         touched.clear();
         touched.resize(base.pes.len(), false);
         new_bus.clear();
         popped.clear();
         popped.resize(n, false);
-        let mut pop_step = std::mem::take(&mut rec.pop_step);
-        let mut push_step = std::mem::take(&mut rec.push_step);
-        pop_step.fill(u32::MAX);
-        push_step.fill(u32::MAX);
+        pop_step.clear();
+        pop_step.resize(n, u32::MAX);
+        push_step.clear();
+        push_step.resize(n, u32::MAX);
         for (i, j) in jobs.iter().enumerate() {
             if j.preds_remaining == 0 {
                 push_step[i] = 0;
             }
         }
 
-        for (s, step) in rec.steps[..div].iter().enumerate() {
+        for (s, step) in src_steps[..div].iter().enumerate() {
             let idx = step.job as usize;
             let j = &jobs[idx];
-            debug_assert_eq!(j.pe, rec.pe[idx], "spliced jobs are clean");
+            debug_assert_eq!(j.pe, src_pe[idx], "spliced jobs are clean");
             touched[j.pe.index()] = true;
             popped[idx] = true;
             pop_step[idx] = s as u32;
@@ -1219,7 +1635,7 @@ impl Scheduler {
                 let data_ready = if jobs[succ_idx].pe == pe {
                     end
                 } else {
-                    let m = rec.msgs[cursor];
+                    let m = src_msgs[cursor];
                     cursor += 1;
                     *new_bus
                         .entry(m.reservation.occurrence)
@@ -1245,10 +1661,20 @@ impl Scheduler {
         }
 
         // --- Re-place the suffix through the ordinary loop ---------------
-        let mut steps = std::mem::take(&mut rec.steps);
-        let mut rec_msgs = std::mem::take(&mut rec.msgs);
-        steps.truncate(div);
-        rec_msgs.truncate(prefix_msg_count);
+        // The scratch vectors become the source prefix: a truncation for
+        // the live source, a copy for a cached one.
+        match cached.as_ref() {
+            Some(e) => {
+                steps.clear();
+                steps.extend_from_slice(&e.rec.steps[..div]);
+                rec_msgs.clear();
+                rec_msgs.extend_from_slice(&e.rec.msgs[..prefix_msg_count]);
+            }
+            None => {
+                steps.truncate(div);
+                rec_msgs.truncate(prefix_msg_count);
+            }
+        }
         let before_msgs = rec_msgs.len();
 
         let run = schedule_loop(
@@ -1281,9 +1707,14 @@ impl Scheduler {
             .as_ref()
             .ok()
             .map(|()| self.assemble_table(base, &steps, &rec_msgs));
+        // The borrowed cache entry goes back untouched (its stamp was
+        // already bumped when it was chosen).
+        if let Some(entry) = cached {
+            self.cache.push(entry);
+        }
         // Completed steps of a failed run still satisfy the record
         // invariant — see `run_full` for why that matters.
-        self.store_record(base, steps, rec_msgs, pop_step, push_step, Some(rec));
+        self.store_record(base, steps, rec_msgs, pop_step, push_step, Some(live));
         run?;
         Ok(table.expect("run succeeded"))
     }
@@ -1328,48 +1759,62 @@ impl Scheduler {
     fn divergence(&self, apps: &[AppSpec<'_>], rec: &RunRecord) -> usize {
         let jobs = &self.jobs;
         let mut div = rec.steps.len() as u32;
+        // Per-job field diffs first — a tight scan over parallel arrays
+        // with no graph walks. A moved job also re-routes the messages
+        // its predecessors send, so each predecessor of a pe-changed
+        // job is dirty too; that walk runs only for the handful of
+        // jobs a patch actually moved.
         for idx in 0..jobs.len() {
             let j = &jobs[idx];
-            let mut proc_dirty =
-                j.pe != rec.pe[idx] || j.gap_hint != rec.gap_hint[idx] || j.wcet != rec.wcet[idx];
-            let flat = self.spec_offsets[j.spec] + j.id.graph;
-            let g = &apps[j.spec].app.graphs[j.id.graph];
-            for &e in g.dag().out_edges(j.id.node) {
-                if proc_dirty {
-                    break;
+            if j.pe != rec.pe[idx] {
+                div = div.min(rec.pop_step[idx]);
+                let g = &apps[j.spec].app.graphs[j.id.graph];
+                for &e in g.dag().in_edges(j.id.node) {
+                    let pred_idx = job_index(
+                        apps,
+                        &self.graph_bases,
+                        &self.spec_offsets,
+                        j.spec,
+                        j.id.graph,
+                        j.id.instance,
+                        g.dag().source(e),
+                    );
+                    div = div.min(rec.pop_step[pred_idx]);
                 }
-                if self.edge_hints[flat][e.index()] != rec.edge_hints[flat][e.index()] {
-                    proc_dirty = true;
-                    break;
-                }
-                let succ_idx = job_index(
-                    apps,
-                    &self.graph_bases,
-                    &self.spec_offsets,
-                    j.spec,
-                    j.id.graph,
-                    j.id.instance,
-                    g.dag().target(e),
-                );
-                if jobs[succ_idx].pe != rec.pe[succ_idx] {
-                    proc_dirty = true;
-                    break;
-                }
-            }
-            if proc_dirty {
+            } else if j.gap_hint != rec.gap_hint[idx] || j.wcet != rec.wcet[idx] {
                 div = div.min(rec.pop_step[idx]);
             }
             if j.priority != rec.priority[idx] {
                 div = div.min(rec.push_step[idx]);
             }
-            if div == 0 {
-                break;
+        }
+        // Changed edge-slot hints dirty the sending job of every
+        // instance; whole-vector equality is the common fast path.
+        for (si, sp) in apps.iter().enumerate() {
+            for (graph, g) in sp.app.graphs.iter().enumerate() {
+                let flat = self.spec_offsets[si] + graph;
+                if self.edge_hints[flat] == rec.edge_hints[flat] {
+                    continue;
+                }
+                let nodes = g.process_count();
+                let instances = (self.arena_horizon.ticks() / g.period.ticks()) as usize;
+                for n in g.dag().node_ids() {
+                    for &e in g.dag().out_edges(n) {
+                        if self.edge_hints[flat][e.index()] == rec.edge_hints[flat][e.index()] {
+                            continue;
+                        }
+                        for k in 0..instances {
+                            let idx = self.graph_bases[flat] + k * nodes + n.index();
+                            div = div.min(rec.pop_step[idx]);
+                        }
+                    }
+                }
             }
         }
         div as usize
     }
 
-    /// Snapshots the finished run into `self.last` (the delta-splice
+    /// Snapshots the finished run into `self.live` (the delta-splice
     /// source for the next evaluation), recycling the previous record's
     /// allocations: a steady-state evaluation snapshots with zero fresh
     /// allocations. Oversized arenas are never recorded — `u32` step
@@ -1384,7 +1829,7 @@ impl Scheduler {
         carcass: Option<RunRecord>,
     ) {
         if self.jobs.len() >= u32::MAX as usize || msgs.len() >= u32::MAX as usize {
-            self.last = None;
+            self.live = None;
             return;
         }
         let mut rec = carcass.unwrap_or_else(|| RunRecord {
@@ -1427,7 +1872,7 @@ impl Scheduler {
         rec.shapes.clone_from(&self.shapes);
         rec.gap_arcs = None;
         rec.bus_arc = None;
-        self.last = Some(rec);
+        self.live = Some(rec);
     }
 
     /// The incremental slack of the most recent successful run: gap
@@ -1490,7 +1935,7 @@ impl Scheduler {
         };
 
         self.fresh_gap_lists = fresh;
-        if let Some(rec) = &mut self.last {
+        if let Some(rec) = &mut self.live {
             rec.gap_arcs = Some(pe_gaps.clone());
             rec.bus_arc = Some(Arc::clone(&bus_arc));
         }
@@ -1801,6 +2246,66 @@ mod tests {
         }
         assert_eq!(engine.raw_schedule_count(), assignments.len());
         assert_eq!(engine.delta_schedule_count(), assignments.len() - 1);
+    }
+
+    /// A→B→A with the keyed API: with the record cache enabled, the
+    /// revisit splices from A's *own* promoted record (every step kept)
+    /// even though B ran in between; with the cache disabled the live
+    /// record describes B — the wrong predecessor — and the remapped
+    /// root invalidates the whole run.
+    #[test]
+    fn record_cache_splices_from_true_predecessor() {
+        let arch = arch2();
+        let mut g = ProcessGraph::new("g", t(100), t(100));
+        let a = g.add_process(Process::new("a").wcet(PeId(0), t(8)).wcet(PeId(1), t(5)));
+        let b = g.add_process(Process::new("b").wcet(PeId(0), t(6)).wcet(PeId(1), t(6)));
+        g.add_message(a, b, Message::new("m", 4)).unwrap();
+        let app = Application::new("app", vec![g]);
+        let hints = Hints::empty();
+        let base = FrozenBase::empty(&arch, t(100)).unwrap();
+
+        let mut map_a = Mapping::new();
+        map_a.assign(ProcRef::new(0, a), PeId(0));
+        map_a.assign(ProcRef::new(0, b), PeId(1));
+        let mut map_b = map_a.clone();
+        map_b.assign(ProcRef::new(0, a), PeId(1));
+        let spec_a = AppSpec::new(AppId(0), &app, &map_a, &hints);
+        let spec_b = AppSpec::new(AppId(0), &app, &map_b, &hints);
+        let ref_a = crate::schedule(&arch, &[spec_a], None, t(100)).unwrap();
+        let ref_b = crate::schedule(&arch, &[spec_b], None, t(100)).unwrap();
+
+        let (fp_a, fp_b) = (11, 22);
+        for cap in [4usize, 0] {
+            let mut engine = Scheduler::new();
+            engine.set_record_cache_capacity(cap);
+            let (t1, _) = engine
+                .schedule_keyed_with_slack(&arch, &[spec_a], &base, fp_a)
+                .unwrap();
+            // B names A as its predecessor: the probe promotes A's live
+            // record into the cache (capacity permitting), then splices
+            // the live record as usual.
+            let (t2, _) = engine
+                .schedule_delta_keyed_with_slack(&arch, &[spec_b], &base, None, fp_b, Some(fp_a))
+                .unwrap();
+            let before = engine.spliced_step_count();
+            let (t3, _) = engine
+                .schedule_delta_keyed_with_slack(&arch, &[spec_a], &base, None, fp_a, Some(fp_a))
+                .unwrap();
+            assert_eq!(t1, ref_a, "cap {cap}");
+            assert_eq!(t2, ref_b, "cap {cap}");
+            assert_eq!(t3, ref_a, "cap {cap}");
+            assert_eq!(engine.delta_schedule_count(), 2, "cap {cap}");
+            let spliced = engine.spliced_step_count() - before;
+            if cap > 0 {
+                // Cache hit: the revisit is bit-identical to A's
+                // record, so both jobs splice.
+                assert_eq!(spliced, 2, "revisit splices A's whole record");
+            } else {
+                // No cached record: the revisit diffs against the live
+                // (B) record, whose remapped root pops at step 0.
+                assert_eq!(spliced, 0, "live record is the wrong predecessor");
+            }
+        }
     }
 
     #[test]

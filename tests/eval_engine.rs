@@ -48,9 +48,17 @@ struct Fixture {
 
 impl Fixture {
     fn build(seed: u64, existing: usize, current: usize) -> Fixture {
+        Fixture::build_with_demand(seed, existing, current, 10)
+    }
+
+    /// Like [`Fixture::build`] with an explicit future-application
+    /// demand: a large `demand` keeps the objective above zero, so the
+    /// search strategies explore instead of stopping on the first
+    /// perfect solution.
+    fn build_with_demand(seed: u64, existing: usize, current: usize, demand: usize) -> Fixture {
         let cfg = cfg();
         let arch = generate_architecture(&cfg).unwrap();
-        let future = incdes::synth::future_profile_for(&cfg, 10);
+        let future = incdes::synth::future_profile_for(&cfg, demand);
         let weights = incdes::metrics::Weights::default();
         let mut system = incdes::core::System::new(arch.clone());
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -234,11 +242,20 @@ fn memo_counts_requested_vs_raw_schedules() {
 /// on the full engine, or on the default delta path.
 #[test]
 fn strategies_identical_across_pipelines() {
-    // (seed, frozen system size, current-app size) grid.
-    let grid = [(13u64, 30usize, 10usize), (21, 20, 6), (5, 45, 12)];
+    // (seed, frozen system size, current-app size, future demand) grid.
+    // The first cells converge in a handful of evaluations (cost hits
+    // zero immediately — short chains stay on the full path by design);
+    // the demanding last cell keeps the objective positive so MH/SA
+    // explore long rejection chains, which is where the delta path must
+    // engage.
+    let grid = [
+        (13u64, 30usize, 10usize, 10usize),
+        (21, 20, 6, 10),
+        (5, 45, 12, 60),
+    ];
     let mut delta_engaged = 0usize;
-    for (seed, existing, current) in grid {
-        let fixture = Fixture::build(seed, existing, current);
+    for (seed, existing, current, demand) in grid {
+        let fixture = Fixture::build_with_demand(seed, existing, current, demand);
         for strategy in [
             Strategy::AdHoc,
             Strategy::MappingHeuristic(MhConfig {
