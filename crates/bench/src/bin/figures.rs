@@ -364,6 +364,7 @@ fn bench_store_cmd(args: &[String]) {
 fn bench_eval_cmd(args: &[String]) {
     let mut out = "BENCH_eval.json".to_string();
     let mut evals = 400usize;
+    let mut threads = 4usize;
     let mut full = false;
     let mut i = 0;
     while i < args.len() {
@@ -373,6 +374,14 @@ fn bench_eval_cmd(args: &[String]) {
                 evals = flag_value(args, &mut i, "--evals")
                     .parse()
                     .unwrap_or_else(|_| die("--evals needs a positive integer"));
+            }
+            "--threads" => {
+                threads = flag_value(args, &mut i, "--threads")
+                    .parse()
+                    .unwrap_or_else(|_| die("--threads needs a positive integer"));
+                if threads == 0 {
+                    die("--threads needs a positive integer");
+                }
             }
             "--full" => full = true,
             other => die(format!("unknown bench-eval flag `{other}`")),
@@ -387,7 +396,7 @@ fn bench_eval_cmd(args: &[String]) {
     let (mh_cfg, sa_cfg) = configs(!full);
 
     let t0 = Instant::now();
-    let bench = incdes_bench::run_eval_bench(&preset, evals, &mh_cfg, &sa_cfg);
+    let bench = incdes_bench::run_eval_bench(&preset, evals, &mh_cfg, &sa_cfg, threads);
     eprintln!(
         "# bench-eval: {} sizes x {} evals + 3 strategies in {:.1?}",
         bench.raw.len(),
@@ -430,30 +439,34 @@ fn bench_eval_cmd(args: &[String]) {
             r.delta_schedules
         );
     }
-    println!("\n## Evaluation engine — full strategy runs");
+    println!("\n## Evaluation engine — full strategy runs (parallel mode at {threads} threads)");
     println!(
-        "{:>6} {:>6} {:>12} {:>12} {:>12} {:>8} {:>8} {:>9} {:>8}",
+        "{:>6} {:>6} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8} {:>9} {:>8} {:>8}",
         "size",
         "strat",
         "naive ms",
         "engine ms",
         "delta ms",
+        "par ms",
         "speedup",
         "d-spdup",
         "d/engine",
+        "par/d",
         "evals"
     );
     for r in &bench.strategies {
         println!(
-            "{:>6} {:>6} {:>12.1} {:>12.1} {:>12.1} {:>8.2} {:>8.2} {:>9.2} {:>8}",
+            "{:>6} {:>6} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>8.2} {:>8.2} {:>9.2} {:>8.2} {:>8}",
             r.size,
             r.strategy,
             r.naive_ms,
             r.engine_ms,
             r.delta_ms,
+            r.par_ms,
             r.speedup,
             r.delta_speedup,
             r.delta_vs_engine,
+            r.par_vs_delta,
             r.evaluations
         );
     }
@@ -504,6 +517,34 @@ fn bench_eval_cmd(args: &[String]) {
                 r.strategy, r.size, r.delta_ms, r.engine_ms, r.delta_vs_engine
             ));
         }
+    }
+
+    // Parallel-search guard: with real hardware parallelism available,
+    // batched MH widening must not lose to the sequential delta path on
+    // the largest current application (same 5 % noise grace). On a
+    // machine with fewer hardware threads than requested the comparison
+    // measures scoped-thread overhead, not parallelism — report and
+    // skip instead of failing.
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if hw >= threads {
+        for r in bench
+            .strategies
+            .iter()
+            .filter(|r| r.size == largest_size && r.strategy == "MH")
+        {
+            if r.par_vs_delta < 0.95 {
+                die(format!(
+                    "parallel MH at {} threads loses to sequential delta on size {}: \
+                     {:.3} ms vs {:.3} ms (par_vs_delta {:.2})",
+                    threads, r.size, r.par_ms, r.delta_ms, r.par_vs_delta
+                ));
+            }
+        }
+    } else {
+        eprintln!(
+            "# bench-eval: hardware has {hw} thread(s) < requested {threads}; \
+             parallel-vs-sequential gate skipped (numbers still recorded)"
+        );
     }
 
     let json = incdes_bench::eval_bench::render_json(&bench, preset_name);

@@ -19,7 +19,8 @@
 
 use crate::{build_base_system, current_application, BaseSystem};
 use incdes_mapping::{
-    initial_mapping, run_strategy, MappingContext, MhConfig, Move, SaConfig, Solution, Strategy,
+    initial_mapping, run_strategy, MappingContext, MhConfig, Move, SaConfig, SearchParallelism,
+    Solution, Strategy,
 };
 use incdes_model::time::hyperperiod;
 use incdes_model::{AppId, Application, PeId, ProcRef, Time};
@@ -91,6 +92,16 @@ pub struct StrategyBenchRow {
     /// strategy at wall-clock, the gate `figures bench-eval` enforces
     /// for MH and SA on the largest size.
     pub delta_vs_engine: f64,
+    /// Wall-clock of the parallel-mode delta run (batched MH widening
+    /// rounds over the benchmark's thread count; SA stays on one chain
+    /// so its semantics — and this comparison — stay exact).
+    pub par_ms: f64,
+    /// `delta_ms / par_ms` — > 1 when fanning candidate evaluation out
+    /// over threads beats the sequential delta path. On a single
+    /// hardware thread this hovers just below 1 (scoped-thread
+    /// overhead), which is why the `figures bench-eval` gate only
+    /// applies when the hardware covers the requested thread count.
+    pub par_vs_delta: f64,
     /// Evaluations the strategy spent (identical on every path).
     pub evaluations: usize,
 }
@@ -102,6 +113,8 @@ pub struct EvalBench {
     pub raw: Vec<EvalBenchRow>,
     /// Per-strategy rows (AH, MH, SA at every size).
     pub strategies: Vec<StrategyBenchRow>,
+    /// Thread count of the parallel-mode strategy runs.
+    pub threads: usize,
 }
 
 /// Ingredients of one benchmark scenario.
@@ -240,7 +253,17 @@ pub fn run_eval_bench(
     evals_per_size: usize,
     mh_cfg: &MhConfig,
     sa_cfg: &SaConfig,
+    threads: usize,
 ) -> EvalBench {
+    // One chain and a fixed exchange period keep the parallel mode
+    // semantically identical to the sequential delta path (same
+    // solution, cost, evaluation count), so the wall-clock comparison
+    // below measures the batching alone.
+    let par = SearchParallelism::Parallel {
+        threads: threads.max(1),
+        sa_chains: 1,
+        sa_exchange_period: 64,
+    };
     let seed = preset.seeds[0];
     let mut raw = Vec::new();
     let mut strategies = Vec::new();
@@ -360,9 +383,11 @@ pub fn run_eval_bench(
             let mut naive_ms = f64::INFINITY;
             let mut engine_ms = f64::INFINITY;
             let mut delta_ms = f64::INFINITY;
+            let mut par_ms = f64::INFINITY;
             let mut naive_out = None;
             let mut engine_out = None;
             let mut delta_out = None;
+            let mut par_out = None;
             for _ in 0..STRAT_REPS {
                 let naive_ctx = scenario.context().with_naive_evaluation();
                 let t0 = Instant::now();
@@ -378,11 +403,17 @@ pub fn run_eval_bench(
                 let t2 = Instant::now();
                 delta_out = Some(run_strategy(&delta_ctx, &strategy));
                 delta_ms = delta_ms.min(t2.elapsed().as_secs_f64() * 1e3);
+
+                let par_ctx = scenario.context().with_parallelism(par);
+                let t3 = Instant::now();
+                par_out = Some(run_strategy(&par_ctx, &strategy));
+                par_ms = par_ms.min(t3.elapsed().as_secs_f64() * 1e3);
             }
-            let (naive_out, engine_out, delta_out) = (
+            let (naive_out, engine_out, delta_out, par_out) = (
                 naive_out.expect("at least one rep"),
                 engine_out.expect("at least one rep"),
                 delta_out.expect("at least one rep"),
+                par_out.expect("at least one rep"),
             );
 
             let evaluations = match (&naive_out, &engine_out, &delta_out) {
@@ -402,9 +433,23 @@ pub fn run_eval_bench(
                     assert_eq!(a.solution, c.solution);
                     assert_eq!(a.stats.evaluations, b.stats.evaluations);
                     assert_eq!(a.stats.evaluations, c.stats.evaluations);
+                    let p = par_out
+                        .as_ref()
+                        .expect("parallel mode agrees on feasibility");
+                    assert_eq!(
+                        a.evaluation.cost,
+                        p.evaluation.cost,
+                        "strategy {} cost diverged on the parallel path",
+                        strategy.name()
+                    );
+                    assert_eq!(a.solution, p.solution);
+                    assert_eq!(a.stats.evaluations, p.stats.evaluations);
                     c.stats.evaluations
                 }
-                (Err(_), Err(_), Err(_)) => 0,
+                (Err(_), Err(_), Err(_)) => {
+                    assert!(par_out.is_err(), "parallel mode diverged on feasibility");
+                    0
+                }
                 _ => panic!(
                     "strategy {} feasibility diverged between pipelines",
                     strategy.name()
@@ -419,11 +464,17 @@ pub fn run_eval_bench(
                 speedup: naive_ms / engine_ms.max(1e-9),
                 delta_speedup: naive_ms / delta_ms.max(1e-9),
                 delta_vs_engine: engine_ms / delta_ms.max(1e-9),
+                par_ms,
+                par_vs_delta: delta_ms / par_ms.max(1e-9),
                 evaluations,
             });
         }
     }
-    EvalBench { raw, strategies }
+    EvalBench {
+        raw,
+        strategies,
+        threads,
+    }
 }
 
 /// Renders the benchmark as the `BENCH_eval.json` artifact.
@@ -432,6 +483,7 @@ pub fn render_json(bench: &EvalBench, preset_name: &str) -> String {
     out.push_str("{\n");
     out.push_str("  \"bench\": \"eval_engine\",\n");
     out.push_str(&format!("  \"preset\": \"{preset_name}\",\n"));
+    out.push_str(&format!("  \"search_threads\": {},\n", bench.threads));
     out.push_str("  \"raw\": [\n");
     for (i, r) in bench.raw.iter().enumerate() {
         out.push_str(&format!(
@@ -463,7 +515,8 @@ pub fn render_json(bench: &EvalBench, preset_name: &str) -> String {
         out.push_str(&format!(
             "    {{\"size\": {}, \"strategy\": \"{}\", \"naive_ms\": {:.3}, \
              \"engine_ms\": {:.3}, \"delta_ms\": {:.3}, \"speedup\": {:.2}, \
-             \"delta_speedup\": {:.2}, \"delta_vs_engine\": {:.2}, \"evaluations\": {}}}{}\n",
+             \"delta_speedup\": {:.2}, \"delta_vs_engine\": {:.2}, \"par_ms\": {:.3}, \
+             \"par_vs_delta\": {:.2}, \"evaluations\": {}}}{}\n",
             r.size,
             r.strategy,
             r.naive_ms,
@@ -472,6 +525,8 @@ pub fn render_json(bench: &EvalBench, preset_name: &str) -> String {
             r.speedup,
             r.delta_speedup,
             r.delta_vs_engine,
+            r.par_ms,
+            r.par_vs_delta,
             r.evaluations,
             if i + 1 < bench.strategies.len() {
                 ","
@@ -507,6 +562,7 @@ mod tests {
                 max_evaluations: 30,
                 ..SaConfig::quick()
             },
+            2,
         );
         assert_eq!(bench.raw.len(), 3);
         assert_eq!(bench.strategies.len(), 3);
@@ -522,5 +578,10 @@ mod tests {
         assert!(json.contains("\"bench\": \"eval_engine\""));
         assert!(json.contains("\"delta_evals_per_sec\""));
         assert!(json.contains("\"delta_ms\""));
+        assert!(json.contains("\"par_ms\""));
+        assert!(json.contains("\"search_threads\": 2"));
+        for row in &bench.strategies {
+            assert!(row.par_ms.is_finite() && row.par_ms > 0.0);
+        }
     }
 }

@@ -1,6 +1,8 @@
 //! The incremental design session.
 
-use incdes_mapping::{run_strategy, MapError, MappingContext, RunStats, Solution, Strategy};
+use incdes_mapping::{
+    run_strategy, MapError, MappingContext, RunStats, SearchParallelism, Solution, Strategy,
+};
 use incdes_metrics::{DesignCost, Weights};
 use incdes_model::time::{hyperperiod, HyperperiodError};
 use incdes_model::{validate, AppId, Application, Architecture, FutureProfile, ModelError, Time};
@@ -132,6 +134,11 @@ pub struct System {
     /// exists. See `commit_rebakes_base_with_fresh_generation`.
     base_cache: RefCell<Option<(Time, Arc<FrozenBase>)>>,
     base_reuse: Cell<usize>,
+    /// How search strategies parallelize inside a scenario; handed to
+    /// every [`MappingContext`] this system creates. Defaults to the
+    /// context's environment-derived setting (`INCDES_SEARCH_THREADS`),
+    /// overridden per-system via [`System::set_parallelism`].
+    parallelism: Option<SearchParallelism>,
 }
 
 impl System {
@@ -146,7 +153,21 @@ impl System {
             table,
             base_cache: RefCell::new(None),
             base_reuse: Cell::new(0),
+            parallelism: None,
         }
+    }
+
+    /// Sets how MH/SA parallelize candidate evaluation inside every
+    /// mapping context this system hands out (see
+    /// [`SearchParallelism`]). The default keeps each context's
+    /// environment-derived setting.
+    pub fn set_parallelism(&mut self, parallelism: SearchParallelism) {
+        self.parallelism = Some(parallelism);
+    }
+
+    /// The search parallelism override, if one was set.
+    pub fn parallelism(&self) -> Option<SearchParallelism> {
+        self.parallelism
     }
 
     /// The shared frozen base for the current table replicated to
@@ -287,6 +308,9 @@ impl System {
         if let Some(base) = self.shared_base(&frozen, new_horizon) {
             ctx = ctx.with_frozen_base(base);
         }
+        if let Some(par) = self.parallelism {
+            ctx = ctx.with_parallelism(par);
+        }
         let outcome = run_strategy(&ctx, strategy)?;
         self.table = outcome.evaluation.table;
         *self.base_cache.borrow_mut() = None;
@@ -339,6 +363,9 @@ impl System {
         if let Some(base) = self.shared_base(&frozen, new_horizon) {
             ctx = ctx.with_frozen_base(base);
         }
+        if let Some(par) = self.parallelism {
+            ctx = ctx.with_parallelism(par);
+        }
         match run_strategy(&ctx, strategy) {
             Ok(outcome) => Ok(ProbeReport {
                 feasible: true,
@@ -380,6 +407,7 @@ impl System {
             table,
             base_cache: RefCell::new(None),
             base_reuse: Cell::new(0),
+            parallelism: None,
         }
     }
 

@@ -32,7 +32,7 @@
 use crate::report::{CampaignReport, CampaignTotals, ScenarioReport};
 use crate::runner::{prepare_env, run_scenarios, ScenarioOutcome};
 use crate::spec::{CampaignSpec, ScenarioKey, ScriptStep, SpecError, WeightSetting};
-use incdes_mapping::Strategy;
+use incdes_mapping::{SearchParallelism, Strategy};
 use incdes_store::{Lookup, Store, StoreKey};
 use incdes_synth::SynthConfig;
 use serde::Serialize;
@@ -58,6 +58,13 @@ struct Fingerprint {
     future_processes: usize,
     demand_factor: f64,
     check_invariants: bool,
+    /// The spec's [`SearchParallelism`] with `threads` normalized to 1:
+    /// thread count never changes report bytes (the batch protocol
+    /// reduces in candidate-index order), but Sequential vs. Parallel
+    /// does (different splice diagnostics, and the SA portfolio runs
+    /// different chains), so mode / `sa_chains` / `sa_exchange_period`
+    /// are part of the scenario's identity.
+    parallelism: SearchParallelism,
     script: Vec<ScriptStep>,
     size: usize,
     strategy: Strategy,
@@ -87,6 +94,18 @@ fn store_key_with(cfg: &SynthConfig, spec: &CampaignSpec, scenario: &ScenarioKey
         future_processes: spec.future_processes,
         demand_factor: spec.demand_factor,
         check_invariants: spec.check_invariants,
+        parallelism: match spec.parallelism {
+            SearchParallelism::Sequential => SearchParallelism::Sequential,
+            SearchParallelism::Parallel {
+                sa_chains,
+                sa_exchange_period,
+                ..
+            } => SearchParallelism::Parallel {
+                threads: 1,
+                sa_chains,
+                sa_exchange_period,
+            },
+        },
         script: spec.script.clone(),
         size: scenario.size,
         strategy: scenario.strategy,

@@ -52,6 +52,7 @@
 //!         future: false,
 //!     }],
 //!     check_invariants: true,
+//!     parallelism: Default::default(),
 //! };
 //! let run = run_campaign(&spec, 2)?;
 //! let report = run.report();

@@ -314,6 +314,7 @@ pub(crate) fn run_scenario(
     let scenario_start = Instant::now();
     let mut rng = ChaCha8Rng::seed_from_u64(key.seed);
     let mut system = System::new(arch.clone());
+    system.set_parallelism(spec.parallelism);
     let weights = key.weights.weights;
     let mut steps = Vec::with_capacity(spec.script.len());
     let mut invariant_violations = Vec::new();
@@ -597,6 +598,7 @@ mod tests {
                 future: false,
             }],
             check_invariants: true,
+            parallelism: Default::default(),
         };
         let run = run_campaign(&spec, 1).unwrap();
         assert!(run.outcomes[0].steps[0].feasible);

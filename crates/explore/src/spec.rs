@@ -10,7 +10,7 @@
 //! with a per-scenario `ChaCha8` RNG, so a spec plus its seeds fully
 //! determines every byte of the campaign report.
 
-use incdes_mapping::Strategy;
+use incdes_mapping::{SearchParallelism, Strategy};
 use incdes_metrics::Weights;
 use incdes_model::Time;
 use incdes_synth::paper::{dac2001, dac2001_small};
@@ -124,6 +124,11 @@ pub struct CampaignSpec {
     /// (exhaustive, so meant for test-sized campaigns).
     #[serde(default)]
     pub check_invariants: bool,
+    /// How MH/SA parallelize candidate evaluation *inside* each
+    /// scenario (campaign reports are byte-identical at any thread
+    /// count; see `incdes_mapping::SearchParallelism`).
+    #[serde(default)]
+    pub parallelism: SearchParallelism,
 }
 
 /// One grid point of a campaign.
@@ -340,6 +345,7 @@ impl CampaignSpec {
                 },
             ],
             check_invariants: true,
+            parallelism: SearchParallelism::default(),
         }
     }
 }

@@ -53,11 +53,102 @@ use incdes_metrics::{C1Cache, C2Cache};
 use incdes_model::{AppId, Application, Architecture, FutureProfile, PeId, ProcRef, Time};
 use incdes_sched::engine::{check_horizon, ChangedVar, FrozenBase, Scheduler, RECORD_CACHE_CAP};
 use incdes_sched::{schedule, AppSpec, MsgRef, SchedError, ScheduleTable, SlackProfile};
+use serde::{Deserialize, Serialize};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, Once, OnceLock};
+
+/// How a mapping strategy parallelizes trial evaluation within one
+/// scenario.
+///
+/// The contract of [`SearchParallelism::Parallel`] is that `threads`
+/// only multiplexes *execution*: every search-visible result — the
+/// accepted MH move, the solutions and costs, `evaluation_count()`, the
+/// iteration counts, every campaign report — is byte-identical for any
+/// thread count ≥ 1. Batch evaluation reduces candidates in
+/// candidate-index order, SA runs a fixed number of chains (set by
+/// `sa_chains`, not by `threads`) with per-chain deterministic RNG
+/// streams, and worker engines evaluate against the shared
+/// `Arc<FrozenBase>` on the full (splice-free) path so no counter
+/// depends on how candidates were partitioned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SearchParallelism {
+    /// The historical single-threaded path: candidates are evaluated one
+    /// by one on the context's own engine (memo + delta splicing). The
+    /// default; behaves exactly as before this type existed.
+    Sequential,
+    /// Deterministic parallel in-scenario search.
+    Parallel {
+        /// Worker threads for MH candidate batches and SA chain
+        /// multiplexing. Clamped to ≥ 1; `1` runs the identical batch
+        /// semantics inline.
+        threads: usize,
+        /// Number of concurrent SA chains (per-chain ChaCha8 streams,
+        /// periodic best-exchange). Clamped to ≥ 1; `1` keeps the
+        /// classic single-chain SA.
+        sa_chains: usize,
+        /// Proposals each SA chain runs between best-exchange barriers.
+        /// Clamped to ≥ 1.
+        sa_exchange_period: usize,
+    },
+}
+
+impl Default for SearchParallelism {
+    fn default() -> Self {
+        SearchParallelism::Sequential
+    }
+}
+
+impl SearchParallelism {
+    /// Parallel candidate evaluation over `n` threads with the classic
+    /// single-chain SA (the configuration the `INCDES_SEARCH_THREADS`
+    /// differential-CI hook uses).
+    #[must_use]
+    pub fn threads(n: usize) -> Self {
+        SearchParallelism::Parallel {
+            threads: n.max(1),
+            sa_chains: 1,
+            sa_exchange_period: 64,
+        }
+    }
+}
+
+/// Process-wide default parallelism, for differential CI runs:
+/// `INCDES_SEARCH_THREADS=N` makes every context built without an
+/// explicit [`MappingContext::with_parallelism`] evaluate MH batches
+/// over `N` threads (SA stays single-chain so strategy results keep
+/// their sequential trajectories). Unset or `0` means sequential; an
+/// unparsable value warns once on stderr and is ignored.
+fn env_parallelism() -> SearchParallelism {
+    static CACHE: OnceLock<SearchParallelism> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        let Ok(raw) = std::env::var("INCDES_SEARCH_THREADS") else {
+            return SearchParallelism::Sequential;
+        };
+        match raw.trim().parse::<usize>() {
+            Ok(0) => SearchParallelism::Sequential,
+            Ok(n) => SearchParallelism::threads(n),
+            Err(_) => {
+                eprintln!(
+                    "incdes-mapping: ignoring unparsable INCDES_SEARCH_THREADS={raw:?}: \
+                     expected a thread count (0 or unset = sequential)"
+                );
+                SearchParallelism::Sequential
+            }
+        }
+    })
+}
+
+/// Parses an `INCDES_RECORD_CACHE_CAP` override: a base-10 integer
+/// ≥ 0 (surrounding whitespace tolerated). `0` disables cached-record
+/// splicing; the built-in default cap is [`RECORD_CACHE_CAP`]. Returns
+/// `None` for anything unparsable — the caller warns once and keeps the
+/// built-in cap.
+fn parse_record_cache_cap(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok()
+}
 
 /// Error from a mapping strategy.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -410,6 +501,242 @@ fn note_raw_schedule(
     }
 }
 
+impl EvalEngine {
+    /// LRU-ish memo eviction at [`MEMO_CAP`]: drop the stale half
+    /// (entries whose last hit is at or below the median stamp) —
+    /// *except* entries still named by the `recent` record-cache
+    /// mirror. Those keys are the predecessor snapshots the delta gate
+    /// diffs candidates against and the fingerprints the scheduler can
+    /// still splice from; evicting one silently degrades its keyed
+    /// splices to the live-record fallback, so every cached-record
+    /// fingerprint stays answerable after eviction.
+    fn evict_if_full(&mut self) {
+        if self.memo.len() < MEMO_CAP {
+            return;
+        }
+        let mut stamps: Vec<u64> = self.memo.values().map(|e| e.stamp).collect();
+        stamps.sort_unstable();
+        let cutoff = stamps[stamps.len() / 2];
+        let EvalEngine { memo, recent, .. } = self;
+        memo.retain(|k, e| e.stamp > cutoff || recent.iter().any(|(_, rk)| rk == k));
+    }
+}
+
+/// The immutable, thread-shareable view of one evaluation problem: the
+/// architecture, the current application, the frozen schedule and the
+/// objective inputs. Everything behind these references is plain data
+/// (the workspace forbids interior mutability below `mapping`), so a
+/// `Scene` can be handed to scoped worker threads while each worker
+/// keeps its own private [`EvalEngine`] scratch.
+#[derive(Clone, Copy)]
+struct Scene<'a> {
+    arch: &'a Architecture,
+    app_id: AppId,
+    app: &'a Application,
+    frozen: Option<&'a ScheduleTable>,
+    horizon: Time,
+    future: &'a FutureProfile,
+    weights: &'a Weights,
+}
+
+/// The three evaluation counters, grouped so the engine functions can
+/// take one `&mut` and SA chains can merge their tallies back in chain
+/// order.
+#[derive(Debug, Default, Clone, Copy)]
+struct EngineCounts {
+    evaluations: usize,
+    raw_schedules: usize,
+    memo_hits: usize,
+}
+
+/// Scheduler diagnostics absorbed from worker/chain engines (the main
+/// context's accessors add these to its own scheduler's counts).
+#[derive(Debug, Default, Clone, Copy)]
+struct SchedDiag {
+    delta_schedules: usize,
+    spliced_steps: usize,
+    replayed_steps: usize,
+}
+
+/// The objective terms of a freshly scheduled slack profile, through the
+/// given engine's identity-keyed C2/C1 caches. Shared by the main
+/// evaluation path and the parallel batch workers — the caches are
+/// behavior-transparent, so whichever engine scores a solution produces
+/// bit-identical costs.
+fn score_slack(
+    scene: &Scene<'_>,
+    c2: &mut C2Cache,
+    c1: &mut C1Cache,
+    slack: &SlackProfile,
+) -> DesignCost {
+    let t_min = scene.future.t_min;
+    c2.set_pe_count(slack.pe_count());
+    let mut c2p = Time::ZERO;
+    for i in 0..slack.pe_count() {
+        let shared = slack.gaps_shared(PeId(i as u32));
+        c2p += c2.pe_term(i, shared, scene.horizon, t_min);
+    }
+    let c2m = c2.bus_term(slack.bus_windows_shared(), scene.horizon, t_min);
+    objective::evaluate_with_c1_delta(scene.arch, slack, scene.future, scene.weights, c2p, c2m, c1)
+}
+
+/// One memoized engine evaluation (the body of
+/// [`MappingContext::evaluate`], factored over an explicit engine +
+/// counter pair so SA portfolio chains can run it on their private
+/// engines).
+fn engine_evaluate(
+    scene: &Scene<'_>,
+    engine: &mut EvalEngine,
+    counts: &mut EngineCounts,
+    full_engine: bool,
+    solution: &Solution,
+) -> Result<Evaluation, SchedError> {
+    let key = MemoKey::of(solution);
+    engine.memo_clock += 1;
+    let stamp = engine.memo_clock;
+    if let Some(hit) = engine.memo.get_mut(&key) {
+        hit.stamp = stamp;
+        counts.memo_hits += 1;
+        return hit.result.clone();
+    }
+    let result = engine_evaluate_raw(scene, engine, counts, full_engine, solution, &key);
+    engine.evict_if_full();
+    engine.memo.insert(
+        key,
+        MemoEntry {
+            result: result.clone(),
+            stamp,
+        },
+    );
+    result
+}
+
+/// One full engine evaluation (memo miss) — the body of the historical
+/// `MappingContext::evaluate_raw`.
+fn engine_evaluate_raw(
+    scene: &Scene<'_>,
+    engine: &mut EvalEngine,
+    counts: &mut EngineCounts,
+    full_engine: bool,
+    solution: &Solution,
+    key: &MemoKey,
+) -> Result<Evaluation, SchedError> {
+    let spec = AppSpec::new(scene.app_id, scene.app, &solution.mapping, &solution.hints);
+    // Validated before the base is consulted so error precedence
+    // matches the naive pipeline exactly.
+    check_horizon(&[spec], scene.horizon)?;
+    let EvalEngine {
+        base,
+        scheduler,
+        recent,
+        c2,
+        c1,
+        vars_scratch,
+        ..
+    } = engine;
+    let base = base.get_or_insert_with(|| {
+        FrozenBase::new(scene.arch, scene.frozen, scene.horizon).map(Arc::new)
+    });
+    let base = match base {
+        Ok(b) => b,
+        Err(e) => return Err(e.clone()),
+    };
+    counts.raw_schedules += 1;
+    let fp = fingerprint(key);
+
+    // Delta gate: once the chain is long enough to amortize record
+    // bookkeeping, rank every recorded solution by its diff against
+    // the candidate and splice from the closest one (ties favor the
+    // most recent). A revisit chain A→B→A finds A's own record at
+    // distance ~0. Everything else (short chains, big jumps,
+    // `with_full_evaluation`) resets from the base. Records enter
+    // the scheduler's cache by promotion: the first trial that
+    // names a solution as its predecessor snapshots the live
+    // record before the run replaces it.
+    let mut best: Option<(usize, usize)> = None;
+    if !full_engine && counts.raw_schedules >= DELTA_MIN_CHAIN {
+        for (i, (rec_fp, rec_key)) in recent.iter().enumerate() {
+            if *rec_fp == fp {
+                // Bit-identical revisit (usually one the memo
+                // evicted, or a failed-run retry): distance zero by
+                // definition, no counting walk needed. A fingerprint
+                // collision would only pick a farther predecessor —
+                // splicing stays correct for any choice.
+                best = Some((0, i));
+                break;
+            }
+            if let Some(diff) = count_key_delta(rec_key, key, DELTA_MAX_CHANGED_VARS) {
+                if best.is_none_or(|(best_diff, _)| diff < best_diff) {
+                    best = Some((diff, i));
+                    if diff == 0 {
+                        // An exact revisit cannot be beaten.
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    let chosen = best.map(|(_, i)| recent[i].0);
+    let run = match chosen {
+        Some(prefer) => {
+            // The job arena still describes the *front* (most
+            // recent) key; the patch hint must diff against it even
+            // when the splice source is an older record.
+            let patch = recent
+                .first()
+                .is_some_and(|(_, front)| {
+                    collect_key_delta(front, key, DELTA_MAX_CHANGED_VARS, vars_scratch)
+                })
+                .then_some(vars_scratch.as_slice());
+            scheduler.schedule_delta_keyed_with_slack(
+                scene.arch,
+                &[spec],
+                base,
+                patch,
+                fp,
+                Some(prefer),
+            )
+        }
+        None => scheduler.schedule_keyed_with_slack(scene.arch, &[spec], base, fp),
+    };
+    // Successful or not, the engine's live record now describes
+    // this solution (failed runs keep their completed prefix as a
+    // splice source), so future candidates diff against it. The
+    // full-engine tier never consults the list and skips the
+    // bookkeeping.
+    if !full_engine {
+        note_raw_schedule(recent, fp, key, chosen);
+    }
+    let (table, slack) = run?;
+    // C2 terms: gap lists aliased from the frozen base (untouched
+    // PEs) or the previous evaluation (PEs unchanged by the delta)
+    // hit by storage identity; changed lists re-measure only the
+    // windows their diff span intersects.
+    let cost = score_slack(scene, c2, c1, &slack);
+    Ok(Evaluation { table, slack, cost })
+}
+
+/// A batch worker's evaluation: the full (splice-free) path against the
+/// shared frozen base, no memo, no record bookkeeping. Every call costs
+/// exactly one raw schedule and zero delta/spliced/replayed steps, so
+/// the batch's counters are a function of the hit/miss pattern alone —
+/// independent of how candidates were partitioned over threads.
+fn evaluate_shared_full(
+    scene: &Scene<'_>,
+    base: &Arc<FrozenBase>,
+    worker: &mut EvalEngine,
+    solution: &Solution,
+    fp: u64,
+) -> Result<Evaluation, SchedError> {
+    let spec = AppSpec::new(scene.app_id, scene.app, &solution.mapping, &solution.hints);
+    let (table, slack) =
+        worker
+            .scheduler
+            .schedule_keyed_with_slack(scene.arch, &[spec], base, fp)?;
+    let cost = score_slack(scene, &mut worker.c2, &mut worker.c1, &slack);
+    Ok(Evaluation { table, slack, cost })
+}
+
 /// Everything a strategy needs to evaluate design alternatives for one
 /// *current application* on one system state.
 #[derive(Debug)]
@@ -429,12 +756,15 @@ pub struct MappingContext<'a> {
     pub future: &'a FutureProfile,
     /// Objective-function weights.
     pub weights: &'a Weights,
-    evaluations: Cell<usize>,
-    raw_schedules: Cell<usize>,
-    memo_hits: Cell<usize>,
+    counts: Cell<EngineCounts>,
+    /// Scheduler diagnostics merged in from worker/chain engines.
+    absorbed: Cell<SchedDiag>,
     naive: bool,
     full_engine: bool,
+    parallelism: SearchParallelism,
     engine: RefCell<EvalEngine>,
+    /// Idle batch-worker engines, recycled across parallel rounds.
+    workers: RefCell<Vec<EvalEngine>>,
 }
 
 impl<'a> MappingContext<'a> {
@@ -457,27 +787,58 @@ impl<'a> MappingContext<'a> {
             horizon,
             future,
             weights,
-            evaluations: Cell::new(0),
-            raw_schedules: Cell::new(0),
-            memo_hits: Cell::new(0),
+            counts: Cell::new(EngineCounts::default()),
+            absorbed: Cell::new(SchedDiag::default()),
             naive: false,
             full_engine: false,
+            parallelism: env_parallelism(),
             engine: RefCell::new(EvalEngine::default()),
+            workers: RefCell::new(Vec::new()),
         };
         // Test/CI hook: `INCDES_RECORD_CACHE_CAP` overrides the
         // scheduler's record-cache capacity so the differential suites
         // can force eviction churn (small cap) or disable cached-record
-        // splicing entirely (0) without an API change.
-        if let Some(cap) = std::env::var("INCDES_RECORD_CACHE_CAP")
-            .ok()
-            .and_then(|v| v.parse().ok())
-        {
-            ctx.engine
-                .borrow_mut()
-                .scheduler
-                .set_record_cache_capacity(cap);
+        // splicing entirely (0) without an API change. Accepted values
+        // are base-10 integers ≥ 0: `0` disables cached-record splicing
+        // entirely, `1..` caps the number of retained run records (the
+        // built-in default is `RECORD_CACHE_CAP` = 4; larger values only
+        // grow memory, never change results). Anything unparsable is
+        // ignored with one warning per process — a silently dropped
+        // override would make a differential run test the wrong
+        // configuration.
+        if let Ok(raw) = std::env::var("INCDES_RECORD_CACHE_CAP") {
+            match parse_record_cache_cap(&raw) {
+                Some(cap) => ctx
+                    .engine
+                    .borrow_mut()
+                    .scheduler
+                    .set_record_cache_capacity(cap),
+                None => {
+                    static WARN: Once = Once::new();
+                    WARN.call_once(|| {
+                        eprintln!(
+                            "incdes-mapping: ignoring unparsable INCDES_RECORD_CACHE_CAP={raw:?}: \
+                             expected a non-negative integer (0 disables cached-record splicing; \
+                             the built-in cap is {RECORD_CACHE_CAP})"
+                        );
+                    });
+                }
+            }
         }
         ctx
+    }
+
+    /// Sets how this context parallelizes strategy trial evaluation.
+    /// Overrides the `INCDES_SEARCH_THREADS` process default.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: SearchParallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The parallelism mode strategies should run under.
+    pub fn parallelism(&self) -> SearchParallelism {
+        self.parallelism
     }
 
     /// Switches this context to the naive evaluation pipeline
@@ -533,7 +894,9 @@ impl<'a> MappingContext<'a> {
     /// [`SchedError::is_infeasible`] to distinguish "does not fit" from
     /// "malformed input".
     pub fn evaluate(&self, solution: &Solution) -> Result<Evaluation, SchedError> {
-        self.evaluations.set(self.evaluations.get() + 1);
+        let mut counts = self.counts.get();
+        counts.evaluations += 1;
+        self.counts.set(counts);
         self.evaluate_inner(solution)
     }
 
@@ -550,158 +913,37 @@ impl<'a> MappingContext<'a> {
             return self.evaluate_naive(solution);
         }
         let mut engine = self.engine.borrow_mut();
-        let key = MemoKey::of(solution);
-        engine.memo_clock += 1;
-        let stamp = engine.memo_clock;
-        if let Some(hit) = engine.memo.get_mut(&key) {
-            hit.stamp = stamp;
-            self.memo_hits.set(self.memo_hits.get() + 1);
-            return hit.result.clone();
-        }
-        let result = self.evaluate_raw(&mut engine, solution, &key);
-        if engine.memo.len() >= MEMO_CAP {
-            // LRU-ish eviction: drop the stale half (last hit at or
-            // below the median stamp). The recently raw-scheduled
-            // predecessors carry fresh stamps and stay resident, so the
-            // memo never forgets the solutions the record cache can
-            // still splice from.
-            let mut stamps: Vec<u64> = engine.memo.values().map(|e| e.stamp).collect();
-            stamps.sort_unstable();
-            let cutoff = stamps[stamps.len() / 2];
-            engine.memo.retain(|_, e| e.stamp > cutoff);
-        }
-        engine.memo.insert(
-            key,
-            MemoEntry {
-                result: result.clone(),
-                stamp,
-            },
+        let mut counts = self.counts.get();
+        let result = engine_evaluate(
+            &self.scene(),
+            &mut engine,
+            &mut counts,
+            self.full_engine,
+            solution,
         );
+        self.counts.set(counts);
         result
     }
 
-    /// One full engine evaluation (memo miss).
-    fn evaluate_raw(
-        &self,
-        engine: &mut EvalEngine,
-        solution: &Solution,
-        key: &MemoKey,
-    ) -> Result<Evaluation, SchedError> {
-        let spec = AppSpec::new(self.app_id, self.app, &solution.mapping, &solution.hints);
-        // Validated before the base is consulted so error precedence
-        // matches the naive pipeline exactly.
-        check_horizon(&[spec], self.horizon)?;
-        let EvalEngine {
-            base,
-            scheduler,
-            recent,
-            c2,
-            c1,
-            vars_scratch,
-            ..
-        } = engine;
-        let base = base.get_or_insert_with(|| {
-            FrozenBase::new(self.arch, self.frozen, self.horizon).map(Arc::new)
-        });
-        let base = match base {
-            Ok(b) => b,
-            Err(e) => return Err(e.clone()),
-        };
-        self.raw_schedules.set(self.raw_schedules.get() + 1);
-        let fp = fingerprint(key);
-
-        // Delta gate: once the chain is long enough to amortize record
-        // bookkeeping, rank every recorded solution by its diff against
-        // the candidate and splice from the closest one (ties favor the
-        // most recent). A revisit chain A→B→A finds A's own record at
-        // distance ~0. Everything else (short chains, big jumps,
-        // `with_full_evaluation`) resets from the base. Records enter
-        // the scheduler's cache by promotion: the first trial that
-        // names a solution as its predecessor snapshots the live
-        // record before the run replaces it.
-        let mut best: Option<(usize, usize)> = None;
-        if !self.full_engine && self.raw_schedules.get() >= DELTA_MIN_CHAIN {
-            for (i, (rec_fp, rec_key)) in recent.iter().enumerate() {
-                if *rec_fp == fp {
-                    // Bit-identical revisit (usually one the memo
-                    // evicted, or a failed-run retry): distance zero by
-                    // definition, no counting walk needed. A fingerprint
-                    // collision would only pick a farther predecessor —
-                    // splicing stays correct for any choice.
-                    best = Some((0, i));
-                    break;
-                }
-                if let Some(diff) = count_key_delta(rec_key, key, DELTA_MAX_CHANGED_VARS) {
-                    if best.is_none_or(|(best_diff, _)| diff < best_diff) {
-                        best = Some((diff, i));
-                        if diff == 0 {
-                            // An exact revisit cannot be beaten.
-                            break;
-                        }
-                    }
-                }
-            }
+    /// The immutable scene the engine functions (and worker threads)
+    /// evaluate against.
+    fn scene(&self) -> Scene<'a> {
+        Scene {
+            arch: self.arch,
+            app_id: self.app_id,
+            app: self.app,
+            frozen: self.frozen,
+            horizon: self.horizon,
+            future: self.future,
+            weights: self.weights,
         }
-        let chosen = best.map(|(_, i)| recent[i].0);
-        let run = match chosen {
-            Some(prefer) => {
-                // The job arena still describes the *front* (most
-                // recent) key; the patch hint must diff against it even
-                // when the splice source is an older record.
-                let patch = recent
-                    .first()
-                    .is_some_and(|(_, front)| {
-                        collect_key_delta(front, key, DELTA_MAX_CHANGED_VARS, vars_scratch)
-                    })
-                    .then_some(vars_scratch.as_slice());
-                scheduler.schedule_delta_keyed_with_slack(
-                    self.arch,
-                    &[spec],
-                    base,
-                    patch,
-                    fp,
-                    Some(prefer),
-                )
-            }
-            None => scheduler.schedule_keyed_with_slack(self.arch, &[spec], base, fp),
-        };
-        // Successful or not, the engine's live record now describes
-        // this solution (failed runs keep their completed prefix as a
-        // splice source), so future candidates diff against it. The
-        // full-engine tier never consults the list and skips the
-        // bookkeeping.
-        if !self.full_engine {
-            note_raw_schedule(recent, fp, key, chosen);
-        }
-        let (table, slack) = run?;
-
-        // C2 terms: gap lists aliased from the frozen base (untouched
-        // PEs) or the previous evaluation (PEs unchanged by the delta)
-        // hit by storage identity; changed lists re-measure only the
-        // windows their diff span intersects.
-        let t_min = self.future.t_min;
-        c2.set_pe_count(slack.pe_count());
-        let mut c2p = Time::ZERO;
-        for i in 0..slack.pe_count() {
-            let shared = slack.gaps_shared(PeId(i as u32));
-            c2p += c2.pe_term(i, shared, self.horizon, t_min);
-        }
-        let c2m = c2.bus_term(slack.bus_windows_shared(), self.horizon, t_min);
-        let cost = objective::evaluate_with_c1_delta(
-            self.arch,
-            &slack,
-            self.future,
-            self.weights,
-            c2p,
-            c2m,
-            c1,
-        );
-        Ok(Evaluation { table, slack, cost })
     }
 
     /// The reference pipeline (no base, no scratch, no memo).
     fn evaluate_naive(&self, solution: &Solution) -> Result<Evaluation, SchedError> {
-        self.raw_schedules.set(self.raw_schedules.get() + 1);
+        let mut counts = self.counts.get();
+        counts.raw_schedules += 1;
+        self.counts.set(counts);
         let spec = AppSpec::new(self.app_id, self.app, &solution.mapping, &solution.hints);
         let table = schedule(self.arch, &[spec], self.frozen, self.horizon)?;
         let slack = SlackProfile::from_table(self.arch, &table);
@@ -713,33 +955,34 @@ impl<'a> MappingContext<'a> {
     /// (every [`evaluate`](Self::evaluate) call, memo hit or not — the
     /// historical semantics the paper tables rely on).
     pub fn evaluation_count(&self) -> usize {
-        self.evaluations.get()
+        self.counts.get().evaluations
     }
 
     /// Number of raw schedules actually executed: evaluations that
     /// missed the memo and ran the scheduler. Always ≤
     /// [`evaluation_count`](Self::evaluation_count) on the engine path.
     pub fn raw_schedule_count(&self) -> usize {
-        self.raw_schedules.get()
+        self.counts.get().raw_schedules
     }
 
     /// Number of evaluations answered from the solution memo.
     pub fn memo_hit_count(&self) -> usize {
-        self.memo_hits.get()
+        self.counts.get().memo_hits
     }
 
     /// Number of raw schedules that took the delta-scheduling path
-    /// (spliced the previous run instead of resetting from the base).
-    /// Always ≤ [`raw_schedule_count`](Self::raw_schedule_count); zero
-    /// on the naive and full-engine pipelines.
+    /// (spliced the previous run instead of resetting from the base),
+    /// including those of absorbed SA portfolio chains. Always ≤
+    /// [`raw_schedule_count`](Self::raw_schedule_count); zero on the
+    /// naive and full-engine pipelines.
     pub fn delta_schedule_count(&self) -> usize {
-        self.engine.borrow().scheduler.delta_schedule_count()
+        self.engine.borrow().scheduler.delta_schedule_count() + self.absorbed.get().delta_schedules
     }
 
     /// Total placement steps the delta path spliced verbatim from run
     /// records (diagnostics for benches and tests).
     pub fn spliced_step_count(&self) -> usize {
-        self.engine.borrow().scheduler.spliced_step_count()
+        self.engine.borrow().scheduler.spliced_step_count() + self.absorbed.get().spliced_steps
     }
 
     /// Total placement steps replayed from *cached* records: the part
@@ -747,7 +990,7 @@ impl<'a> MappingContext<'a> {
     /// Always ≤ [`spliced_step_count`](Self::spliced_step_count); zero
     /// when every delta spliced from the live record.
     pub fn replayed_step_count(&self) -> usize {
-        self.engine.borrow().scheduler.replayed_step_count()
+        self.engine.borrow().scheduler.replayed_step_count() + self.absorbed.get().replayed_steps
     }
 
     /// Caps the scheduler's record cache (test hook: a small cap forces
@@ -759,6 +1002,349 @@ impl<'a> MappingContext<'a> {
             .scheduler
             .set_record_cache_capacity(cap);
     }
+
+    /// Evaluates a whole candidate batch, honoring this context's
+    /// [`SearchParallelism`]. Sequential mode (and the naive pipeline)
+    /// evaluates in candidate-index order through
+    /// [`evaluate`](Self::evaluate), so the results — and every counter
+    /// — are exactly what the per-candidate loop produced before this
+    /// API existed. Parallel mode runs the deterministic batch protocol
+    /// of [`evaluate_batch`](Self::evaluate_batch).
+    pub(crate) fn evaluate_all(&self, trials: &[Solution]) -> Vec<Result<Evaluation, SchedError>> {
+        match self.parallelism {
+            SearchParallelism::Parallel { threads, .. } if !self.naive && !trials.is_empty() => {
+                self.evaluate_batch(trials, threads.max(1))
+            }
+            _ => trials.iter().map(|t| self.evaluate(t)).collect(),
+        }
+    }
+
+    /// The deterministic parallel batch protocol. Three ordered passes:
+    ///
+    /// 1. **Prefilter** (main thread, candidate-index order): each
+    ///    candidate ticks the memo clock and counts one evaluation; memo
+    ///    hits are re-stamped and answered immediately, misses are
+    ///    horizon-checked and queued.
+    /// 2. **Dispatch**: queued misses are evaluated on worker engines
+    ///    (`std::thread::scope`) against the shared `Arc<FrozenBase>`,
+    ///    on the full splice-free path — each miss costs exactly one
+    ///    raw schedule and zero delta steps, and its result depends only
+    ///    on the shared base, never on which worker ran it or what that
+    ///    worker evaluated before.
+    /// 3. **Reduce** (main thread, candidate-index order): results are
+    ///    inserted into the main memo with the stamps assigned in pass
+    ///    1, running the same eviction rule a sequential insertion
+    ///    sequence would.
+    ///
+    /// Every counter is a function of the hit/miss pattern alone, so the
+    /// returned results *and* all diagnostics are byte-identical for any
+    /// `threads ≥ 1`.
+    fn evaluate_batch(
+        &self,
+        trials: &[Solution],
+        threads: usize,
+    ) -> Vec<Result<Evaluation, SchedError>> {
+        struct Miss {
+            idx: usize,
+            key: MemoKey,
+            stamp: u64,
+            fp: u64,
+            /// `false` when the horizon precheck (or a failed base
+            /// bake) already produced this miss's error.
+            run: bool,
+        }
+        enum Plan {
+            /// Memo hit — answered in the prefilter.
+            Hit,
+            /// Slot in the miss queue.
+            Miss(usize),
+            /// Same key as an earlier in-batch miss: (source candidate
+            /// index, this candidate's stamp, the shared key).
+            Dup(usize, u64, MemoKey),
+        }
+        let scene = self.scene();
+        let mut engine = self.engine.borrow_mut();
+        let mut counts = self.counts.get();
+        let n = trials.len();
+        let mut out: Vec<Option<Result<Evaluation, SchedError>>> = (0..n).map(|_| None).collect();
+        let mut plans: Vec<Plan> = Vec::with_capacity(n);
+        let mut misses: Vec<Miss> = Vec::new();
+
+        // Pass 1: prefilter.
+        for (i, solution) in trials.iter().enumerate() {
+            counts.evaluations += 1;
+            engine.memo_clock += 1;
+            let stamp = engine.memo_clock;
+            let key = MemoKey::of(solution);
+            if let Some(hit) = engine.memo.get_mut(&key) {
+                hit.stamp = stamp;
+                counts.memo_hits += 1;
+                out[i] = Some(hit.result.clone());
+                plans.push(Plan::Hit);
+                continue;
+            }
+            // MH batches never contain duplicate solutions (distinct
+            // moves on one pivot), but the protocol stays correct for
+            // any caller: an in-batch duplicate is a memo hit on the
+            // earlier miss's (future) entry. Batches are small, so a
+            // linear scan beats building a side table.
+            if let Some(m) = misses.iter().find(|m| m.key == key) {
+                counts.memo_hits += 1;
+                plans.push(Plan::Dup(m.idx, stamp, key));
+                continue;
+            }
+            let spec = AppSpec::new(scene.app_id, scene.app, &solution.mapping, &solution.hints);
+            let run = match check_horizon(&[spec], scene.horizon) {
+                Ok(()) => true,
+                Err(e) => {
+                    out[i] = Some(Err(e));
+                    false
+                }
+            };
+            let fp = fingerprint(&key);
+            plans.push(Plan::Miss(misses.len()));
+            misses.push(Miss {
+                idx: i,
+                key,
+                stamp,
+                fp,
+                run,
+            });
+        }
+
+        // Pass 2: dispatch the runnable misses to worker engines.
+        if misses.iter().any(|m| m.run) {
+            let base = engine.base.get_or_insert_with(|| {
+                FrozenBase::new(scene.arch, scene.frozen, scene.horizon).map(Arc::new)
+            });
+            match base {
+                Err(e) => {
+                    // Base errors precede the raw-schedule count, as in
+                    // the sequential path.
+                    let e = e.clone();
+                    for m in misses.iter_mut().filter(|m| m.run) {
+                        out[m.idx] = Some(Err(e.clone()));
+                        m.run = false;
+                    }
+                }
+                Ok(base) => {
+                    let base = Arc::clone(base);
+                    let jobs: Vec<(usize, u64)> = misses
+                        .iter()
+                        .filter(|m| m.run)
+                        .map(|m| (m.idx, m.fp))
+                        .collect();
+                    counts.raw_schedules += jobs.len();
+                    let worker_count = threads.min(jobs.len());
+                    let mut engines: Vec<EvalEngine> = {
+                        let mut pool = self.workers.borrow_mut();
+                        (0..worker_count)
+                            .map(|_| pool.pop().unwrap_or_default())
+                            .collect()
+                    };
+                    let produced: Vec<(usize, Result<Evaluation, SchedError>)> =
+                        if worker_count == 1 {
+                            let eng = &mut engines[0];
+                            jobs.iter()
+                                .map(|&(idx, fp)| {
+                                    (
+                                        idx,
+                                        evaluate_shared_full(&scene, &base, eng, &trials[idx], fp),
+                                    )
+                                })
+                                .collect()
+                        } else {
+                            let jobs = &jobs;
+                            let scene = &scene;
+                            let base = &base;
+                            let finished: Vec<(EvalEngine, Vec<_>)> = std::thread::scope(|s| {
+                                let handles: Vec<_> = engines
+                                    .drain(..)
+                                    .enumerate()
+                                    .map(|(w, mut eng)| {
+                                        s.spawn(move || {
+                                            let mut produced = Vec::new();
+                                            let mut k = w;
+                                            while k < jobs.len() {
+                                                let (idx, fp) = jobs[k];
+                                                produced.push((
+                                                    idx,
+                                                    evaluate_shared_full(
+                                                        scene,
+                                                        base,
+                                                        &mut eng,
+                                                        &trials[idx],
+                                                        fp,
+                                                    ),
+                                                ));
+                                                k += worker_count;
+                                            }
+                                            (eng, produced)
+                                        })
+                                    })
+                                    .collect();
+                                handles
+                                    .into_iter()
+                                    .map(|h| h.join().expect("search worker panicked"))
+                                    .collect()
+                            });
+                            let mut collected = Vec::with_capacity(jobs.len());
+                            for (eng, produced) in finished {
+                                engines.push(eng);
+                                collected.extend(produced);
+                            }
+                            collected
+                        };
+                    self.workers.borrow_mut().append(&mut engines);
+                    for (idx, res) in produced {
+                        out[idx] = Some(res);
+                    }
+                }
+            }
+        }
+
+        // Pass 3: reduce into the memo in candidate-index order, with
+        // the prefilter stamps — the exact insertion/eviction sequence
+        // a sequential run of these misses would have produced.
+        for (i, plan) in plans.iter_mut().enumerate() {
+            match plan {
+                Plan::Hit => {}
+                Plan::Miss(m) => {
+                    let miss = &mut misses[*m];
+                    let result = out[i].clone().expect("miss evaluated in pass 2");
+                    engine.evict_if_full();
+                    engine.memo.insert(
+                        std::mem::take(&mut miss.key),
+                        MemoEntry {
+                            result,
+                            stamp: miss.stamp,
+                        },
+                    );
+                }
+                Plan::Dup(of, stamp, key) => {
+                    out[i] = out[*of].clone();
+                    if let Some(hit) = engine.memo.get_mut(key) {
+                        hit.stamp = *stamp;
+                    }
+                }
+            }
+        }
+        self.counts.set(counts);
+        out.into_iter()
+            .map(|r| r.expect("every candidate planned"))
+            .collect()
+    }
+
+    /// Builds `n` private chain lanes for the SA portfolio, each with
+    /// its own [`EvalEngine`] (delta splicing enabled) sharing this
+    /// context's `Arc<FrozenBase>`. Returns `None` when no shareable
+    /// base exists (naive pipeline, or the bake failed — the classic
+    /// path's initial evaluation surfaces the same error).
+    pub(crate) fn chain_contexts(&self, n: usize) -> Option<Vec<ChainCtx<'a>>> {
+        if self.naive {
+            return None;
+        }
+        let mut engine = self.engine.borrow_mut();
+        let base = engine.base.get_or_insert_with(|| {
+            FrozenBase::new(self.arch, self.frozen, self.horizon).map(Arc::new)
+        });
+        let base = match base {
+            Ok(b) => Arc::clone(b),
+            Err(_) => return None,
+        };
+        let scene = self.scene();
+        Some(
+            (0..n)
+                .map(|_| ChainCtx {
+                    scene,
+                    engine: EvalEngine {
+                        base: Some(Ok(Arc::clone(&base))),
+                        ..EvalEngine::default()
+                    },
+                    counts: EngineCounts::default(),
+                    full_engine: self.full_engine,
+                })
+                .collect(),
+        )
+    }
+
+    /// Merges finished chain lanes back into this context's counters.
+    /// Callers pass chains in chain-index order; since addition is
+    /// order-independent the totals are identical for any execution
+    /// interleaving — the counters a portfolio run reports depend only
+    /// on the per-chain trajectories, never on the thread count.
+    pub(crate) fn absorb_chains(&self, chains: Vec<ChainCtx<'_>>) {
+        let mut counts = self.counts.get();
+        let mut diag = self.absorbed.get();
+        for c in chains {
+            counts.evaluations += c.counts.evaluations;
+            counts.raw_schedules += c.counts.raw_schedules;
+            counts.memo_hits += c.counts.memo_hits;
+            diag.delta_schedules += c.engine.scheduler.delta_schedule_count();
+            diag.spliced_steps += c.engine.scheduler.spliced_step_count();
+            diag.replayed_steps += c.engine.scheduler.replayed_step_count();
+        }
+        self.counts.set(counts);
+        self.absorbed.set(diag);
+    }
+}
+
+/// A private evaluation lane for one SA portfolio chain: its own engine
+/// (scheduler + record cache + memo + objective caches, delta splicing
+/// enabled) sharing the scenario's `Arc<FrozenBase>`, plus its own
+/// counters. `ChainCtx` is `Send`, so chain segments execute on scoped
+/// worker threads; the owning context absorbs the counters afterwards
+/// via [`MappingContext::absorb_chains`].
+pub(crate) struct ChainCtx<'a> {
+    scene: Scene<'a>,
+    engine: EvalEngine,
+    counts: EngineCounts,
+    full_engine: bool,
+}
+
+impl ChainCtx<'_> {
+    /// Schedules and scores one design alternative on this chain's
+    /// private engine, counting one evaluation.
+    pub(crate) fn evaluate(&mut self, solution: &Solution) -> Result<Evaluation, SchedError> {
+        self.counts.evaluations += 1;
+        engine_evaluate(
+            &self.scene,
+            &mut self.engine,
+            &mut self.counts,
+            self.full_engine,
+            solution,
+        )
+    }
+
+    /// Re-derives an evaluation for exchange bookkeeping without
+    /// counting a design-space probe (the portfolio analogue of
+    /// [`MappingContext::evaluate_snapshot`]).
+    pub(crate) fn evaluate_snapshot(
+        &mut self,
+        solution: &Solution,
+    ) -> Result<Evaluation, SchedError> {
+        engine_evaluate(
+            &self.scene,
+            &mut self.engine,
+            &mut self.counts,
+            self.full_engine,
+            solution,
+        )
+    }
+}
+
+/// Compile-time pins for the guarantees the scoped-thread code relies
+/// on: the scene is shared immutably across workers, engines and
+/// results move between threads. (`thread::scope` would reject the code
+/// anyway — this states the contract in one place.)
+#[allow(dead_code)]
+fn parallel_safety_asserts(scene: Scene<'_>, engine: EvalEngine, chain: ChainCtx<'_>) {
+    fn assert_send<T: Send>(_: T) {}
+    fn assert_sync<T: Sync>(_: T) {}
+    assert_sync(scene);
+    assert_send(engine);
+    assert_send(chain);
+    let _ = assert_send::<Result<Evaluation, SchedError>>;
 }
 
 #[cfg(test)]
@@ -828,5 +1414,63 @@ mod tests {
         mapping.assign(ProcRef::new(0, NodeId(0)), PeId(0));
         let err = ctx.evaluate(&Solution::from_mapping(mapping)).unwrap_err();
         assert!(err.is_infeasible());
+    }
+
+    #[test]
+    fn record_cache_cap_accepts_digits_only() {
+        // The accepted range of `INCDES_RECORD_CACHE_CAP`: any
+        // non-negative integer, 0 disabling cached-record splicing.
+        assert_eq!(parse_record_cache_cap("0"), Some(0));
+        assert_eq!(parse_record_cache_cap("4"), Some(4));
+        assert_eq!(parse_record_cache_cap(" 8 "), Some(8));
+        // Anything else is rejected (and warned about once at runtime).
+        assert_eq!(parse_record_cache_cap(""), None);
+        assert_eq!(parse_record_cache_cap("four"), None);
+        assert_eq!(parse_record_cache_cap("-1"), None);
+        assert_eq!(parse_record_cache_cap("1.5"), None);
+    }
+
+    #[test]
+    fn memo_eviction_retains_recent_record_keys() {
+        let arch = arch2();
+        let app = one_proc_app();
+        let future = FutureProfile::slide_example();
+        let weights = Weights::default();
+        let ctx = MappingContext::new(
+            &arch,
+            AppId(0),
+            &app,
+            None,
+            Time::new(120),
+            &future,
+            &weights,
+        );
+        let pr = ProcRef::new(0, NodeId(0));
+        let mut mapping = Mapping::new();
+        mapping.assign(pr, PeId(0));
+        let base = Solution::from_mapping(mapping);
+        let sol =
+            |gap: u32| base.with_move(&crate::solution::Move::ProcSlack { proc_ref: pr, gap });
+        // Fill the memo exactly to capacity with distinct solutions
+        // (stamps 1..=MEMO_CAP); the record cache ends up naming the
+        // last RECORD_CACHE_CAP of them.
+        for gap in 0..MEMO_CAP as u32 {
+            let _ = ctx.evaluate(&sol(gap));
+        }
+        // Freshen an old prefix so the "stale half" cutoff lands above
+        // the stamps of the solutions the record cache still names.
+        for gap in 0..300u32 {
+            let _ = ctx.evaluate(&sol(gap));
+        }
+        // One more distinct solution triggers eviction on its miss.
+        let _ = ctx.evaluate(&sol(MEMO_CAP as u32));
+        let engine = ctx.engine.borrow();
+        assert!(!engine.recent.is_empty());
+        for (fp, key) in &engine.recent {
+            assert!(
+                engine.memo.contains_key(key),
+                "record-cache fingerprint {fp:#x} names an evicted memo key"
+            );
+        }
     }
 }

@@ -61,7 +61,7 @@ pub mod sa;
 pub mod solution;
 pub mod strategy;
 
-pub use context::{Evaluation, MapError, MappingContext};
+pub use context::{Evaluation, MapError, MappingContext, SearchParallelism};
 pub use im::initial_mapping;
 pub use mh::{mapping_heuristic, MhConfig};
 pub use sa::{simulated_annealing, SaConfig};

@@ -99,13 +99,18 @@ pub fn mapping_heuristic(
         let mut tried: HashSet<Move> = HashSet::new();
         loop {
             let moves = candidate_moves(ctx, &current, &current_eval, &widened);
+            // The round's fresh (not yet tried) moves, in candidate
+            // order, evaluated as one batch: sequentially or over the
+            // context's worker pool, per its `SearchParallelism`. The
+            // reduction below walks the results in candidate-index
+            // order with first-improving acceptance, so the committed
+            // move is identical at any thread count.
+            let fresh: Vec<Move> = moves.into_iter().filter(|mv| tried.insert(*mv)).collect();
+            let trials: Vec<Solution> = fresh.iter().map(|mv| current.with_move(mv)).collect();
+            let results = ctx.evaluate_all(&trials);
             let mut best: Option<(Move, Evaluation)> = None;
-            for mv in moves {
-                if !tried.insert(mv) {
-                    continue; // already evaluated against `current`
-                }
-                let trial = current.with_move(&mv);
-                let Ok(eval) = ctx.evaluate(&trial) else {
+            for (mv, result) in fresh.iter().zip(results) {
+                let Ok(eval) = result else {
                     continue; // infeasible move — skip
                 };
                 let better = match &best {
@@ -113,7 +118,7 @@ pub fn mapping_heuristic(
                     Some((_, b)) => eval.cost.total < b.cost.total - 1e-9,
                 };
                 if better {
-                    best = Some((mv, eval));
+                    best = Some((*mv, eval));
                 }
             }
             if let Some((mv, eval)) = best {

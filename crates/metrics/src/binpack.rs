@@ -116,17 +116,24 @@ pub fn multiset_insert(bins: &mut BTreeMap<Time, u32>, cap: Time) {
 
 /// Removes one container of capacity `cap` from a capacity multiset.
 ///
-/// # Panics
-///
-/// Panics if no container of that capacity is present — the incremental
-/// C1 cache only removes capacities it previously inserted.
-pub fn multiset_remove(bins: &mut BTreeMap<Time, u32>, cap: Time) {
+/// Returns `false` — leaving the multiset untouched — when no container
+/// of that capacity is present. Callers that provably inserted the
+/// capacity assert on the result; callers maintaining a long-lived
+/// multiset (the incremental C1 cache) treat `false` as proof of a
+/// stale/desynced cache and fall back to a full repack instead of
+/// killing the campaign worker.
+#[must_use]
+pub fn multiset_remove(bins: &mut BTreeMap<Time, u32>, cap: Time) -> bool {
     match bins.get_mut(&cap) {
-        Some(n) if *n > 1 => *n -= 1,
+        Some(n) if *n > 1 => {
+            *n -= 1;
+            true
+        }
         Some(_) => {
             bins.remove(&cap);
+            true
         }
-        None => panic!("multiset_remove of absent capacity {cap}"),
+        None => false,
     }
 }
 
@@ -193,7 +200,8 @@ pub fn pack_totals_multiset(
                     };
                     let q = (run as u64).min(c.ticks() / size.ticks());
                     let batch = Time::new(size.ticks() * q);
-                    multiset_remove(bins, c);
+                    let removed = multiset_remove(bins, c);
+                    debug_assert!(removed, "capacity {c} came from this multiset");
                     ops.push((c, false));
                     let rem = c - batch;
                     multiset_insert(bins, rem);
@@ -212,7 +220,8 @@ pub fn pack_totals_multiset(
                         .and_then(|(&c, _)| (c >= size).then_some(c));
                     match cap {
                         Some(c) => {
-                            multiset_remove(bins, c);
+                            let removed = multiset_remove(bins, c);
+                            debug_assert!(removed, "capacity {c} came from this multiset");
                             ops.push((c, false));
                             let rem = c - size;
                             multiset_insert(bins, rem);
@@ -228,7 +237,8 @@ pub fn pack_totals_multiset(
     }
     for &(cap, inserted) in ops.iter().rev() {
         if inserted {
-            multiset_remove(bins, cap);
+            let removed = multiset_remove(bins, cap);
+            debug_assert!(removed, "reverting an insertion this call made");
         } else {
             multiset_insert(bins, cap);
         }

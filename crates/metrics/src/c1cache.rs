@@ -109,10 +109,12 @@ impl C1Cache {
             || self.pe_seen.len() != slack.pe_count()
             || self.bytes_per_tick != arch.bus().bytes_per_tick
             || self.future.as_ref() != Some(future);
-        if fresh {
+        if fresh || !self.patch(slack) {
+            // A failed patch means a seen-list/multiset mismatch (stale
+            // or raced cache state — e.g. a seen `Arc` that was swapped
+            // out from under the cache): the multisets can no longer be
+            // trusted, so repack everything from the slack profile.
             self.rebuild(arch, slack, future, policy);
-        } else {
-            self.patch(slack);
         }
         let proc = pack_totals_multiset(&self.proc_items, &mut self.pe_bins, policy)
             .expect("policy checked above");
@@ -161,7 +163,12 @@ impl C1Cache {
     }
 
     /// Patch pass: swap out only the resources whose storage changed.
-    fn patch(&mut self, slack: &SlackProfile) {
+    ///
+    /// Returns `false` when a seen gap is missing from its multiset —
+    /// the cache state is inconsistent with what was actually inserted
+    /// (stale or raced), the multisets are left partially modified, and
+    /// the caller must [`rebuild`](Self::rebuild).
+    fn patch(&mut self, slack: &SlackProfile) -> bool {
         for i in 0..self.pe_seen.len() {
             let shared = slack.gaps_shared(incdes_model::PeId(i as u32));
             if Arc::ptr_eq(&self.pe_seen[i], shared) {
@@ -169,7 +176,9 @@ impl C1Cache {
             }
             self.patched_resources += 1;
             for &(s, e) in self.pe_seen[i].iter() {
-                multiset_remove(&mut self.pe_bins, e - s);
+                if !multiset_remove(&mut self.pe_bins, e - s) {
+                    return false;
+                }
             }
             for &(s, e) in shared.iter() {
                 multiset_insert(&mut self.pe_bins, e - s);
@@ -185,7 +194,9 @@ impl C1Cache {
             self.patched_resources += 1;
             if let Some(seen) = &self.bus_seen {
                 for &(s, e) in seen.iter() {
-                    multiset_remove(&mut self.bus_bins, e - s);
+                    if !multiset_remove(&mut self.bus_bins, e - s) {
+                        return false;
+                    }
                 }
             }
             for &(s, e) in shared.iter() {
@@ -193,6 +204,7 @@ impl C1Cache {
             }
             self.bus_seen = Some(Arc::clone(shared));
         }
+        true
     }
 }
 
@@ -287,6 +299,54 @@ mod tests {
             c1m,
             c1_messages(&arch, &slack, &future, FitPolicy::WorstFit)
         );
+    }
+
+    /// A cache whose seen-storage lineage no longer matches what was
+    /// inserted (a stale/raced patch — the seen `Arc` names gaps that
+    /// were never added to the multiset) must detect the inconsistency
+    /// and fall back to a full repack instead of panicking inside
+    /// `multiset_remove`.
+    #[test]
+    fn mismatched_lineage_falls_back_to_rebuild() {
+        let arch = arch2();
+        let future = profile();
+        let mut cache = C1Cache::new();
+        let pe1 = Arc::new(vec![(t(0), t(100))]);
+        let bus = Arc::new(vec![(t(0), t(10))]);
+        let first = SlackProfile::from_shared(
+            t(480),
+            vec![Arc::new(vec![(t(0), t(30))]), Arc::clone(&pe1)],
+            Arc::clone(&bus),
+        );
+        cache
+            .c1_terms(&arch, &first, &future, FitPolicy::BestFit)
+            .unwrap();
+        // Simulate the raced state: PE0's seen storage is swapped for an
+        // Arc whose gaps were never inserted into `pe_bins`.
+        cache.pe_seen[0] = Arc::new(vec![(t(0), t(77))]);
+        let second = SlackProfile::from_shared(
+            t(480),
+            vec![Arc::new(vec![(t(0), t(60))]), Arc::clone(&pe1)],
+            Arc::clone(&bus),
+        );
+        let (c1p, c1m) = cache
+            .c1_terms(&arch, &second, &future, FitPolicy::BestFit)
+            .unwrap();
+        assert_eq!(c1p, c1_processes(&second, &future, FitPolicy::BestFit));
+        assert_eq!(
+            c1m,
+            c1_messages(&arch, &second, &future, FitPolicy::BestFit)
+        );
+        // And the repaired cache keeps patching correctly afterwards.
+        let third = SlackProfile::from_shared(
+            t(480),
+            vec![Arc::new(vec![(t(10), t(25))]), Arc::clone(&pe1)],
+            Arc::clone(&bus),
+        );
+        let (c1p, _) = cache
+            .c1_terms(&arch, &third, &future, FitPolicy::BestFit)
+            .unwrap();
+        assert_eq!(c1p, c1_processes(&third, &future, FitPolicy::BestFit));
     }
 
     /// A future-profile change (new context reusing a cache) forces a
