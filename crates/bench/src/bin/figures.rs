@@ -4,10 +4,12 @@
 //! figures [f1|f2|f3|t1|ablate-fit|ablate-mh|all] [--small]
 //! figures campaign [--spec FILE] [--workers N] [--shard I/N]
 //!                  [--store [DIR]] [--no-cache] [--gc] [--out FILE]
+//!                  [--stats-json FILE] [--profile-out FILE]
 //! figures merge SHARD.json... [--out FILE]
 //! figures tables REPORT.json [--csv FILE]
 //! figures bench-store [--store DIR] [--out FILE]
 //! figures bench-eval [--out FILE] [--evals N] [--full]
+//!                    [--profile] [--trace FILE]
 //! ```
 //!
 //! `--small` switches to the scaled-down preset (seconds instead of
@@ -150,6 +152,8 @@ fn campaign_cmd(args: &[String]) {
     let mut no_cache = false;
     let mut gc = false;
     let mut out: Option<String> = None;
+    let mut stats_json: Option<String> = None;
+    let mut profile_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -178,6 +182,12 @@ fn campaign_cmd(args: &[String]) {
             "--no-cache" => no_cache = true,
             "--gc" => gc = true,
             "--out" => out = Some(flag_value(args, &mut i, "--out").to_string()),
+            "--stats-json" => {
+                stats_json = Some(flag_value(args, &mut i, "--stats-json").to_string());
+            }
+            "--profile-out" => {
+                profile_out = Some(flag_value(args, &mut i, "--profile-out").to_string());
+            }
             other => die(format!("unknown campaign flag `{other}`")),
         }
         i += 1;
@@ -204,8 +214,18 @@ fn campaign_cmd(args: &[String]) {
         store: store.as_ref(),
         shard,
     };
-    let StoredCampaign { report, stats } =
-        run_campaign_store(&spec, &opts).unwrap_or_else(|e| die(e));
+    // Arm the wall-clock phase timers only when a profile is requested —
+    // the report itself is byte-identical either way (timers and
+    // counters are strictly out-of-band).
+    if profile_out.is_some() {
+        incdes_obs::phase::set_enabled(true);
+    }
+    let StoredCampaign {
+        report,
+        stats,
+        profiles,
+    } = run_campaign_store(&spec, &opts).unwrap_or_else(|e| die(e));
+    incdes_obs::phase::set_enabled(false);
     // Accounting goes to stderr: stdout must stay byte-stable so
     // sharded CI logs are auditable without perturbing artifacts.
     eprintln!(
@@ -220,6 +240,39 @@ fn campaign_cmd(args: &[String]) {
         stats.corrupt,
         stats.store_errors,
     );
+    // Machine-parseable mirror of the stderr accounting — a side file,
+    // never the stdout report.
+    if let Some(path) = &stats_json {
+        let json = format!(
+            "{{\"scenarios\":{},\"selected\":{},\"hits\":{},\"executed\":{},\
+             \"corrupt\":{},\"store_errors\":{}}}\n",
+            stats.scenarios,
+            stats.selected,
+            stats.hits,
+            stats.executed,
+            stats.corrupt,
+            stats.store_errors,
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| die(format!("cannot write {path}: {e}")));
+    }
+    // Per-scenario observability profiles (executed scenarios only;
+    // cache hits did their work in an earlier process).
+    if let Some(path) = &profile_out {
+        let mut json = format!("{{\"campaign\":{:?},\"scenarios\":[", spec.name);
+        for (k, p) in profiles.iter().enumerate() {
+            if k > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!(
+                "{{\"index\":{},\"counters\":{},\"phases\":{}}}",
+                p.index,
+                p.counters.to_json(),
+                p.phases.to_json(),
+            ));
+        }
+        json.push_str("]}\n");
+        std::fs::write(path, json).unwrap_or_else(|e| die(format!("cannot write {path}: {e}")));
+    }
     if gc {
         if let Some(store) = &store {
             let live = live_keys(&spec).unwrap_or_else(|e| die(e));
@@ -366,6 +419,8 @@ fn bench_eval_cmd(args: &[String]) {
     let mut evals = 400usize;
     let mut threads = 4usize;
     let mut full = false;
+    let mut profile = false;
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -384,6 +439,8 @@ fn bench_eval_cmd(args: &[String]) {
                 }
             }
             "--full" => full = true,
+            "--profile" => profile = true,
+            "--trace" => trace_out = Some(flag_value(args, &mut i, "--trace").to_string()),
             other => die(format!("unknown bench-eval flag `{other}`")),
         }
         i += 1;
@@ -396,7 +453,7 @@ fn bench_eval_cmd(args: &[String]) {
     let (mh_cfg, sa_cfg) = configs(!full);
 
     let t0 = Instant::now();
-    let bench = incdes_bench::run_eval_bench(&preset, evals, &mh_cfg, &sa_cfg, threads);
+    let bench = incdes_bench::run_eval_bench(&preset, evals, &mh_cfg, &sa_cfg, threads, profile);
     eprintln!(
         "# bench-eval: {} sizes x {} evals + 3 strategies in {:.1?}",
         bench.raw.len(),
@@ -545,6 +602,46 @@ fn bench_eval_cmd(args: &[String]) {
             "# bench-eval: hardware has {hw} thread(s) < requested {threads}; \
              parallel-vs-sequential gate skipped (numbers still recorded)"
         );
+    }
+
+    // Profiling gate: the five core phases (undo/splice/replace/slack/
+    // objective) must explain ≥ 90 % of the profiled delta pass on the
+    // largest base, after discounting the separately-reported memo and
+    // bake planes and the calibrated timer self-overhead (at a few µs
+    // per evaluation, clock reads are a double-digit share of wall).
+    // Lower coverage means the breakdown is blind to where the
+    // delta-evaluation time actually goes.
+    if profile {
+        let p = largest.profile.expect("--profile fills every raw row");
+        eprintln!(
+            "# bench-eval profile (largest base): undo {:.2}ms splice {:.2}ms \
+             replace {:.2}ms slack {:.2}ms objective {:.2}ms memo {:.2}ms \
+             bake {:.2}ms prio {:.2}ms | wall {:.2}ms timers {:.2}ms coverage {:.1}%",
+            p.undo_ms,
+            p.splice_ms,
+            p.replace_ms,
+            p.slack_ms,
+            p.objective_ms,
+            p.memo_ms,
+            p.bake_ms,
+            p.priority_refresh_ms,
+            p.wall_ms,
+            p.timer_overhead_ms,
+            p.coverage * 100.0,
+        );
+        if p.coverage < 0.90 {
+            die(format!(
+                "profiled phases cover only {:.1}% of the delta-evaluation wall-clock \
+                 on the largest base (expected >= 90%)",
+                p.coverage * 100.0
+            ));
+        }
+    }
+
+    if let Some(path) = &trace_out {
+        let trace = incdes_bench::capture_trace(&preset, evals.min(256));
+        std::fs::write(path, &trace).unwrap_or_else(|e| die(format!("cannot write {path}: {e}")));
+        eprintln!("# bench-eval: chrome trace -> {path}");
     }
 
     let json = incdes_bench::eval_bench::render_json(&bench, preset_name);

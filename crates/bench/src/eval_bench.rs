@@ -24,6 +24,8 @@ use incdes_mapping::{
 };
 use incdes_model::time::hyperperiod;
 use incdes_model::{AppId, Application, PeId, ProcRef, Time};
+use incdes_obs::phase::{self, Phase, PhaseSnapshot};
+use incdes_obs::trace;
 use incdes_sched::{MsgRef, ScheduleTable};
 use incdes_synth::paper::PaperPreset;
 use rand::prelude::*;
@@ -68,6 +70,98 @@ pub struct EvalBenchRow {
     pub delta_schedules: usize,
     /// Placement steps spliced verbatim from run records.
     pub spliced_steps: usize,
+    /// Per-phase wall-clock of one extra profiled delta pass (`None`
+    /// unless the benchmark ran with profiling on).
+    pub profile: Option<PhaseBreakdown>,
+}
+
+/// Per-phase wall-clock of one profiled delta evaluation pass — the
+/// `--profile` column set of `BENCH_eval.json`. All times come from the
+/// `obs` timer plane; the pass is *extra* (run after the timed
+/// repetitions), so profiling never skews the reported throughputs.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseBreakdown {
+    /// Splice-point rollback (timeline truncation).
+    pub undo_ms: f64,
+    /// Record ranking, diffing and step replay/splicing.
+    pub splice_ms: f64,
+    /// Priority-driven placement of the remaining jobs.
+    pub replace_ms: f64,
+    /// Slack-profile extraction.
+    pub slack_ms: f64,
+    /// Objective scoring through the C1/C2 caches.
+    pub objective_ms: f64,
+    /// Memo lookups and insertions (outside the five core phases).
+    pub memo_ms: f64,
+    /// Frozen-base bakes (amortized across the pass).
+    pub bake_ms: f64,
+    /// Priority recomputation on cost changes.
+    pub priority_refresh_ms: f64,
+    /// Wall-clock of the whole profiled pass.
+    pub wall_ms: f64,
+    /// Estimated wall-clock the timers themselves added: the measured
+    /// out-of-interval cost of one armed scope (two clock reads plus
+    /// bookkeeping, calibrated on this host at profile time) times the
+    /// number of scopes the pass recorded. At a few microseconds per
+    /// evaluation this is a double-digit percentage of the pass — the
+    /// resolution floor of RAII timing.
+    pub timer_overhead_ms: f64,
+    /// `(undo + splice + replace + slack + objective)` over the pass
+    /// wall-clock minus the separately-reported memo and bake planes
+    /// and the calibrated timer self-overhead — the fraction of the
+    /// *delta-evaluation* wall-clock the five core phases explain.
+    /// Capped at 1.0 (the calibration is a host-level estimate).
+    pub coverage: f64,
+}
+
+impl PhaseBreakdown {
+    fn from_snapshot(snap: &PhaseSnapshot, wall_ms: f64, scope_overhead_ns: f64) -> PhaseBreakdown {
+        let ms = |p: Phase| snap.total_ns(p) as f64 / 1e6;
+        let core = ms(Phase::Undo)
+            + ms(Phase::Splice)
+            + ms(Phase::RePlace)
+            + ms(Phase::Slack)
+            + ms(Phase::Objective);
+        let scopes: u64 = Phase::ALL.iter().map(|&p| snap.get(p).count).sum();
+        let timer_overhead_ms = scopes as f64 * scope_overhead_ns / 1e6;
+        // Memo service and base bakes are measured planes of their own
+        // (their columns stand alone); what the five phases must
+        // explain is the remaining delta-evaluation wall-clock.
+        let denom = (wall_ms - ms(Phase::Memo) - ms(Phase::Bake) - timer_overhead_ms).max(1e-9);
+        PhaseBreakdown {
+            undo_ms: ms(Phase::Undo),
+            splice_ms: ms(Phase::Splice),
+            replace_ms: ms(Phase::RePlace),
+            slack_ms: ms(Phase::Slack),
+            objective_ms: ms(Phase::Objective),
+            memo_ms: ms(Phase::Memo),
+            bake_ms: ms(Phase::Bake),
+            priority_refresh_ms: ms(Phase::PriorityRefresh),
+            wall_ms,
+            timer_overhead_ms,
+            coverage: (core / denom).min(1.0),
+        }
+    }
+}
+
+/// Measures what one armed [`phase::scope`] costs *around* its recorded
+/// interval on this host: a tight loop of empty scopes is timed with
+/// one outer clock, the nanoseconds the scopes recorded for themselves
+/// are subtracted, and the difference is the per-scope out-of-interval
+/// overhead (clock-read pair + aggregate bookkeeping). The profiled
+/// pass uses it to discount timer self-cost from phase coverage.
+fn calibrate_scope_overhead_ns() -> f64 {
+    const CAL_SCOPES: usize = 64 * 1024;
+    let before = phase::snapshot();
+    phase::set_enabled(true);
+    let start = Instant::now();
+    for _ in 0..CAL_SCOPES {
+        let _scope = phase::scope(Phase::Bake);
+    }
+    let wall_ns = start.elapsed().as_nanos() as f64;
+    phase::set_enabled(false);
+    let recorded_ns = phase::snapshot().delta_since(&before).total_ns(Phase::Bake) as f64;
+    ((wall_ns - recorded_ns) / CAL_SCOPES as f64).max(0.0)
 }
 
 /// One row of the per-strategy comparison: a full `run_strategy` on a
@@ -241,8 +335,46 @@ fn solution_stream(scenario: &Scenario, count: usize) -> Vec<Solution> {
     stream
 }
 
+/// Times competing tiers (one `prepare` closure each, a shared `work`)
+/// over `reps` *interleaved* rounds: every round prepares and times all
+/// tiers back-to-back, so slow drift of the host (frequency scaling, a
+/// noisy neighbor waking up) hits every tier instead of whichever
+/// happened to run last — the property the delta-vs-engine wall-clock
+/// gates lean on. Per tier, setup stays off the clock and the minimum
+/// across rounds discards scheduler-noise outliers, as criterion
+/// would; the returned product and output are the last round's. The
+/// result vector is in tier order.
+fn time_min<C, T>(
+    reps: usize,
+    tiers: &mut [&mut dyn FnMut() -> C],
+    mut work: impl FnMut(&C) -> T,
+) -> Vec<(f64, C, T)> {
+    assert!(reps > 0, "at least one repetition");
+    let mut results: Vec<(f64, Option<(C, T)>)> =
+        tiers.iter().map(|_| (f64::INFINITY, None)).collect();
+    for _ in 0..reps {
+        for (tier, slot) in tiers.iter_mut().zip(&mut results) {
+            let c = tier();
+            let t = Instant::now();
+            let out = work(&c);
+            slot.0 = slot.0.min(t.elapsed().as_secs_f64());
+            slot.1 = Some((c, out));
+        }
+    }
+    results
+        .into_iter()
+        .map(|(best, last)| {
+            let (c, out) = last.expect("reps > 0");
+            (best, c, out)
+        })
+        .collect()
+}
+
 /// Runs the benchmark: raw-throughput rows for every size of the preset
-/// plus per-strategy rows, all on `preset.seeds[0]`.
+/// plus per-strategy rows, all on `preset.seeds[0]`. With `profile`
+/// set, each size runs one *extra* delta pass with the `obs` phase
+/// timers armed and reports the per-phase breakdown (the timed
+/// repetitions themselves always run with timers off).
 ///
 /// # Panics
 ///
@@ -254,6 +386,7 @@ pub fn run_eval_bench(
     mh_cfg: &MhConfig,
     sa_cfg: &SaConfig,
     threads: usize,
+    profile: bool,
 ) -> EvalBench {
     // One chain and a fixed exchange period keep the parallel mode
     // semantically identical to the sequential delta path (same
@@ -267,6 +400,10 @@ pub fn run_eval_bench(
     let seed = preset.seeds[0];
     let mut raw = Vec::new();
     let mut strategies = Vec::new();
+    // Calibrated once per bench run, before any profiled pass snapshots
+    // its baseline (the calibration scopes land in this thread's totals,
+    // which every row discounts via `delta_since`).
+    let scope_overhead_ns = profile.then(calibrate_scope_overhead_ns).unwrap_or(0.0);
 
     // Raw throughput: system-size sweep (a quarter, half and all of the
     // preset's existing system — the preset's own base is the largest
@@ -315,38 +452,50 @@ pub fn run_eval_bench(
 
         // Each repetition uses a *fresh* context (a cold memo — the
         // revisit hits inside one pass are the workload, carrying a warm
-        // memo across passes would not be); the minimum over repetitions
-        // discards scheduler-noise outliers, as criterion would.
+        // memo across passes would not be).
         const REPS: usize = 3;
-        let time_stream = |ctx: &MappingContext<'_>| -> f64 {
-            let t = Instant::now();
+        let run_stream = |ctx: &MappingContext<'_>| {
             for sol in &stream {
                 let _ = ctx.evaluate(sol);
             }
-            t.elapsed().as_secs_f64()
         };
         // Untimed warmup pass per pipeline (page cache, allocator).
-        time_stream(&scenario.context().with_naive_evaluation());
-        time_stream(&scenario.context().with_full_evaluation());
-        time_stream(&scenario.context());
+        run_stream(&scenario.context().with_naive_evaluation());
+        run_stream(&scenario.context().with_full_evaluation());
+        run_stream(&scenario.context());
 
-        let mut naive_secs = f64::INFINITY;
-        let mut engine_secs = f64::INFINITY;
-        let mut delta_secs = f64::INFINITY;
-        let mut memo_hits = 0;
-        let mut raw_schedules = 0;
-        let mut delta_schedules = 0;
-        let mut spliced_steps = 0;
-        for _ in 0..REPS {
-            naive_secs = naive_secs.min(time_stream(&scenario.context().with_naive_evaluation()));
-            engine_secs = engine_secs.min(time_stream(&scenario.context().with_full_evaluation()));
-            let delta_ctx = scenario.context();
-            delta_secs = delta_secs.min(time_stream(&delta_ctx));
-            memo_hits = delta_ctx.memo_hit_count();
-            raw_schedules = delta_ctx.raw_schedule_count();
-            delta_schedules = delta_ctx.delta_schedule_count();
-            spliced_steps = delta_ctx.spliced_step_count();
-        }
+        let mut timed = time_min(
+            REPS,
+            &mut [
+                &mut || scenario.context().with_naive_evaluation(),
+                &mut || scenario.context().with_full_evaluation(),
+                &mut || scenario.context(),
+            ],
+            run_stream,
+        )
+        .into_iter();
+        let (naive_secs, _, ()) = timed.next().expect("three tiers");
+        let (engine_secs, _, ()) = timed.next().expect("three tiers");
+        let (delta_secs, delta_ctx, ()) = timed.next().expect("three tiers");
+        let memo_hits = delta_ctx.memo_hit_count();
+        let raw_schedules = delta_ctx.raw_schedule_count();
+        let delta_schedules = delta_ctx.delta_schedule_count();
+        let spliced_steps = delta_ctx.spliced_step_count();
+
+        // One extra pass with the phase timers armed — strictly after
+        // the timed repetitions so profiling overhead never touches the
+        // reported throughputs.
+        let profile_row = profile.then(|| {
+            let ctx = scenario.context();
+            let before = phase::snapshot();
+            phase::set_enabled(true);
+            let t = Instant::now();
+            run_stream(&ctx);
+            let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+            phase::set_enabled(false);
+            let delta = phase::snapshot().delta_since(&before);
+            PhaseBreakdown::from_snapshot(&delta, wall_ms, scope_overhead_ns)
+        });
 
         raw.push(EvalBenchRow {
             size: system_size,
@@ -363,6 +512,7 @@ pub fn run_eval_bench(
             raw_schedules,
             delta_schedules,
             spliced_steps,
+            profile: profile_row,
         });
     }
 
@@ -380,40 +530,27 @@ pub fn run_eval_bench(
             Strategy::MappingHeuristic(*mh_cfg),
             Strategy::SimulatedAnnealing(*sa_cfg),
         ] {
-            let mut naive_ms = f64::INFINITY;
-            let mut engine_ms = f64::INFINITY;
-            let mut delta_ms = f64::INFINITY;
-            let mut par_ms = f64::INFINITY;
-            let mut naive_out = None;
-            let mut engine_out = None;
-            let mut delta_out = None;
-            let mut par_out = None;
-            for _ in 0..STRAT_REPS {
-                let naive_ctx = scenario.context().with_naive_evaluation();
-                let t0 = Instant::now();
-                naive_out = Some(run_strategy(&naive_ctx, &strategy));
-                naive_ms = naive_ms.min(t0.elapsed().as_secs_f64() * 1e3);
-
-                let engine_ctx = scenario.context().with_full_evaluation();
-                let t1 = Instant::now();
-                engine_out = Some(run_strategy(&engine_ctx, &strategy));
-                engine_ms = engine_ms.min(t1.elapsed().as_secs_f64() * 1e3);
-
-                let delta_ctx = scenario.context();
-                let t2 = Instant::now();
-                delta_out = Some(run_strategy(&delta_ctx, &strategy));
-                delta_ms = delta_ms.min(t2.elapsed().as_secs_f64() * 1e3);
-
-                let par_ctx = scenario.context().with_parallelism(par);
-                let t3 = Instant::now();
-                par_out = Some(run_strategy(&par_ctx, &strategy));
-                par_ms = par_ms.min(t3.elapsed().as_secs_f64() * 1e3);
-            }
-            let (naive_out, engine_out, delta_out, par_out) = (
-                naive_out.expect("at least one rep"),
-                engine_out.expect("at least one rep"),
-                delta_out.expect("at least one rep"),
-                par_out.expect("at least one rep"),
+            let time_strategy = |ctx: &MappingContext<'_>| run_strategy(ctx, &strategy);
+            let mut timed = time_min(
+                STRAT_REPS,
+                &mut [
+                    &mut || scenario.context().with_naive_evaluation(),
+                    &mut || scenario.context().with_full_evaluation(),
+                    &mut || scenario.context(),
+                    &mut || scenario.context().with_parallelism(par),
+                ],
+                time_strategy,
+            )
+            .into_iter();
+            let (naive_secs, _, naive_out) = timed.next().expect("four tiers");
+            let (engine_secs, _, engine_out) = timed.next().expect("four tiers");
+            let (delta_secs, _, delta_out) = timed.next().expect("four tiers");
+            let (par_secs, _, par_out) = timed.next().expect("four tiers");
+            let (naive_ms, engine_ms, delta_ms, par_ms) = (
+                naive_secs * 1e3,
+                engine_secs * 1e3,
+                delta_secs * 1e3,
+                par_secs * 1e3,
             );
 
             let evaluations = match (&naive_out, &engine_out, &delta_out) {
@@ -477,6 +614,27 @@ pub fn run_eval_bench(
     }
 }
 
+/// Captures a chrome://tracing-compatible trace of one delta evaluation
+/// chain (`evals` solutions on the preset's full-size frozen base) and
+/// returns the trace-event JSON. Arms the phase timers for the duration
+/// of the capture; the chain itself is the same deterministic stream
+/// `run_eval_bench` times.
+pub fn capture_trace(preset: &PaperPreset, evals: usize) -> String {
+    let seed = preset.seeds[0];
+    let current = preset.current_sizes[preset.current_sizes.len() / 2];
+    let scenario = Scenario::build(preset, current, seed);
+    let stream = solution_stream(&scenario, evals);
+    let ctx = scenario.context();
+    phase::set_enabled(true);
+    trace::start();
+    for sol in &stream {
+        let _ = ctx.evaluate(sol);
+    }
+    let events = trace::stop();
+    phase::set_enabled(false);
+    trace::render_chrome(&events)
+}
+
 /// Renders the benchmark as the `BENCH_eval.json` artifact.
 pub fn render_json(bench: &EvalBench, preset_name: &str) -> String {
     let mut out = String::new();
@@ -486,12 +644,32 @@ pub fn render_json(bench: &EvalBench, preset_name: &str) -> String {
     out.push_str(&format!("  \"search_threads\": {},\n", bench.threads));
     out.push_str("  \"raw\": [\n");
     for (i, r) in bench.raw.iter().enumerate() {
+        let profile_cols = r.profile.map_or_else(String::new, |p| {
+            format!(
+                ", \"undo_ms\": {:.3}, \"splice_ms\": {:.3}, \"replace_ms\": {:.3}, \
+                 \"slack_ms\": {:.3}, \"objective_ms\": {:.3}, \"memo_ms\": {:.3}, \
+                 \"bake_ms\": {:.3}, \"priority_refresh_ms\": {:.3}, \
+                 \"phase_wall_ms\": {:.3}, \"phase_timer_overhead_ms\": {:.3}, \
+                 \"phase_coverage\": {:.3}",
+                p.undo_ms,
+                p.splice_ms,
+                p.replace_ms,
+                p.slack_ms,
+                p.objective_ms,
+                p.memo_ms,
+                p.bake_ms,
+                p.priority_refresh_ms,
+                p.wall_ms,
+                p.timer_overhead_ms,
+                p.coverage,
+            )
+        });
         out.push_str(&format!(
             "    {{\"system_size\": {}, \"current\": {}, \"frozen_jobs\": {}, \"evals\": {}, \
              \"naive_evals_per_sec\": {:.1}, \"engine_evals_per_sec\": {:.1}, \
              \"delta_evals_per_sec\": {:.1}, \"speedup\": {:.2}, \"delta_speedup\": {:.2}, \
              \"delta_vs_engine\": {:.2}, \"memo_hits\": {}, \"raw_schedules\": {}, \
-             \"delta_schedules\": {}, \"spliced_steps\": {}}}{}\n",
+             \"delta_schedules\": {}, \"spliced_steps\": {}{}}}{}\n",
             r.size,
             r.current,
             r.frozen_jobs,
@@ -506,6 +684,7 @@ pub fn render_json(bench: &EvalBench, preset_name: &str) -> String {
             r.raw_schedules,
             r.delta_schedules,
             r.spliced_steps,
+            profile_cols,
             if i + 1 < bench.raw.len() { "," } else { "" },
         ));
     }
@@ -563,6 +742,7 @@ mod tests {
                 ..SaConfig::quick()
             },
             2,
+            true,
         );
         assert_eq!(bench.raw.len(), 3);
         assert_eq!(bench.strategies.len(), 3);
@@ -574,14 +754,40 @@ mod tests {
             "the single-move stream must engage the delta path"
         );
         assert!(r.spliced_steps > 0, "delta runs must splice prefixes");
+        let profile = r.profile.expect("profiling was requested");
+        assert!(profile.wall_ms > 0.0);
+        assert!(
+            profile.splice_ms + profile.replace_ms > 0.0,
+            "the profiled pass must record scheduling phases"
+        );
         let json = render_json(&bench, "test");
         assert!(json.contains("\"bench\": \"eval_engine\""));
         assert!(json.contains("\"delta_evals_per_sec\""));
         assert!(json.contains("\"delta_ms\""));
         assert!(json.contains("\"par_ms\""));
         assert!(json.contains("\"search_threads\": 2"));
+        for col in [
+            "\"undo_ms\"",
+            "\"splice_ms\"",
+            "\"replace_ms\"",
+            "\"slack_ms\"",
+            "\"objective_ms\"",
+            "\"phase_coverage\"",
+        ] {
+            assert!(json.contains(col), "missing profile column {col}");
+        }
         for row in &bench.strategies {
             assert!(row.par_ms.is_finite() && row.par_ms > 0.0);
         }
+    }
+
+    #[test]
+    fn trace_capture_produces_chrome_events() {
+        let mut preset = dac2001_small();
+        preset.current_sizes = vec![8];
+        preset.existing_processes = 20;
+        let json = capture_trace(&preset, 12);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""), "no complete events traced");
     }
 }

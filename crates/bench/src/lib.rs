@@ -36,7 +36,9 @@
 pub mod eval_bench;
 pub mod tables;
 
-pub use eval_bench::{run_eval_bench, EvalBench, EvalBenchRow, StrategyBenchRow};
+pub use eval_bench::{
+    capture_trace, run_eval_bench, EvalBench, EvalBenchRow, PhaseBreakdown, StrategyBenchRow,
+};
 
 use incdes_core::System;
 use incdes_explore::{

@@ -226,6 +226,24 @@ pub struct StoredCampaign {
     pub report: CampaignReport,
     /// Cache accounting (in-memory only; see [`CacheStats`]).
     pub stats: CacheStats,
+    /// Per-scenario observability profiles for the scenarios that
+    /// *executed* this run (cache hits carry none — their work happened
+    /// in some earlier process). Sorted by scenario index. Like
+    /// [`CacheStats`], this lives beside the report, never inside it.
+    pub profiles: Vec<ScenarioProfile>,
+}
+
+/// The observability slice of one executed scenario: deterministic
+/// counters plus (when enabled) per-phase wall-clock aggregates.
+#[derive(Debug, Clone)]
+pub struct ScenarioProfile {
+    /// Scenario index in the campaign grid.
+    pub index: usize,
+    /// Deterministic counter deltas for the scenario's work.
+    pub counters: incdes_obs::counters::CounterSnapshot,
+    /// Per-phase wall-clock aggregates (all zero unless phase timing
+    /// was enabled).
+    pub phases: incdes_obs::phase::PhaseSnapshot,
 }
 
 /// Runs `spec` against a persistent store: scenarios whose blob is
@@ -295,6 +313,7 @@ pub fn run_campaign_store(
     let store_keys: std::collections::HashMap<usize, StoreKey> =
         pending.iter().map(|(k, sk)| (k.index, *sk)).collect();
     let mut scenarios = cached;
+    let mut profiles = Vec::with_capacity(outcomes.len());
     for outcome in &outcomes {
         let report = ScenarioOutcome::report(outcome);
         if let Some(store) = opts.store {
@@ -305,9 +324,15 @@ pub fn run_campaign_store(
                 stats.store_errors += 1;
             }
         }
+        profiles.push(ScenarioProfile {
+            index: outcome.key.index,
+            counters: outcome.counters,
+            phases: outcome.phases,
+        });
         scenarios.push(report);
     }
     scenarios.sort_by_key(|s| s.index);
+    profiles.sort_by_key(|p| p.index);
     let totals = CampaignTotals::from_scenarios(&scenarios);
     Ok(StoredCampaign {
         report: CampaignReport {
@@ -316,6 +341,7 @@ pub fn run_campaign_store(
             totals,
         },
         stats,
+        profiles,
     })
 }
 

@@ -78,7 +78,7 @@ pub mod spec;
 
 pub use cache::{
     live_keys, merge_reports, run_campaign_store, scenario_store_key, CacheStats, MergeError,
-    Shard, StoreOptions, StoredCampaign, CODE_EPOCH,
+    ScenarioProfile, Shard, StoreOptions, StoredCampaign, CODE_EPOCH,
 };
 pub use report::{
     CampaignReport, CampaignTotals, CostReport, ScenarioReport, ScheduleReport, StepReport,

@@ -16,6 +16,8 @@ use incdes_core::{CoreError, System};
 use incdes_mapping::{MapError, SaConfig, Strategy};
 use incdes_metrics::DesignCost;
 use incdes_model::{AppId, Architecture, FutureProfile, Time};
+use incdes_obs::counters::{self, CounterSnapshot};
+use incdes_obs::phase::{self, PhaseSnapshot};
 use incdes_synth::{
     future_profile_for, future_wcet_range, generate_application, generate_architecture, SynthConfig,
 };
@@ -91,6 +93,13 @@ pub struct ScenarioOutcome {
     pub invariant_violations: Vec<String>,
     /// Wall-clock time of the whole scenario.
     pub elapsed: Duration,
+    /// Observability counters this scenario's work contributed (a
+    /// scenario runs on one thread, so a before/after delta is exact).
+    /// Diagnostics only — never serialized into the campaign report.
+    pub counters: CounterSnapshot,
+    /// Per-phase wall-clock aggregates of the same span (all zero
+    /// unless phase timing is enabled).
+    pub phases: PhaseSnapshot,
 }
 
 impl ScenarioOutcome {
@@ -222,21 +231,37 @@ pub(crate) fn run_scenarios(
     let workers = workers.clamp(1, scenario_count.max(1));
     let next = AtomicUsize::new(0);
     let collected: Mutex<Vec<ScenarioOutcome>> = Mutex::new(Vec::with_capacity(scenario_count));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= scenario_count {
-                    break;
-                }
-                let outcome = run_scenario(spec, env, &keys[i]);
-                collected
-                    .lock()
-                    .expect("no poisoned scenario lock")
-                    .push(outcome);
-            });
-        }
+    let harvested = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= scenario_count {
+                            break;
+                        }
+                        let outcome = run_scenario(spec, env, &keys[i]);
+                        collected
+                            .lock()
+                            .expect("no poisoned scenario lock")
+                            .push(outcome);
+                    }
+                    // Fresh OS thread: its observability thread-locals
+                    // started at zero, so the final snapshot is this
+                    // worker's contribution to the process totals.
+                    (counters::snapshot(), phase::snapshot())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scenario worker panicked"))
+            .collect::<Vec<_>>()
     });
+    for (worker_counters, worker_phases) in harvested {
+        counters::merge_into_current(&worker_counters);
+        phase::merge_into_current(&worker_phases);
+    }
     collected.into_inner().expect("no poisoned scenario lock")
 }
 
@@ -312,6 +337,8 @@ pub(crate) fn run_scenario(
         future,
     } = env;
     let scenario_start = Instant::now();
+    let counters_before = counters::snapshot();
+    let phases_before = phase::snapshot();
     let mut rng = ChaCha8Rng::seed_from_u64(key.seed);
     let mut system = System::new(arch.clone());
     system.set_parallelism(spec.parallelism);
@@ -431,6 +458,8 @@ pub(crate) fn run_scenario(
         schedule: ScheduleReport::capture(&system),
         invariant_violations,
         elapsed: scenario_start.elapsed(),
+        counters: counters::snapshot().delta_since(&counters_before),
+        phases: phase::snapshot().delta_since(&phases_before),
     }
 }
 

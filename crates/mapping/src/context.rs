@@ -51,6 +51,8 @@ use crate::solution::Solution;
 use incdes_metrics::objective::{self, DesignCost, Weights};
 use incdes_metrics::{C1Cache, C2Cache};
 use incdes_model::{AppId, Application, Architecture, FutureProfile, PeId, ProcRef, Time};
+use incdes_obs::counters::{self, Counter};
+use incdes_obs::phase::{self, Phase};
 use incdes_sched::engine::{check_horizon, ChangedVar, FrozenBase, Scheduler, RECORD_CACHE_CAP};
 use incdes_sched::{schedule, AppSpec, MsgRef, SchedError, ScheduleTable, SlackProfile};
 use serde::{Deserialize, Serialize};
@@ -58,7 +60,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Once, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 /// How a mapping strategy parallelizes trial evaluation within one
 /// scenario.
@@ -124,30 +126,14 @@ impl SearchParallelism {
 fn env_parallelism() -> SearchParallelism {
     static CACHE: OnceLock<SearchParallelism> = OnceLock::new();
     *CACHE.get_or_init(|| {
-        let Ok(raw) = std::env::var("INCDES_SEARCH_THREADS") else {
-            return SearchParallelism::Sequential;
-        };
-        match raw.trim().parse::<usize>() {
-            Ok(0) => SearchParallelism::Sequential,
-            Ok(n) => SearchParallelism::threads(n),
-            Err(_) => {
-                eprintln!(
-                    "incdes-mapping: ignoring unparsable INCDES_SEARCH_THREADS={raw:?}: \
-                     expected a thread count (0 or unset = sequential)"
-                );
-                SearchParallelism::Sequential
-            }
+        match incdes_obs::diag::env_usize(
+            "INCDES_SEARCH_THREADS",
+            "expected a thread count (0 or unset = sequential)",
+        ) {
+            Some(0) | None => SearchParallelism::Sequential,
+            Some(n) => SearchParallelism::threads(n),
         }
     })
-}
-
-/// Parses an `INCDES_RECORD_CACHE_CAP` override: a base-10 integer
-/// ≥ 0 (surrounding whitespace tolerated). `0` disables cached-record
-/// splicing; the built-in default cap is [`RECORD_CACHE_CAP`]. Returns
-/// `None` for anything unparsable — the caller warns once and keeps the
-/// built-in cap.
-fn parse_record_cache_cap(raw: &str) -> Option<usize> {
-    raw.trim().parse::<usize>().ok()
 }
 
 /// Error from a mapping strategy.
@@ -518,7 +504,9 @@ impl EvalEngine {
         stamps.sort_unstable();
         let cutoff = stamps[stamps.len() / 2];
         let EvalEngine { memo, recent, .. } = self;
+        let before = memo.len();
         memo.retain(|k, e| e.stamp > cutoff || recent.iter().any(|(_, rk)| rk == k));
+        counters::add(Counter::MemoEvictions, (before - memo.len()) as u64);
     }
 }
 
@@ -569,6 +557,7 @@ fn score_slack(
     c1: &mut C1Cache,
     slack: &SlackProfile,
 ) -> DesignCost {
+    let _objective = phase::scope(Phase::Objective);
     let t_min = scene.future.t_min;
     c2.set_pe_count(slack.pe_count());
     let mut c2p = Time::ZERO;
@@ -591,15 +580,19 @@ fn engine_evaluate(
     full_engine: bool,
     solution: &Solution,
 ) -> Result<Evaluation, SchedError> {
+    let lookup_scope = phase::scope(Phase::Memo);
     let key = MemoKey::of(solution);
     engine.memo_clock += 1;
     let stamp = engine.memo_clock;
     if let Some(hit) = engine.memo.get_mut(&key) {
         hit.stamp = stamp;
         counts.memo_hits += 1;
+        counters::bump(Counter::MemoHits);
         return hit.result.clone();
     }
+    drop(lookup_scope);
     let result = engine_evaluate_raw(scene, engine, counts, full_engine, solution, &key);
+    let _store_scope = phase::scope(Phase::Memo);
     engine.evict_if_full();
     engine.memo.insert(
         key,
@@ -608,6 +601,7 @@ fn engine_evaluate(
             stamp,
         },
     );
+    counters::bump(Counter::MemoInserts);
     result
 }
 
@@ -621,10 +615,16 @@ fn engine_evaluate_raw(
     solution: &Solution,
     key: &MemoKey,
 ) -> Result<Evaluation, SchedError> {
+    // Spec assembly and validation are the delta machinery's
+    // front-end, like expansion inside the engine: charge them to the
+    // splice phase (closed before the engine call so its own splice
+    // scope never nests).
+    let setup_scope = phase::scope(Phase::Splice);
     let spec = AppSpec::new(scene.app_id, scene.app, &solution.mapping, &solution.hints);
     // Validated before the base is consulted so error precedence
     // matches the naive pipeline exactly.
     check_horizon(&[spec], scene.horizon)?;
+    drop(setup_scope);
     let EvalEngine {
         base,
         scheduler,
@@ -642,7 +642,6 @@ fn engine_evaluate_raw(
         Err(e) => return Err(e.clone()),
     };
     counts.raw_schedules += 1;
-    let fp = fingerprint(key);
 
     // Delta gate: once the chain is long enough to amortize record
     // bookkeeping, rank every recorded solution by its diff against
@@ -653,6 +652,8 @@ fn engine_evaluate_raw(
     // the scheduler's cache by promotion: the first trial that
     // names a solution as its predecessor snapshots the live
     // record before the run replaces it.
+    let ranking_scope = phase::scope(Phase::Splice);
+    let fp = fingerprint(key);
     let mut best: Option<(usize, usize)> = None;
     if !full_engine && counts.raw_schedules >= DELTA_MIN_CHAIN {
         for (i, (rec_fp, rec_key)) in recent.iter().enumerate() {
@@ -677,26 +678,23 @@ fn engine_evaluate_raw(
         }
     }
     let chosen = best.map(|(_, i)| recent[i].0);
+    // The job arena still describes the *front* (most recent) key;
+    // the patch hint must diff against it even when the splice source
+    // is an older record.
+    let patch_hint = chosen.is_some()
+        && recent.first().is_some_and(|(_, front)| {
+            collect_key_delta(front, key, DELTA_MAX_CHANGED_VARS, vars_scratch)
+        });
+    drop(ranking_scope);
     let run = match chosen {
-        Some(prefer) => {
-            // The job arena still describes the *front* (most
-            // recent) key; the patch hint must diff against it even
-            // when the splice source is an older record.
-            let patch = recent
-                .first()
-                .is_some_and(|(_, front)| {
-                    collect_key_delta(front, key, DELTA_MAX_CHANGED_VARS, vars_scratch)
-                })
-                .then_some(vars_scratch.as_slice());
-            scheduler.schedule_delta_keyed_with_slack(
-                scene.arch,
-                &[spec],
-                base,
-                patch,
-                fp,
-                Some(prefer),
-            )
-        }
+        Some(prefer) => scheduler.schedule_delta_keyed_with_slack(
+            scene.arch,
+            &[spec],
+            base,
+            patch_hint.then_some(vars_scratch.as_slice()),
+            fp,
+            Some(prefer),
+        ),
         None => scheduler.schedule_keyed_with_slack(scene.arch, &[spec], base, fp),
     };
     // Successful or not, the engine's live record now describes
@@ -705,6 +703,9 @@ fn engine_evaluate_raw(
     // full-engine tier never consults the list and skips the
     // bookkeeping.
     if !full_engine {
+        // Record-list maintenance (clones the key) is splice-plane
+        // bookkeeping too.
+        let _bookkeeping_scope = phase::scope(Phase::Splice);
         note_raw_schedule(recent, fp, key, chosen);
     }
     let (table, slack) = run?;
@@ -806,24 +807,17 @@ impl<'a> MappingContext<'a> {
         // ignored with one warning per process — a silently dropped
         // override would make a differential run test the wrong
         // configuration.
-        if let Ok(raw) = std::env::var("INCDES_RECORD_CACHE_CAP") {
-            match parse_record_cache_cap(&raw) {
-                Some(cap) => ctx
-                    .engine
-                    .borrow_mut()
-                    .scheduler
-                    .set_record_cache_capacity(cap),
-                None => {
-                    static WARN: Once = Once::new();
-                    WARN.call_once(|| {
-                        eprintln!(
-                            "incdes-mapping: ignoring unparsable INCDES_RECORD_CACHE_CAP={raw:?}: \
-                             expected a non-negative integer (0 disables cached-record splicing; \
-                             the built-in cap is {RECORD_CACHE_CAP})"
-                        );
-                    });
-                }
-            }
+        if let Some(cap) = incdes_obs::diag::env_usize(
+            "INCDES_RECORD_CACHE_CAP",
+            &format!(
+                "expected a non-negative integer (0 disables cached-record splicing; \
+                 the built-in cap is {RECORD_CACHE_CAP})"
+            ),
+        ) {
+            ctx.engine
+                .borrow_mut()
+                .scheduler
+                .set_record_cache_capacity(cap);
         }
         ctx
     }
@@ -1079,6 +1073,7 @@ impl<'a> MappingContext<'a> {
             if let Some(hit) = engine.memo.get_mut(&key) {
                 hit.stamp = stamp;
                 counts.memo_hits += 1;
+                counters::bump(Counter::MemoHits);
                 out[i] = Some(hit.result.clone());
                 plans.push(Plan::Hit);
                 continue;
@@ -1090,6 +1085,7 @@ impl<'a> MappingContext<'a> {
             // linear scan beats building a side table.
             if let Some(m) = misses.iter().find(|m| m.key == key) {
                 counts.memo_hits += 1;
+                counters::bump(Counter::MemoHits);
                 plans.push(Plan::Dup(m.idx, stamp, key));
                 continue;
             }
@@ -1142,59 +1138,67 @@ impl<'a> MappingContext<'a> {
                             .map(|_| pool.pop().unwrap_or_default())
                             .collect()
                     };
-                    let produced: Vec<(usize, Result<Evaluation, SchedError>)> =
-                        if worker_count == 1 {
-                            let eng = &mut engines[0];
-                            jobs.iter()
-                                .map(|&(idx, fp)| {
-                                    (
-                                        idx,
-                                        evaluate_shared_full(&scene, &base, eng, &trials[idx], fp),
-                                    )
-                                })
-                                .collect()
-                        } else {
-                            let jobs = &jobs;
-                            let scene = &scene;
-                            let base = &base;
-                            let finished: Vec<(EvalEngine, Vec<_>)> = std::thread::scope(|s| {
-                                let handles: Vec<_> = engines
-                                    .drain(..)
-                                    .enumerate()
-                                    .map(|(w, mut eng)| {
-                                        s.spawn(move || {
-                                            let mut produced = Vec::new();
-                                            let mut k = w;
-                                            while k < jobs.len() {
-                                                let (idx, fp) = jobs[k];
-                                                produced.push((
-                                                    idx,
-                                                    evaluate_shared_full(
-                                                        scene,
-                                                        base,
-                                                        &mut eng,
-                                                        &trials[idx],
-                                                        fp,
-                                                    ),
-                                                ));
-                                                k += worker_count;
-                                            }
-                                            (eng, produced)
-                                        })
+                    let produced: Vec<(usize, Result<Evaluation, SchedError>)> = if worker_count
+                        == 1
+                    {
+                        let eng = &mut engines[0];
+                        jobs.iter()
+                            .map(|&(idx, fp)| {
+                                (
+                                    idx,
+                                    evaluate_shared_full(&scene, &base, eng, &trials[idx], fp),
+                                )
+                            })
+                            .collect()
+                    } else {
+                        let jobs = &jobs;
+                        let scene = &scene;
+                        let base = &base;
+                        let finished: Vec<(EvalEngine, Vec<_>, _, _)> = std::thread::scope(|s| {
+                            let handles: Vec<_> = engines
+                                .drain(..)
+                                .enumerate()
+                                .map(|(w, mut eng)| {
+                                    s.spawn(move || {
+                                        let mut produced = Vec::new();
+                                        let mut k = w;
+                                        while k < jobs.len() {
+                                            let (idx, fp) = jobs[k];
+                                            produced.push((
+                                                idx,
+                                                evaluate_shared_full(
+                                                    scene,
+                                                    base,
+                                                    &mut eng,
+                                                    &trials[idx],
+                                                    fp,
+                                                ),
+                                            ));
+                                            k += worker_count;
+                                        }
+                                        // A scoped worker is a fresh OS
+                                        // thread, so its thread-local
+                                        // observability cells started at
+                                        // zero: the final snapshot *is*
+                                        // the worker's contribution.
+                                        (eng, produced, counters::snapshot(), phase::snapshot())
                                     })
-                                    .collect();
-                                handles
-                                    .into_iter()
-                                    .map(|h| h.join().expect("search worker panicked"))
-                                    .collect()
-                            });
-                            let mut collected = Vec::with_capacity(jobs.len());
-                            for (eng, produced) in finished {
-                                engines.push(eng);
-                                collected.extend(produced);
-                            }
-                            collected
-                        };
+                                })
+                                .collect();
+                            handles
+                                .into_iter()
+                                .map(|h| h.join().expect("search worker panicked"))
+                                .collect()
+                        });
+                        let mut collected = Vec::with_capacity(jobs.len());
+                        for (eng, produced, worker_counters, worker_phases) in finished {
+                            engines.push(eng);
+                            collected.extend(produced);
+                            counters::merge_into_current(&worker_counters);
+                            phase::merge_into_current(&worker_phases);
+                        }
+                        collected
+                    };
                     self.workers.borrow_mut().append(&mut engines);
                     for (idx, res) in produced {
                         out[idx] = Some(res);
@@ -1220,6 +1224,7 @@ impl<'a> MappingContext<'a> {
                             stamp: miss.stamp,
                         },
                     );
+                    counters::bump(Counter::MemoInserts);
                 }
                 Plan::Dup(of, stamp, key) => {
                     out[i] = out[*of].clone();
@@ -1394,6 +1399,50 @@ mod tests {
     }
 
     #[test]
+    fn observability_counters_pin_the_memo() {
+        // Evaluate A, B, A: exactly one memo hit (the revisit) and two
+        // inserts (the distinct solutions), pinned through the
+        // deterministic counter registry.
+        let arch = arch2();
+        let mut g = ProcessGraph::new("g", Time::new(120), Time::new(120));
+        g.add_process(
+            Process::new("a")
+                .wcet(PeId(0), Time::new(8))
+                .wcet(PeId(1), Time::new(6)),
+        );
+        let app = Application::new("app", vec![g]);
+        let future = FutureProfile::slide_example();
+        let weights = Weights::default();
+        let ctx = MappingContext::new(
+            &arch,
+            AppId(0),
+            &app,
+            None,
+            Time::new(120),
+            &future,
+            &weights,
+        );
+        let mut map_a = Mapping::new();
+        map_a.assign(ProcRef::new(0, NodeId(0)), PeId(0));
+        let sol_a = Solution::from_mapping(map_a);
+        let mut map_b = Mapping::new();
+        map_b.assign(ProcRef::new(0, NodeId(0)), PeId(1));
+        let sol_b = Solution::from_mapping(map_b);
+
+        let before = counters::snapshot();
+        ctx.evaluate(&sol_a).unwrap();
+        ctx.evaluate(&sol_b).unwrap();
+        ctx.evaluate(&sol_a).unwrap();
+        let d = counters::snapshot().delta_since(&before);
+        assert_eq!(d.get(Counter::MemoHits), 1, "only the revisit hits");
+        assert_eq!(d.get(Counter::MemoInserts), 2, "two distinct solutions");
+        assert_eq!(d.get(Counter::MemoEvictions), 0, "far below MEMO_CAP");
+        // The registry agrees with the context's own diagnostics.
+        assert_eq!(ctx.memo_hit_count() as u64, d.get(Counter::MemoHits));
+        assert_eq!(ctx.evaluation_count(), 3);
+    }
+
+    #[test]
     fn evaluate_surfaces_infeasibility() {
         let arch = arch2();
         let mut g = ProcessGraph::new("g", Time::new(120), Time::new(4));
@@ -1416,19 +1465,9 @@ mod tests {
         assert!(err.is_infeasible());
     }
 
-    #[test]
-    fn record_cache_cap_accepts_digits_only() {
-        // The accepted range of `INCDES_RECORD_CACHE_CAP`: any
-        // non-negative integer, 0 disabling cached-record splicing.
-        assert_eq!(parse_record_cache_cap("0"), Some(0));
-        assert_eq!(parse_record_cache_cap("4"), Some(4));
-        assert_eq!(parse_record_cache_cap(" 8 "), Some(8));
-        // Anything else is rejected (and warned about once at runtime).
-        assert_eq!(parse_record_cache_cap(""), None);
-        assert_eq!(parse_record_cache_cap("four"), None);
-        assert_eq!(parse_record_cache_cap("-1"), None);
-        assert_eq!(parse_record_cache_cap("1.5"), None);
-    }
+    // `INCDES_RECORD_CACHE_CAP` / `INCDES_SEARCH_THREADS` parsing is
+    // covered by the unit tests of `incdes_obs::diag`, which both
+    // overrides now share.
 
     #[test]
     fn memo_eviction_retains_recent_record_keys() {

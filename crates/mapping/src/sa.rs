@@ -10,6 +10,7 @@ use crate::context::{ChainCtx, Evaluation, MapError, MappingContext, SearchParal
 use crate::solution::{Move, Solution};
 use incdes_metrics::DesignCost;
 use incdes_model::{PeId, ProcRef};
+use incdes_obs::{counters, phase};
 use incdes_sched::MsgRef;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -376,15 +377,30 @@ fn anneal_portfolio(
             // lane is self-contained the partition cannot affect any
             // result, only wall-clock.
             let chunk = lanes.len().div_ceil(worker_count);
-            std::thread::scope(|s| {
-                for chunk_lanes in lanes.chunks_mut(chunk) {
-                    s.spawn(move || {
-                        for lane in chunk_lanes {
-                            run_segment(lane, procs, msgs, cfg, budget, segment);
-                        }
-                    });
-                }
+            let harvested = std::thread::scope(|s| {
+                let handles: Vec<_> = lanes
+                    .chunks_mut(chunk)
+                    .map(|chunk_lanes| {
+                        s.spawn(move || {
+                            for lane in chunk_lanes {
+                                run_segment(lane, procs, msgs, cfg, budget, segment);
+                            }
+                            // Fresh OS thread: its observability
+                            // thread-locals started at zero, so the
+                            // final snapshot is this worker's delta.
+                            (counters::snapshot(), phase::snapshot())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("SA chain worker panicked"))
+                    .collect::<Vec<_>>()
             });
+            for (worker_counters, worker_phases) in harvested {
+                counters::merge_into_current(&worker_counters);
+                phase::merge_into_current(&worker_phases);
+            }
         }
 
         // Exchange barrier: broadcast the strictly-best solution.

@@ -22,6 +22,7 @@
 
 use crate::binpack::{multiset_insert, multiset_remove, pack_totals_multiset, FitPolicy};
 use incdes_model::{Architecture, FutureProfile, Time};
+use incdes_obs::counters::{self, Counter};
 use incdes_sched::SlackProfile;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -114,6 +115,7 @@ impl C1Cache {
             // or raced cache state — e.g. a seen `Arc` that was swapped
             // out from under the cache): the multisets can no longer be
             // trusted, so repack everything from the slack profile.
+            counters::bump(Counter::C1Repacked);
             self.rebuild(arch, slack, future, policy);
         }
         let proc = pack_totals_multiset(&self.proc_items, &mut self.pe_bins, policy)
@@ -175,6 +177,7 @@ impl C1Cache {
                 continue;
             }
             self.patched_resources += 1;
+            counters::bump(Counter::C1Patched);
             for &(s, e) in self.pe_seen[i].iter() {
                 if !multiset_remove(&mut self.pe_bins, e - s) {
                     return false;
@@ -192,6 +195,7 @@ impl C1Cache {
         };
         if stale {
             self.patched_resources += 1;
+            counters::bump(Counter::C1Patched);
             if let Some(seen) = &self.bus_seen {
                 for &(s, e) in seen.iter() {
                     if !multiset_remove(&mut self.bus_bins, e - s) {

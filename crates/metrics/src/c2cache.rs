@@ -20,6 +20,7 @@
 //! pinned by randomized tests below.
 
 use incdes_model::Time;
+use incdes_obs::counters::{self, Counter};
 use incdes_sched::slack::window_overlap;
 use std::sync::Arc;
 
@@ -143,10 +144,14 @@ impl C2Cache {
             return Time::ZERO;
         }
         match slot {
-            Some(e) if Arc::ptr_eq(&e.arc, intervals) => e.min,
+            Some(e) if Arc::ptr_eq(&e.arc, intervals) => {
+                counters::bump(Counter::C2IdentityHits);
+                e.min
+            }
             Some(e) => Self::update(e, intervals, horizon, t_min, windows_recomputed),
             None => {
                 *full_rebuilds += 1;
+                counters::bump(Counter::C2FullRebuilds);
                 let e = Self::build(intervals, horizon, t_min);
                 let min = e.min;
                 *slot = Some(e);
@@ -220,6 +225,7 @@ impl C2Cache {
         let full_windows = horizon.ticks() / t_min.ticks();
         if full_windows == 0 {
             *windows_recomputed += 1;
+            counters::bump(Counter::C2WindowsRecomputed);
             e.windows[0] = window_overlap(new, Time::ZERO, horizon);
         } else {
             debug_assert_eq!(e.windows.len() as u64, full_windows, "grid is stable");
@@ -229,6 +235,7 @@ impl C2Cache {
                 let from = Time::new(k * t_min.ticks());
                 e.windows[k as usize] = window_overlap(new, from, from + t_min);
                 *windows_recomputed += 1;
+                counters::bump(Counter::C2WindowsRecomputed);
             }
         }
         e.min = *e.windows.iter().min().expect("at least one window");

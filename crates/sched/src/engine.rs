@@ -103,6 +103,8 @@ use crate::priority::PriorityCosts;
 use crate::slack::SlackProfile;
 use crate::table::{ScheduleTable, ScheduledJob, ScheduledMessage};
 use incdes_model::{AppId, Architecture, PeId, ProcRef, Time};
+use incdes_obs::counters::{self, Counter};
+use incdes_obs::phase::{self, Phase};
 use incdes_tdma::BusTimeline;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
@@ -177,6 +179,7 @@ impl FrozenBase {
         if horizon.is_zero() {
             return Err(SchedError::BadHorizon { horizon });
         }
+        let _bake = phase::scope(Phase::Bake);
         let mut bus = BusTimeline::new(arch.bus(), horizon)
             .map_err(|_| SchedError::BadHorizon { horizon })?;
         let mut pes: Vec<PeTimeline> = (0..arch.pe_count())
@@ -225,6 +228,7 @@ impl FrozenBase {
                 window_occ.push(idx);
             }
         }
+        counters::bump(Counter::BaseBakes);
         Ok(FrozenBase {
             id: NEXT_BASE_ID.fetch_add(1, AtomicOrdering::Relaxed),
             horizon,
@@ -719,6 +723,7 @@ impl Scheduler {
     pub fn set_record_cache_capacity(&mut self, cap: usize) {
         self.cache_cap = Some(cap);
         while self.cache.len() > cap {
+            counters::bump(Counter::RecordCacheEvictions);
             let idx = self
                 .cache
                 .iter()
@@ -933,17 +938,22 @@ impl Scheduler {
         if self.cache.iter().any(|e| e.rec.base_id != base.id) {
             self.cache.retain(|e| e.rec.base_id == base.id);
         }
-        let patched = match changed {
-            Some(vars) => self.expand_incremental(arch, apps, base.horizon, vars)?,
-            None => false,
-        };
-        if !patched {
-            self.expand(arch, apps, base.horizon)?;
-        }
-        let source = if try_delta {
-            self.take_splice_source(base, prefer)
-        } else {
-            None
+        let source = {
+            // Expansion and source selection count as splice work: they
+            // are the delta machinery's front-end regardless of path.
+            let _splice = phase::scope(Phase::Splice);
+            let patched = match changed {
+                Some(vars) => self.expand_incremental(arch, apps, base.horizon, vars)?,
+                None => false,
+            };
+            if !patched {
+                self.expand(arch, apps, base.horizon)?;
+            }
+            if try_delta {
+                self.take_splice_source(base, prefer)
+            } else {
+                None
+            }
         };
         let result = match source {
             Some((live, cached)) => self.run_delta(arch, apps, base, live, cached),
@@ -997,10 +1007,20 @@ impl Scheduler {
                 return None;
             }
             self.unprobed_promotions = 0;
-            let idx = self
+            let idx = match self
                 .cache
                 .iter()
-                .position(|e| e.fp == fp && self.record_applicable(&e.rec, base))?;
+                .position(|e| e.fp == fp && self.record_applicable(&e.rec, base))
+            {
+                Some(idx) => idx,
+                None => {
+                    // Evicted or never promoted: the live record still
+                    // applies, so the run silently splices from it.
+                    counters::bump(Counter::RecordCacheFallbacks);
+                    return None;
+                }
+            };
+            counters::bump(Counter::RecordCacheHits);
             let mut entry = self.cache.swap_remove(idx);
             self.cache_clock += 1;
             entry.stamp = self.cache_clock;
@@ -1040,6 +1060,7 @@ impl Scheduler {
         let Some(live) = self.live.take() else {
             return;
         };
+        counters::bump(Counter::RecordCachePromotions);
         self.cache_clock += 1;
         let stamp = self.cache_clock;
         if let Some(entry) = self.cache.iter_mut().find(|e| e.fp == fp) {
@@ -1049,6 +1070,7 @@ impl Scheduler {
             entry.stamp = stamp;
         } else if self.cache.len() >= cap {
             // Evict the least recently used entry, reusing its record.
+            counters::bump(Counter::RecordCacheEvictions);
             let idx = self
                 .cache
                 .iter()
@@ -1147,6 +1169,7 @@ impl Scheduler {
                 }
                 let entry = &mut prio_cache[flat];
                 if entry.costs != *cost_scratch {
+                    let _refresh = phase::scope(Phase::PriorityRefresh);
                     entry.prio = cost_scratch.priorities(g);
                     std::mem::swap(&mut entry.costs, cost_scratch);
                 }
@@ -1292,6 +1315,7 @@ impl Scheduler {
                         cost_scratch.fill(arch, g, assign_scratch);
                         let entry = &mut prio_cache[flat];
                         if entry.costs != *cost_scratch {
+                            let _refresh = phase::scope(Phase::PriorityRefresh);
                             entry.prio = cost_scratch.priorities(g);
                             std::mem::swap(&mut entry.costs, cost_scratch);
                         }
@@ -1393,34 +1417,43 @@ impl Scheduler {
         } = self;
 
         // --- Reset scratch from the baked base ---------------------------
-        if pes.len() == base.pes.len() {
-            for (tl, b) in pes.iter_mut().zip(&base.pes) {
-                tl.copy_from(b);
+        // (the full path's analogue of the delta undo: bring the
+        // timelines back to `base`)
+        {
+            let _undo = phase::scope(Phase::Undo);
+            if pes.len() == base.pes.len() {
+                for (tl, b) in pes.iter_mut().zip(&base.pes) {
+                    tl.copy_from(b);
+                }
+            } else {
+                *pes = base.pes.clone();
             }
-        } else {
-            *pes = base.pes.clone();
-        }
-        match bus {
-            Some(b)
-                if b.horizon() == horizon
-                    && b.occurrence_count() == base.bus.occurrence_count() =>
-            {
-                b.reset_from(&base.bus);
+            match bus {
+                Some(b)
+                    if b.horizon() == horizon
+                        && b.occurrence_count() == base.bus.occurrence_count() =>
+                {
+                    b.reset_from(&base.bus);
+                }
+                _ => *bus = Some(base.bus.clone()),
             }
-            _ => *bus = Some(base.bus.clone()),
+            touched.clear();
+            touched.resize(base.pes.len(), false);
+            new_bus.clear();
         }
         let bus = bus.as_mut().expect("just set");
-        touched.clear();
-        touched.resize(base.pes.len(), false);
-        new_bus.clear();
 
+        let _replace = phase::scope(Phase::RePlace);
         heap.clear();
+        let mut seeded = 0u64;
         for (i, j) in jobs.iter().enumerate() {
             if j.preds_remaining == 0 {
                 push_step[i] = 0;
                 heap.push(ReadyEntry::of(jobs, i));
+                seeded += 1;
             }
         }
+        counters::add(Counter::HeapPushes, seeded);
 
         let run = schedule_loop(
             arch,
@@ -1469,6 +1502,7 @@ impl Scheduler {
     ) -> Result<ScheduleTable, SchedError> {
         let n = self.jobs.len();
         let (div, keep) = {
+            let _splice = phase::scope(Phase::Splice);
             let src = cached.as_ref().map_or(&live, |e| &e.rec);
             let div = self.divergence(apps, src);
             let keep = match cached.as_ref() {
@@ -1492,7 +1526,15 @@ impl Scheduler {
         self.replayed_steps += if rebase { div } else { div - keep };
         if rebase {
             self.rebased_runs += 1;
+            counters::bump(Counter::DeltaRebases);
+        } else {
+            counters::add(Counter::SpliceStepsUndone, (live.steps.len() - keep) as u64);
         }
+        counters::add(Counter::SpliceStepsSpliced, div as u64);
+        counters::add(
+            Counter::SpliceStepsReplayed,
+            (if rebase { div } else { div - keep }) as u64,
+        );
         self.last_run_delta = true;
         self.prev_gap_arcs = live.gap_arcs.take();
         self.prev_bus_arc = live.bus_arc.take();
@@ -1530,37 +1572,43 @@ impl Scheduler {
                 None => (&steps, &rec_msgs, &live.pe),
             };
 
-        let replay_from = if rebase {
-            // --- Rebase: wipe the live run with a bulk reset ------------
-            // Every PE the wiped run had touched may end up with a
-            // different gap list, so its previous-profile alias is dead.
-            for step in steps.iter() {
-                changed_pe[live.pe[step.job as usize].index()] = true;
-            }
-            if !rec_msgs.is_empty() {
-                *changed_bus = true;
-            }
-            for (tl, b) in pes.iter_mut().zip(&base.pes) {
-                tl.copy_from(b);
-            }
-            bus.reset_from(&base.bus);
-            0
-        } else {
-            // --- Undo the live suffix (reverse order, frame tails unwind)
-            for step in steps[keep..].iter().rev() {
-                for m in rec_msgs[step.msg_lo as usize..step.msg_hi as usize]
-                    .iter()
-                    .rev()
-                {
-                    bus.unreserve_tail(&m.reservation);
+        let replay_from = {
+            let _undo = phase::scope(Phase::Undo);
+            if rebase {
+                // --- Rebase: wipe the live run with a bulk reset --------
+                // Every PE the wiped run had touched may end up with a
+                // different gap list, so its previous-profile alias is
+                // dead.
+                for step in steps.iter() {
+                    changed_pe[live.pe[step.job as usize].index()] = true;
+                }
+                if !rec_msgs.is_empty() {
                     *changed_bus = true;
                 }
-                let pe = live.pe[step.job as usize];
-                pes[pe.index()].unreserve(step.start, step.end);
-                changed_pe[pe.index()] = true;
+                for (tl, b) in pes.iter_mut().zip(&base.pes) {
+                    tl.copy_from(b);
+                }
+                bus.reset_from(&base.bus);
+                0
+            } else {
+                // --- Undo the live suffix (reverse order, frame tails
+                // unwind)
+                for step in steps[keep..].iter().rev() {
+                    for m in rec_msgs[step.msg_lo as usize..step.msg_hi as usize]
+                        .iter()
+                        .rev()
+                    {
+                        bus.unreserve_tail(&m.reservation);
+                        *changed_bus = true;
+                    }
+                    let pe = live.pe[step.job as usize];
+                    pes[pe.index()].unreserve(step.start, step.end);
+                    changed_pe[pe.index()] = true;
+                }
+                keep
             }
-            keep
         };
+        let splice_scope = phase::scope(Phase::Splice);
 
         // --- Replay the source prefix the timelines do not hold ----------
         // (an in-place undo from the live source leaves `replay_from ==
@@ -1654,11 +1702,14 @@ impl Scheduler {
 
         // --- Seed the heap with the ready-but-unpopped set ---------------
         heap.clear();
+        let mut seeded = 0u64;
         for i in 0..n {
             if !popped[i] && jobs[i].preds_remaining == 0 {
                 heap.push(ReadyEntry::of(jobs, i));
+                seeded += 1;
             }
         }
+        counters::add(Counter::HeapPushes, seeded);
 
         // --- Re-place the suffix through the ordinary loop ---------------
         // The scratch vectors become the source prefix: a truncation for
@@ -1676,7 +1727,9 @@ impl Scheduler {
             }
         }
         let before_msgs = rec_msgs.len();
+        drop(splice_scope);
 
+        let _replace = phase::scope(Phase::RePlace);
         let run = schedule_loop(
             arch,
             apps,
@@ -1880,38 +1933,48 @@ impl Scheduler {
     /// alias the previous run's profile, and only changed resources are
     /// re-derived from the live timelines.
     fn slack_profile(&mut self, base: &FrozenBase) -> SlackProfile {
+        let _slack = phase::scope(Phase::Slack);
         let prev_gaps = self.prev_gap_arcs.take();
         let prev_bus = self.prev_bus_arc.take();
         let mut fresh = 0usize;
         let mut pe_gaps: Vec<Arc<Vec<(Time, Time)>>> = Vec::with_capacity(self.pes.len());
         for i in 0..self.pes.len() {
             let arc = if !self.touched[i] {
+                counters::bump(Counter::SlackGapsAliased);
                 Arc::clone(&base.pe_gaps[i])
             } else if self.last_run_delta && !self.changed_pe[i] {
                 match prev_gaps.as_ref() {
                     // The PE kept every reservation of the previous run,
                     // so the previous profile's list is bit-identical.
-                    Some(prev) => Arc::clone(&prev[i]),
+                    Some(prev) => {
+                        counters::bump(Counter::SlackGapsAliased);
+                        Arc::clone(&prev[i])
+                    }
                     None => {
                         fresh += 1;
+                        counters::bump(Counter::SlackGapsMaterialized);
                         Arc::new(self.pes[i].gaps())
                     }
                 }
             } else {
                 fresh += 1;
+                counters::bump(Counter::SlackGapsMaterialized);
                 Arc::new(self.pes[i].gaps())
             };
             pe_gaps.push(arc);
         }
 
         let bus_arc = if self.new_bus.is_empty() {
+            counters::bump(Counter::BusWindowsAliased);
             Arc::clone(&base.bus_windows)
         } else if self.last_run_delta && !self.changed_bus && prev_bus.is_some() {
+            counters::bump(Counter::BusWindowsAliased);
             prev_bus.expect("just checked")
         } else {
             // Every occurrence a new message landed in had free room, so
             // it appears in the baked window list; patching is a linear
             // merge.
+            counters::bump(Counter::BusWindowsPatched);
             let mut patched = 0usize;
             let mut windows = Vec::with_capacity(base.bus_windows.len());
             for (k, &(ws, we)) in base.bus_windows.iter().enumerate() {
@@ -2026,6 +2089,7 @@ fn schedule_loop(
     pop_step: &mut [u32],
 ) -> Result<(), SchedError> {
     while let Some(entry) = heap.pop() {
+        counters::bump(Counter::HeapPops);
         let idx = entry.job_idx;
         let step_idx = steps.len() as u32;
         let (id, pe, wcet, ready, deadline, gap_hint, si) = {
@@ -2112,6 +2176,7 @@ fn schedule_loop(
                 push_step[succ_idx] = step_idx + 1;
                 let e = ReadyEntry::of(jobs, succ_idx);
                 heap.push(e);
+                counters::bump(Counter::HeapPushes);
             }
         }
         steps.push(StepRec {
@@ -2306,6 +2371,62 @@ mod tests {
                 assert_eq!(spliced, 0, "live record is the wrong predecessor");
             }
         }
+    }
+
+    #[test]
+    fn observability_counters_pin_the_revisit_chain() {
+        // The same A→B→A chain as
+        // `record_cache_splices_from_true_predecessor`, asserted through
+        // the deterministic `obs` counter registry: the registry must
+        // agree exactly with the engine's own diagnostics, on the exact
+        // event counts the chain is known to produce.
+        let arch = arch2();
+        let mut g = ProcessGraph::new("g", t(100), t(100));
+        let a = g.add_process(Process::new("a").wcet(PeId(0), t(8)).wcet(PeId(1), t(5)));
+        let b = g.add_process(Process::new("b").wcet(PeId(0), t(6)).wcet(PeId(1), t(6)));
+        g.add_message(a, b, Message::new("m", 4)).unwrap();
+        let app = Application::new("app", vec![g]);
+        let hints = Hints::empty();
+        let base = FrozenBase::empty(&arch, t(100)).unwrap();
+
+        let mut map_a = Mapping::new();
+        map_a.assign(ProcRef::new(0, a), PeId(0));
+        map_a.assign(ProcRef::new(0, b), PeId(1));
+        let mut map_b = map_a.clone();
+        map_b.assign(ProcRef::new(0, a), PeId(1));
+        let spec_a = AppSpec::new(AppId(0), &app, &map_a, &hints);
+        let spec_b = AppSpec::new(AppId(0), &app, &map_b, &hints);
+
+        let (fp_a, fp_b) = (11, 22);
+        let mut engine = Scheduler::new();
+        engine.set_record_cache_capacity(4);
+        let before = counters::snapshot();
+        let spliced_before = engine.spliced_step_count();
+        engine
+            .schedule_keyed_with_slack(&arch, &[spec_a], &base, fp_a)
+            .unwrap();
+        engine
+            .schedule_delta_keyed_with_slack(&arch, &[spec_b], &base, None, fp_b, Some(fp_a))
+            .unwrap();
+        engine
+            .schedule_delta_keyed_with_slack(&arch, &[spec_a], &base, None, fp_a, Some(fp_a))
+            .unwrap();
+        let d = counters::snapshot().delta_since(&before);
+        // B→A promoted A's live record into the cache exactly once, and
+        // the revisit hit it exactly once; nothing fell back to the
+        // live record.
+        assert_eq!(d.get(Counter::RecordCachePromotions), 1);
+        assert_eq!(d.get(Counter::RecordCacheHits), 1);
+        assert_eq!(d.get(Counter::RecordCacheFallbacks), 0);
+        assert_eq!(d.get(Counter::RecordCacheEvictions), 0);
+        // The registry's spliced-step tally is the engine's.
+        assert_eq!(
+            d.get(Counter::SpliceStepsSpliced),
+            (engine.spliced_step_count() - spliced_before) as u64
+        );
+        // One bake of the empty frozen base... done by FrozenBase::empty
+        // *before* the snapshot, so this chain itself bakes nothing.
+        assert_eq!(d.get(Counter::BaseBakes), 0);
     }
 
     #[test]

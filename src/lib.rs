@@ -16,6 +16,7 @@ pub use incdes_graph as graph;
 pub use incdes_mapping as mapping;
 pub use incdes_metrics as metrics;
 pub use incdes_model as model;
+pub use incdes_obs as obs;
 pub use incdes_sched as sched;
 pub use incdes_store as store;
 pub use incdes_synth as synth;
