@@ -5,6 +5,7 @@
 //! figures campaign [--spec FILE] [--workers N] [--shard I/N]
 //!                  [--store [DIR]] [--no-cache] [--gc] [--out FILE]
 //!                  [--stats-json FILE] [--profile-out FILE]
+//!                  [--inject-faults PLAN.json] [--fault-seed S]
 //! figures merge SHARD.json... [--out FILE]
 //! figures tables REPORT.json [--csv FILE]
 //! figures bench-store [--store DIR] [--out FILE]
@@ -24,7 +25,11 @@
 //!   blobs not reachable from this spec; `--shard I/N` runs only one
 //!   deterministic shard of the grid. Cache-hit/miss accounting always
 //!   goes to **stderr** so sharded CI logs are auditable while stdout
-//!   stays byte-stable.
+//!   stays byte-stable. `--inject-faults PLAN.json` wraps the store's
+//!   filesystem backend in a seeded fault injector (`--fault-seed`, for
+//!   the fault-soak CI job): the report bytes must still equal the
+//!   fault-free run's. Quarantined (panicked) scenarios are listed on
+//!   stderr and turn the exit code to 3 — partial failure, never abort.
 //! * `merge` joins shard reports back into the canonical report —
 //!   byte-identical to an unsharded run.
 //! * `tables` renders a (merged) report into the paper's result tables
@@ -45,8 +50,9 @@ use incdes_explore::{
     StoreOptions, StoredCampaign,
 };
 use incdes_mapping::{MhConfig, SaConfig};
-use incdes_store::Store;
+use incdes_store::{FaultPlan, FaultyBackend, FsBackend, Store};
 use incdes_synth::paper::{dac2001, dac2001_small, PaperPreset};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Default on-disk location of the persistent campaign store.
@@ -154,6 +160,8 @@ fn campaign_cmd(args: &[String]) {
     let mut out: Option<String> = None;
     let mut stats_json: Option<String> = None;
     let mut profile_out: Option<String> = None;
+    let mut fault_plan: Option<String> = None;
+    let mut fault_seed = 0u64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -188,6 +196,14 @@ fn campaign_cmd(args: &[String]) {
             "--profile-out" => {
                 profile_out = Some(flag_value(args, &mut i, "--profile-out").to_string());
             }
+            "--inject-faults" => {
+                fault_plan = Some(flag_value(args, &mut i, "--inject-faults").to_string());
+            }
+            "--fault-seed" => {
+                fault_seed = flag_value(args, &mut i, "--fault-seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("--fault-seed needs an unsigned integer"));
+            }
             other => die(format!("unknown campaign flag `{other}`")),
         }
         i += 1;
@@ -202,11 +218,27 @@ fn campaign_cmd(args: &[String]) {
         }
         None => CampaignSpec::small_demo(),
     };
+    // The fault injector only makes sense against a real store: without
+    // `--store` there are no backend ops to perturb.
+    if fault_plan.is_some() && (store_dir.is_none() || no_cache) {
+        die("--inject-faults needs --store (and not --no-cache)");
+    }
     let store = if no_cache {
         None
     } else {
-        store_dir.as_ref().map(|dir| {
-            Store::open(dir).unwrap_or_else(|e| die(format!("cannot open store {dir}: {e}")))
+        store_dir.as_ref().map(|dir| match &fault_plan {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| die(format!("cannot read {path}: {e}")));
+                let plan = FaultPlan::from_json(&text)
+                    .unwrap_or_else(|e| die(format!("{path} is not a fault plan: {e}")));
+                let backend = FaultyBackend::new(Arc::new(FsBackend), plan, fault_seed);
+                Store::open_with_backend(dir, Arc::new(backend))
+                    .unwrap_or_else(|e| die(format!("cannot open store {dir}: {e}")))
+            }
+            None => {
+                Store::open(dir).unwrap_or_else(|e| die(format!("cannot open store {dir}: {e}")))
+            }
         })
     };
     let opts = StoreOptions {
@@ -224,13 +256,14 @@ fn campaign_cmd(args: &[String]) {
         report,
         stats,
         profiles,
+        failures,
     } = run_campaign_store(&spec, &opts).unwrap_or_else(|e| die(e));
     incdes_obs::phase::set_enabled(false);
     // Accounting goes to stderr: stdout must stay byte-stable so
     // sharded CI logs are auditable without perturbing artifacts.
     eprintln!(
         "# campaign {}{}: {} scenarios, {} selected, {} cache hits, {} executed, \
-         {} corrupt blobs, {} store errors",
+         {} corrupt blobs, {} store errors, {} store retries, {} failed{}",
         spec.name,
         shard.map(|s| format!(" (shard {s})")).unwrap_or_default(),
         stats.scenarios,
@@ -239,19 +272,34 @@ fn campaign_cmd(args: &[String]) {
         stats.executed,
         stats.corrupt,
         stats.store_errors,
+        stats.store_retries,
+        stats.failed,
+        if stats.degraded { " [degraded]" } else { "" },
     );
+    // Quarantined scenarios: named on stderr so CI logs show *which*
+    // grid points panicked, not just a count.
+    for f in &failures {
+        eprintln!(
+            "# quarantined scenario #{} after {} attempt(s): {}",
+            f.index, f.attempts, f.panic_message
+        );
+    }
     // Machine-parseable mirror of the stderr accounting — a side file,
     // never the stdout report.
     if let Some(path) = &stats_json {
         let json = format!(
             "{{\"scenarios\":{},\"selected\":{},\"hits\":{},\"executed\":{},\
-             \"corrupt\":{},\"store_errors\":{}}}\n",
+             \"corrupt\":{},\"store_errors\":{},\"store_retries\":{},\
+             \"failed\":{},\"degraded\":{}}}\n",
             stats.scenarios,
             stats.selected,
             stats.hits,
             stats.executed,
             stats.corrupt,
             stats.store_errors,
+            stats.store_retries,
+            stats.failed,
+            stats.degraded,
         );
         std::fs::write(path, json).unwrap_or_else(|e| die(format!("cannot write {path}: {e}")));
     }
@@ -285,6 +333,11 @@ fn campaign_cmd(args: &[String]) {
     let mut json = report.to_json_pretty().expect("report serializes");
     json.push('\n');
     emit(out.as_deref(), &json);
+    // Partial failure: the (partial) report above is still emitted, but
+    // the exit code must reflect the quarantined scenarios.
+    if !failures.is_empty() {
+        std::process::exit(3);
+    }
 }
 
 /// `figures merge`: join shard reports into the canonical report.

@@ -42,7 +42,7 @@ pub use eval_bench::{
 
 use incdes_core::System;
 use incdes_explore::{
-    run_campaign, BaseSpec, CampaignSpec, Count, ScenarioOutcome, ScriptStep, StepAction,
+    run_campaign, BaseSpec, CampaignSpec, CompletedScenario, Count, ScriptStep, StepAction,
 };
 use incdes_mapping::{
     run_strategy, MappingContext, MhConfig, SaConfig, SearchParallelism, Strategy,
@@ -271,7 +271,7 @@ pub fn future_campaign_spec(
 /// The cost and wall-clock time of the scenario's current-application
 /// commit (the `Count::Size` step), provided the whole build-up was
 /// feasible.
-fn current_commit(outcome: &ScenarioOutcome, current_step: usize) -> Option<(f64, Duration)> {
+fn current_commit(outcome: &CompletedScenario, current_step: usize) -> Option<(f64, Duration)> {
     let committed = outcome.steps[..=current_step]
         .iter()
         .all(|s| s.feasible && matches!(s.action, StepAction::Add));
@@ -313,8 +313,7 @@ pub fn run_quality_workers(
     let run = run_campaign(&spec, workers).expect("quality campaign spec is valid");
     let current_step = spec.script.len() - 1;
     let find = |size: usize, seed: u64, name: &str| {
-        run.outcomes
-            .iter()
+        run.completed()
             .find(|o| o.key.size == size && o.key.seed == seed && o.key.strategy.name() == name)
             .and_then(|o| current_commit(o, current_step))
     };
@@ -391,7 +390,7 @@ pub fn run_future(
         for &seed in &preset.seeds {
             probes += futures_per_seed as usize;
             for (si, name) in ["AH", "MH"].iter().enumerate() {
-                let Some(outcome) = run.outcomes.iter().find(|o| {
+                let Some(outcome) = run.completed().find(|o| {
                     o.key.size == size && o.key.seed == seed && o.key.strategy.name() == *name
                 }) else {
                     continue;

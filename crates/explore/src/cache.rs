@@ -30,13 +30,15 @@
 //! byte-identical to an unsharded run's.
 
 use crate::report::{CampaignReport, CampaignTotals, ScenarioReport};
-use crate::runner::{prepare_env, run_scenarios, ScenarioOutcome};
+use crate::runner::{prepare_env, run_scenarios, ScenarioFailure, ScenarioOutcome};
 use crate::spec::{CampaignSpec, ScenarioKey, ScriptStep, SpecError, WeightSetting};
 use incdes_mapping::{SearchParallelism, Strategy};
-use incdes_store::{Lookup, Store, StoreKey};
+use incdes_obs::counters::{self, Counter};
+use incdes_store::{FaultKind, Lookup, Store, StoreKey};
 use incdes_synth::SynthConfig;
 use serde::Serialize;
 use std::fmt;
+use std::time::Duration;
 
 /// Version of the scenario *semantics* baked into every store key.
 ///
@@ -201,8 +203,18 @@ pub struct CacheStats {
     pub executed: usize,
     /// Blobs found corrupt (truncated/hand-edited) and re-run.
     pub corrupt: usize,
-    /// Store writes that failed (the campaign still completes).
+    /// Store writes that failed even after retries (the campaign still
+    /// completes — results are computed through, just not persisted).
     pub store_errors: usize,
+    /// Transient store-write errors that were retried.
+    pub store_retries: usize,
+    /// Scenarios quarantined after panicking through their retry
+    /// budget (absent from the report; see [`StoredCampaign::failures`]).
+    pub failed: usize,
+    /// Whether the run degraded to compute-through: at least one result
+    /// could not be persisted, so a future rerun will re-execute it.
+    /// Report bytes are unaffected.
+    pub degraded: bool,
 }
 
 /// How a store-backed campaign should run.
@@ -231,6 +243,9 @@ pub struct StoredCampaign {
     /// in some earlier process). Sorted by scenario index. Like
     /// [`CacheStats`], this lives beside the report, never inside it.
     pub profiles: Vec<ScenarioProfile>,
+    /// Quarantined scenarios, sorted by index; empty means the report
+    /// covers the whole selection.
+    pub failures: Vec<ScenarioFailure>,
 }
 
 /// The observability slice of one executed scenario: deterministic
@@ -246,6 +261,33 @@ pub struct ScenarioProfile {
     pub phases: incdes_obs::phase::PhaseSnapshot,
 }
 
+/// Attempts after the first a failing put gets when its error is
+/// transient ([`FaultKind::is_transient`]).
+const PUT_RETRIES: usize = 3;
+
+/// Writes one scenario blob with bounded retry: transient errors
+/// (`WouldBlock`/`Interrupted`/`TimedOut`) back off deterministically
+/// (1 ms doubling per attempt) and try again; persistent errors and an
+/// exhausted budget give up — the campaign computes through. Returns
+/// whether the blob was persisted.
+fn put_with_retry(store: &Store, key: &StoreKey, payload: &str, stats: &mut CacheStats) -> bool {
+    let mut delay = Duration::from_millis(1);
+    for attempt in 0..=PUT_RETRIES {
+        match store.put(key, payload) {
+            Ok(()) => return true,
+            Err(e) if attempt < PUT_RETRIES && FaultKind::is_transient(e.kind()) => {
+                counters::bump(Counter::StoreRetries);
+                stats.store_retries += 1;
+                std::thread::sleep(delay);
+                delay *= 2;
+            }
+            Err(_) => break,
+        }
+    }
+    counters::bump(Counter::StorePutFailures);
+    false
+}
+
 /// Runs `spec` against a persistent store: scenarios whose blob is
 /// present and intact are served from cache (byte-identically — their
 /// reports round-trip through the blob), the rest execute over
@@ -256,8 +298,12 @@ pub struct ScenarioProfile {
 ///
 /// [`SpecError`] when the spec is invalid. Store *read* problems are
 /// never errors (corrupt blobs re-run, see [`CacheStats::corrupt`]);
-/// store *write* failures are counted in [`CacheStats::store_errors`]
-/// but do not fail the campaign.
+/// store *write* failures retry transient errors with deterministic
+/// backoff ([`CacheStats::store_retries`]) and then degrade to
+/// compute-through ([`CacheStats::store_errors`],
+/// [`CacheStats::degraded`]) without failing the campaign or changing
+/// report bytes. Panicking scenarios are quarantined into
+/// [`StoredCampaign::failures`], never aborts.
 pub fn run_campaign_store(
     spec: &CampaignSpec,
     opts: &StoreOptions<'_>,
@@ -314,25 +360,48 @@ pub fn run_campaign_store(
         pending.iter().map(|(k, sk)| (k.index, *sk)).collect();
     let mut scenarios = cached;
     let mut profiles = Vec::with_capacity(outcomes.len());
+    let mut failures = Vec::new();
     for outcome in &outcomes {
-        let report = ScenarioOutcome::report(outcome);
+        let done = match outcome {
+            ScenarioOutcome::Completed(done) => done,
+            // Quarantined: nothing trustworthy to report or persist.
+            ScenarioOutcome::Failed {
+                key,
+                panic_message,
+                attempts,
+            } => {
+                stats.failed += 1;
+                failures.push(ScenarioFailure {
+                    index: key.index,
+                    panic_message: panic_message.clone(),
+                    attempts: *attempts,
+                });
+                continue;
+            }
+        };
+        let report = done.report();
         if let Some(store) = opts.store {
-            let store_key = store_keys[&outcome.key.index];
+            let store_key = store_keys[&done.key.index];
             let payload =
                 serde_json::to_string(&report).expect("scenario reports always serialize");
-            if store.put(&store_key, &payload).is_err() {
+            if !put_with_retry(store, &store_key, &payload, &mut stats) {
                 stats.store_errors += 1;
+                if !stats.degraded {
+                    stats.degraded = true;
+                    counters::bump(Counter::DegradedMode);
+                }
             }
         }
         profiles.push(ScenarioProfile {
-            index: outcome.key.index,
-            counters: outcome.counters,
-            phases: outcome.phases,
+            index: done.key.index,
+            counters: done.counters,
+            phases: done.phases,
         });
         scenarios.push(report);
     }
     scenarios.sort_by_key(|s| s.index);
     profiles.sort_by_key(|p| p.index);
+    failures.sort_by_key(|f| f.index);
     let totals = CampaignTotals::from_scenarios(&scenarios);
     Ok(StoredCampaign {
         report: CampaignReport {
@@ -342,6 +411,7 @@ pub fn run_campaign_store(
         },
         stats,
         profiles,
+        failures,
     })
 }
 

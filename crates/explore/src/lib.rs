@@ -83,5 +83,8 @@ pub use cache::{
 pub use report::{
     CampaignReport, CampaignTotals, CostReport, ScenarioReport, ScheduleReport, StepReport,
 };
-pub use runner::{run_campaign, CampaignRun, ScenarioOutcome, StepAction, StepOutcome};
+pub use runner::{
+    run_campaign, CampaignRun, CompletedScenario, ScenarioFailure, ScenarioOutcome, StepAction,
+    StepOutcome,
+};
 pub use spec::{BaseSpec, CampaignSpec, Count, ScenarioKey, ScriptStep, SpecError, WeightSetting};

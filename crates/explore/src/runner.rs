@@ -16,15 +16,15 @@ use incdes_core::{CoreError, System};
 use incdes_mapping::{MapError, SaConfig, Strategy};
 use incdes_metrics::DesignCost;
 use incdes_model::{AppId, Architecture, FutureProfile, Time};
-use incdes_obs::counters::{self, CounterSnapshot};
+use incdes_obs::counters::{self, Counter, CounterSnapshot};
 use incdes_obs::phase::{self, PhaseSnapshot};
 use incdes_synth::{
     future_profile_for, future_wcet_range, generate_application, generate_architecture, SynthConfig,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// What a script step did.
@@ -36,6 +36,8 @@ pub enum StepAction {
     Probe,
     /// A `decommission` of a committed application.
     Decommission,
+    /// A deliberate `InjectPanic` chaos step.
+    InjectPanic,
 }
 
 impl StepAction {
@@ -45,6 +47,7 @@ impl StepAction {
             StepAction::Add => "add",
             StepAction::Probe => "probe",
             StepAction::Decommission => "decommission",
+            StepAction::InjectPanic => "inject_panic",
         }
     }
 }
@@ -80,9 +83,9 @@ pub struct StepOutcome {
     pub elapsed: Duration,
 }
 
-/// In-memory result of one scenario.
+/// In-memory result of one *completed* scenario.
 #[derive(Debug, Clone)]
-pub struct ScenarioOutcome {
+pub struct CompletedScenario {
     /// The grid point this scenario ran.
     pub key: ScenarioKey,
     /// Step results in script order.
@@ -102,7 +105,7 @@ pub struct ScenarioOutcome {
     pub phases: PhaseSnapshot,
 }
 
-impl ScenarioOutcome {
+impl CompletedScenario {
     /// The deterministic, serializable view of this scenario (the blob
     /// the campaign store persists — wall-clock timings stay here).
     #[must_use]
@@ -136,6 +139,85 @@ impl ScenarioOutcome {
     }
 }
 
+/// One scenario's result: a completed trace, or a quarantined panic.
+///
+/// A panicking scenario never takes the campaign down — every attempt
+/// runs under `catch_unwind` on its worker, retries restart from the
+/// scenario's own seed (a fresh RNG stream, so a completed retry is
+/// byte-identical to a first-attempt success), and exhausted retries
+/// quarantine the scenario as [`ScenarioOutcome::Failed`] while its
+/// siblings keep running.
+#[derive(Debug, Clone)]
+pub enum ScenarioOutcome {
+    /// The scenario ran to completion (possibly after retries).
+    Completed(CompletedScenario),
+    /// Every attempt panicked; the campaign continues without it.
+    Failed {
+        /// The grid point that failed.
+        key: ScenarioKey,
+        /// Panic payload of the final attempt, prefixed with the
+        /// scenario identity (`scenario #<index>: ...`).
+        panic_message: String,
+        /// Attempts spent (1 + retries).
+        attempts: usize,
+    },
+}
+
+impl ScenarioOutcome {
+    /// The grid point this outcome belongs to.
+    #[must_use]
+    pub fn key(&self) -> &ScenarioKey {
+        match self {
+            ScenarioOutcome::Completed(done) => &done.key,
+            ScenarioOutcome::Failed { key, .. } => key,
+        }
+    }
+
+    /// The completed trace, when there is one.
+    #[must_use]
+    pub fn completed(&self) -> Option<&CompletedScenario> {
+        match self {
+            ScenarioOutcome::Completed(done) => Some(done),
+            ScenarioOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The completed trace, panicking with the quarantined scenario's
+    /// own failure message otherwise. For tests and callers that have
+    /// already established the campaign is failure-free.
+    ///
+    /// # Panics
+    ///
+    /// When the scenario failed.
+    #[must_use]
+    pub fn expect_completed(&self) -> &CompletedScenario {
+        match self {
+            ScenarioOutcome::Completed(done) => done,
+            ScenarioOutcome::Failed { panic_message, .. } => {
+                panic!("scenario was quarantined: {panic_message}")
+            }
+        }
+    }
+
+    /// The serializable scenario report; `None` for quarantined
+    /// scenarios (they have no trustworthy trace to persist).
+    #[must_use]
+    pub fn report(&self) -> Option<ScenarioReport> {
+        self.completed().map(CompletedScenario::report)
+    }
+}
+
+/// The surfaced summary of one quarantined scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioFailure {
+    /// Scenario index in the spec grid.
+    pub index: usize,
+    /// Panic message of the final attempt (names the scenario).
+    pub panic_message: String,
+    /// Attempts spent before quarantining.
+    pub attempts: usize,
+}
+
 /// A completed campaign: every scenario's outcome, in spec order.
 #[derive(Debug)]
 pub struct CampaignRun {
@@ -147,15 +229,46 @@ pub struct CampaignRun {
 
 impl CampaignRun {
     /// Builds the deterministic, serializable report of this run.
+    /// Quarantined scenarios are absent from it — a partial report is
+    /// still byte-exact about everything that did complete.
     pub fn report(&self) -> CampaignReport {
-        let scenarios: Vec<ScenarioReport> =
-            self.outcomes.iter().map(ScenarioOutcome::report).collect();
+        let scenarios: Vec<ScenarioReport> = self
+            .outcomes
+            .iter()
+            .filter_map(ScenarioOutcome::report)
+            .collect();
         let totals = CampaignTotals::from_scenarios(&scenarios);
         CampaignReport {
             campaign: self.name.clone(),
             scenarios,
             totals,
         }
+    }
+
+    /// The completed scenarios, in spec order.
+    pub fn completed(&self) -> impl Iterator<Item = &CompletedScenario> {
+        self.outcomes.iter().filter_map(ScenarioOutcome::completed)
+    }
+
+    /// Summaries of every quarantined scenario, in spec order; empty
+    /// means the campaign is whole.
+    #[must_use]
+    pub fn failures(&self) -> Vec<ScenarioFailure> {
+        self.outcomes
+            .iter()
+            .filter_map(|outcome| match outcome {
+                ScenarioOutcome::Completed(_) => None,
+                ScenarioOutcome::Failed {
+                    key,
+                    panic_message,
+                    attempts,
+                } => Some(ScenarioFailure {
+                    index: key.index,
+                    panic_message: panic_message.clone(),
+                    attempts: *attempts,
+                }),
+            })
+            .collect()
     }
 }
 
@@ -198,29 +311,42 @@ pub(crate) fn prepare_env(spec: &CampaignSpec) -> Result<CampaignEnv, SpecError>
 /// # Errors
 ///
 /// [`SpecError`] when the spec itself is invalid; failures *inside* a
-/// scenario (infeasible commits, bad decommission indices) are recorded
-/// in its outcome instead.
-///
-/// # Panics
-///
-/// Propagates panics from scenario execution (a bug in the libraries
-/// under test, which is exactly what campaign regression suites exist
-/// to catch).
+/// scenario — infeasible commits, bad decommission indices, even
+/// panics — are recorded in its outcome instead (see
+/// [`ScenarioOutcome`]). Check [`CampaignRun::failures`] for
+/// quarantined scenarios.
 pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> Result<CampaignRun, SpecError> {
     spec.validate()?;
     let env = prepare_env(spec)?;
     let keys = spec.scenarios();
     let mut outcomes = run_scenarios(spec, &env, &keys, workers);
-    outcomes.sort_by_key(|o| o.key.index);
+    outcomes.sort_by_key(|o| o.key().index);
     Ok(CampaignRun {
         name: spec.name.clone(),
         outcomes,
     })
 }
 
+/// How many times a panicked scenario is re-attempted before being
+/// quarantined: `INCDES_SCENARIO_RETRIES` when set (validated through
+/// `incdes_obs::diag::env_usize`), 1 otherwise.
+fn scenario_retry_budget() -> usize {
+    incdes_obs::diag::env_usize(
+        "INCDES_SCENARIO_RETRIES",
+        "re-attempts per panicked scenario",
+    )
+    .unwrap_or(1)
+}
+
 /// Executes the given scenarios over a pool of `workers` threads and
 /// returns their outcomes in arbitrary order. Shared by the plain and
 /// the store-backed runner.
+///
+/// Each worker accumulates outcomes in a thread-local vector handed
+/// back through its join handle — there is no shared mutex to poison —
+/// and every scenario runs isolated under [`run_scenario_isolated`], so
+/// one panicking scenario can never take a sibling (or the campaign)
+/// down.
 pub(crate) fn run_scenarios(
     spec: &CampaignSpec,
     env: &CampaignEnv,
@@ -230,39 +356,86 @@ pub(crate) fn run_scenarios(
     let scenario_count = keys.len();
     let workers = workers.clamp(1, scenario_count.max(1));
     let next = AtomicUsize::new(0);
-    let collected: Mutex<Vec<ScenarioOutcome>> = Mutex::new(Vec::with_capacity(scenario_count));
     let harvested = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= scenario_count {
                             break;
                         }
-                        let outcome = run_scenario(spec, env, &keys[i]);
-                        collected
-                            .lock()
-                            .expect("no poisoned scenario lock")
-                            .push(outcome);
+                        local.push(run_scenario_isolated(spec, env, &keys[i]));
                     }
                     // Fresh OS thread: its observability thread-locals
                     // started at zero, so the final snapshot is this
                     // worker's contribution to the process totals.
-                    (counters::snapshot(), phase::snapshot())
+                    (local, counters::snapshot(), phase::snapshot())
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("scenario worker panicked"))
+            .map(|h| {
+                h.join()
+                    .expect("scenario workers cannot panic: scenarios are unwind-isolated")
+            })
             .collect::<Vec<_>>()
     });
-    for (worker_counters, worker_phases) in harvested {
+    let mut outcomes = Vec::with_capacity(scenario_count);
+    for (local, worker_counters, worker_phases) in harvested {
+        outcomes.extend(local);
         counters::merge_into_current(&worker_counters);
         phase::merge_into_current(&worker_phases);
     }
-    collected.into_inner().expect("no poisoned scenario lock")
+    outcomes
+}
+
+/// Renders a panic payload as text (the common `&str`/`String` cases,
+/// a placeholder otherwise).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// Runs one scenario with unwind isolation and a bounded retry budget.
+///
+/// Every attempt restarts the scenario from scratch — the RNG stream is
+/// re-derived from the scenario's seed, so a retry that completes is
+/// byte-identical to a first-attempt success (retries help against
+/// environmental or attempt-dependent panics, never change results).
+/// The last attempt's panic message, prefixed with the scenario index,
+/// is quarantined into [`ScenarioOutcome::Failed`].
+pub(crate) fn run_scenario_isolated(
+    spec: &CampaignSpec,
+    env: &CampaignEnv,
+    key: &ScenarioKey,
+) -> ScenarioOutcome {
+    let attempts_allowed = 1 + scenario_retry_budget();
+    let mut last_panic = String::new();
+    for attempt in 1..=attempts_allowed {
+        if attempt > 1 {
+            counters::bump(Counter::ScenarioRetries);
+        }
+        match std::panic::catch_unwind(AssertUnwindSafe(|| run_scenario(spec, env, key, attempt))) {
+            Ok(outcome) => return ScenarioOutcome::Completed(outcome),
+            Err(payload) => {
+                counters::bump(Counter::ScenarioPanics);
+                last_panic = format!("scenario #{}: {}", key.index, panic_text(payload.as_ref()));
+            }
+        }
+    }
+    ScenarioOutcome::Failed {
+        key: key.clone(),
+        panic_message: last_panic,
+        attempts: attempts_allowed,
+    }
 }
 
 /// The scenario's strategy with SA reseeded from the scenario seed, so
@@ -329,7 +502,8 @@ pub(crate) fn run_scenario(
     spec: &CampaignSpec,
     env: &CampaignEnv,
     key: &ScenarioKey,
-) -> ScenarioOutcome {
+    attempt: usize,
+) -> CompletedScenario {
     let CampaignEnv {
         cfg,
         future_cfg,
@@ -441,6 +615,21 @@ pub(crate) fn run_scenario(
                 }
                 true
             }
+            ScriptStep::InjectPanic {
+                fail_attempts,
+                only_seed,
+            } => {
+                outcome.action = StepAction::InjectPanic;
+                let targeted = only_seed.map_or(true, |seed| seed == key.seed);
+                if targeted && attempt <= *fail_attempts {
+                    panic!(
+                        "injected panic at script step {index} \
+                         (attempt {attempt}, fails through attempt {fail_attempts})"
+                    );
+                }
+                outcome.feasible = true;
+                false
+            }
         };
         outcome.horizon = system.horizon().ticks();
         outcome.elapsed = step_start.elapsed();
@@ -452,7 +641,7 @@ pub(crate) fn run_scenario(
         }
     }
 
-    ScenarioOutcome {
+    CompletedScenario {
         key: key.clone(),
         steps,
         schedule: ScheduleReport::capture(&system),
@@ -481,7 +670,8 @@ mod tests {
     fn single_scenario_campaign_runs() {
         let run = run_campaign(&tiny_spec(), 1).unwrap();
         assert_eq!(run.outcomes.len(), 1);
-        let outcome = &run.outcomes[0];
+        assert!(run.failures().is_empty());
+        let outcome = run.outcomes[0].expect_completed();
         assert_eq!(outcome.steps.len(), 6);
         assert!(outcome.invariant_violations.is_empty());
         assert!(
@@ -543,7 +733,7 @@ mod tests {
             b.to_json_pretty().unwrap(),
             "worker count must not perturb probe-heavy campaigns"
         );
-        for outcome in run_campaign(&spec, 2).unwrap().outcomes {
+        for outcome in run_campaign(&spec, 2).unwrap().completed() {
             assert!(outcome.invariant_violations.is_empty());
         }
     }
@@ -560,7 +750,7 @@ mod tests {
             ScriptStep::Decommission { app: 9 },
         ];
         let run = run_campaign(&spec, 1).unwrap();
-        let step = &run.outcomes[0].steps[1];
+        let step = &run.outcomes[0].expect_completed().steps[1];
         assert!(!step.feasible);
         assert!(step
             .error
@@ -591,7 +781,10 @@ mod tests {
         assert_eq!(run.outcomes.len(), 2);
         // Same seed, same generator stream: both scenarios commit the
         // same number of jobs even though the objective differs.
-        assert_eq!(run.outcomes[0].schedule.jobs, run.outcomes[1].schedule.jobs);
+        assert_eq!(
+            run.outcomes[0].expect_completed().schedule.jobs,
+            run.outcomes[1].expect_completed().schedule.jobs
+        );
     }
 
     #[test]
@@ -630,7 +823,87 @@ mod tests {
             parallelism: Default::default(),
         };
         let run = run_campaign(&spec, 1).unwrap();
-        assert!(run.outcomes[0].steps[0].feasible);
-        assert!(run.outcomes[0].invariant_violations.is_empty());
+        let outcome = run.outcomes[0].expect_completed();
+        assert!(outcome.steps[0].feasible);
+        assert!(outcome.invariant_violations.is_empty());
+    }
+
+    /// Satellite: a panicking scenario must be quarantined under its own
+    /// index while every sibling completes — no campaign abort, no
+    /// poisoned-lock collateral.
+    #[test]
+    fn panicking_scenario_is_quarantined_and_siblings_survive() {
+        let mut spec = tiny_spec();
+        spec.seeds = vec![1, 2, 3, 4];
+        spec.script = vec![
+            ScriptStep::Add {
+                processes: Count::Fixed(4),
+                strategy: None,
+                future: false,
+            },
+            ScriptStep::InjectPanic {
+                fail_attempts: usize::MAX,
+                only_seed: Some(3),
+            },
+        ];
+        let run = run_campaign(&spec, 4).expect("spec is valid");
+        assert_eq!(run.outcomes.len(), 4, "every scenario has an outcome");
+        let failures = run.failures();
+        assert_eq!(failures.len(), 1, "exactly the poisoned scenario failed");
+        let poisoned_index = spec
+            .scenarios()
+            .iter()
+            .find(|k| k.seed == 3)
+            .expect("seed 3 is on the grid")
+            .index;
+        assert_eq!(failures[0].index, poisoned_index);
+        assert!(
+            failures[0]
+                .panic_message
+                .contains(&format!("scenario #{poisoned_index}")),
+            "panic identity names the scenario: {}",
+            failures[0].panic_message
+        );
+        assert!(failures[0].attempts >= 2, "the default budget retries once");
+        assert_eq!(run.completed().count(), 3);
+        // The report carries exactly the completed scenarios.
+        assert_eq!(run.report().scenarios.len(), 3);
+    }
+
+    /// A panic on the first attempt only: the retry restarts from the
+    /// scenario seed and must reproduce a clean run's bytes exactly.
+    #[test]
+    fn retried_scenario_reproduces_clean_bytes() {
+        let mut spec = tiny_spec();
+        spec.seeds = vec![1, 2];
+        spec.script = vec![
+            ScriptStep::Add {
+                processes: Count::Fixed(4),
+                strategy: None,
+                future: false,
+            },
+            ScriptStep::InjectPanic {
+                fail_attempts: 1,
+                only_seed: None,
+            },
+            ScriptStep::Probe {
+                processes: Count::Fixed(4),
+                strategy: None,
+                future: false,
+            },
+        ];
+        let mut clean_spec = spec.clone();
+        clean_spec.script[1] = ScriptStep::InjectPanic {
+            fail_attempts: 0,
+            only_seed: None,
+        };
+        let flaky = run_campaign(&spec, 2).expect("spec is valid");
+        assert!(flaky.failures().is_empty(), "one retry clears the panic");
+        let clean = run_campaign(&clean_spec, 2).expect("spec is valid");
+        assert_eq!(
+            flaky.report().to_json_pretty().unwrap(),
+            clean.report().to_json_pretty().unwrap(),
+            "retried scenarios must be byte-identical to never-panicked ones"
+        );
     }
 }

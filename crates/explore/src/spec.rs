@@ -74,6 +74,23 @@ pub enum ScriptStep {
         /// Index of the application to retire.
         app: u32,
     },
+    /// Deterministic chaos step: panic inside the scenario on purpose.
+    ///
+    /// The fault-tolerance harness's poison pill — the runner isolates
+    /// and retries panicking scenarios, and this step makes those paths
+    /// reproducibly testable from a plain spec. Once the scenario's
+    /// attempt number exceeds `fail_attempts` the step is a feasible
+    /// no-op, so `fail_attempts: 0` never fires and a huge bound
+    /// quarantines the scenario.
+    InjectPanic {
+        /// Panic while the attempt number (1-based) is ≤ this bound.
+        #[serde(default)]
+        fail_attempts: usize,
+        /// Only panic in scenarios with this seed; `None` targets every
+        /// scenario.
+        #[serde(default)]
+        only_seed: Option<u64>,
+    },
 }
 
 /// A labelled objective-weight setting (one point on the weights axis).

@@ -1,0 +1,145 @@
+//! The filesystem seam: every byte the store reads or writes goes
+//! through a [`Backend`], so fault injection (see [`crate::fault`]) and
+//! future remote blob backends slot in without touching store logic.
+//!
+//! The trait is deliberately narrow — exactly the operations
+//! [`crate::Store`] performs, no more. [`FsBackend`] is the default
+//! std::fs implementation and carries no state.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::time::SystemTime;
+
+/// One directory entry as reported by [`Backend::list_dir`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntryInfo {
+    /// The entry's file name (no path components).
+    pub name: String,
+    /// Whether the entry is a directory.
+    pub is_dir: bool,
+}
+
+/// The store's view of a filesystem.
+///
+/// Implementations must be thread-safe: one `Store` (and its clones) may
+/// be driven from many worker threads at once. Semantics mirror the
+/// corresponding `std::fs` calls; error kinds are part of the contract
+/// (`NotFound` from [`Backend::read_to_string`] means "no blob",
+/// `AlreadyExists` from [`Backend::create_lock_file`] means "lock
+/// held").
+pub trait Backend: fmt::Debug + Send + Sync {
+    /// Recursively creates `path` and its parents (`fs::create_dir_all`).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the directories.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Writes `data` to `path`, replacing any existing file
+    /// (`fs::write`).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing the file.
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+
+    /// Reads `path` as UTF-8 (`fs::read_to_string`).
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` when absent; other I/O errors otherwise.
+    fn read_to_string(&self, path: &Path) -> io::Result<String>;
+
+    /// Atomically renames `from` to `to` (`fs::rename`).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors performing the rename.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Removes the file at `path` (`fs::remove_file`).
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` when absent; other I/O errors otherwise.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Lists the entries of the directory at `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the directory.
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<DirEntryInfo>>;
+
+    /// The last-modified time of `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the metadata.
+    fn modified(&self, path: &Path) -> io::Result<SystemTime>;
+
+    /// Creates the file at `path` failing if it already exists
+    /// (`create_new` semantics — the primitive behind the advisory
+    /// lock).
+    ///
+    /// # Errors
+    ///
+    /// `AlreadyExists` when the file is present; other I/O errors
+    /// otherwise.
+    fn create_lock_file(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The default backend: plain `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FsBackend;
+
+impl Backend for FsBackend {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        fs::write(path, data)
+    }
+
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        fs::read_to_string(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<DirEntryInfo>> {
+        let mut entries = Vec::new();
+        for entry in fs::read_dir(path)? {
+            let entry = entry?;
+            entries.push(DirEntryInfo {
+                name: entry.file_name().to_string_lossy().into_owned(),
+                is_dir: entry.file_type()?.is_dir(),
+            });
+        }
+        // read_dir order is platform-dependent; sorted listings keep
+        // every sweep (and every injected fault schedule) reproducible.
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(entries)
+    }
+
+    fn modified(&self, path: &Path) -> io::Result<SystemTime> {
+        fs::metadata(path)?.modified()
+    }
+
+    fn create_lock_file(&self, path: &Path) -> io::Result<()> {
+        fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)
+            .map(|_| ())
+    }
+}

@@ -93,7 +93,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<28} {:>8} {:>8} {:>8} {:>8} {:>10}",
         "weights", "C1P%", "C1m%", "penP", "penM", "C total"
     );
-    for outcome in &run.outcomes {
+    for outcome in run.completed() {
         let current = outcome.steps.last().expect("script is non-empty");
         let Some(c) = current.cost else {
             println!("{:<28} (infeasible)", outcome.key.weights.label);

@@ -1,0 +1,304 @@
+//! Fault-injection acceptance suite: the determinism oracle must hold
+//! under adversity. With a [`FaultyBackend`] injecting seeded I/O
+//! errors into the campaign store, the final `CampaignReport` must stay
+//! **byte-identical** to a fault-free run — transient errors retry,
+//! persistent errors degrade to compute-through, torn writes surface as
+//! corrupt blobs and re-run, and an interrupted campaign resumes by
+//! executing only its missing scenarios.
+
+use incdes::explore::{run_campaign, run_campaign_store, CampaignSpec, ScriptStep, StoreOptions};
+use incdes::mapping::Strategy;
+use incdes::store::{FaultKind, FaultPlan, FaultyBackend, FsBackend, OpFaults, Store};
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Four fast scenarios (2 sizes × 2 seeds × AdHoc): enough puts and
+/// lookups to give a fault plan real targets.
+fn spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::small_demo();
+    spec.sizes = vec![5, 8];
+    spec.seeds = vec![3, 4];
+    spec.strategies = vec![Strategy::AdHoc];
+    spec
+}
+
+/// A fresh store directory under `target/` (kept out of temp so CI
+/// sandboxes with odd /tmp permissions still work).
+fn fresh_dir(label: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = PathBuf::from("target").join(format!(
+        "test-fault-injection-{label}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn faulty_store(dir: &PathBuf, plan: FaultPlan, seed: u64) -> Store {
+    let backend = FaultyBackend::new(Arc::new(FsBackend), plan, seed);
+    Store::open_with_backend(dir, Arc::new(backend)).expect("open is never faulted")
+}
+
+fn baseline_json(spec: &CampaignSpec) -> String {
+    run_campaign(spec, 1)
+        .expect("spec is valid")
+        .report()
+        .to_json_pretty()
+        .expect("report serializes")
+}
+
+/// A transient-heavy plan: every store operation class the campaign
+/// path exercises can fail with a retryable kind, and a tenth of the
+/// surviving writes are torn.
+fn transient_plan() -> FaultPlan {
+    let transient = |p: f64| OpFaults {
+        error_prob: p,
+        fail_first: 0,
+        kinds: vec![
+            FaultKind::WouldBlock,
+            FaultKind::Interrupted,
+            FaultKind::TimedOut,
+        ],
+    };
+    FaultPlan {
+        read: transient(0.15),
+        write: transient(0.15),
+        rename: transient(0.1),
+        torn_write_prob: 0.1,
+        ..FaultPlan::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The acceptance oracle: over arbitrary fault seeds and at worker
+    /// counts 1 and 8, a store-backed campaign under the transient plan
+    /// produces report bytes identical to the fault-free run — cold and
+    /// on a warm rerun through the same faulty backend.
+    #[test]
+    fn transient_faults_never_change_report_bytes(fault_seed in 0u64..100_000) {
+        let spec = spec();
+        let clean = baseline_json(&spec);
+        for workers in [1usize, 8] {
+            let dir = fresh_dir("transient");
+            let store = faulty_store(&dir, transient_plan(), fault_seed);
+            let opts = StoreOptions {
+                workers,
+                store: Some(&store),
+                shard: None,
+            };
+
+            let cold = run_campaign_store(&spec, &opts).expect("spec is valid");
+            prop_assert_eq!(
+                &cold.report.to_json_pretty().unwrap(),
+                &clean,
+                "cold faulted run (seed {}, workers {}) diverged",
+                fault_seed,
+                workers
+            );
+
+            // Warm rerun through the same faulty backend: injected read
+            // errors and torn blobs surface as Corrupt, re-execute, and
+            // still reproduce the clean bytes.
+            let warm = run_campaign_store(&spec, &opts).expect("spec is valid");
+            prop_assert_eq!(
+                &warm.report.to_json_pretty().unwrap(),
+                &clean,
+                "warm faulted rerun (seed {}, workers {}) diverged",
+                fault_seed,
+                workers
+            );
+            prop_assert!(warm.failures.is_empty(), "I/O faults must never quarantine");
+            let _ = fs::remove_dir_all(dir);
+        }
+    }
+}
+
+/// Crash-resume: a plan that kills the first N puts persistently models
+/// a campaign interrupted partway. The run degrades (computes through,
+/// persists the rest), and a clean rerun executes exactly the missing
+/// scenarios to byte-identical bytes.
+#[test]
+fn interrupted_campaign_resumes_with_only_missing_scenarios() {
+    let spec = spec();
+    let clean = baseline_json(&spec);
+    let dir = fresh_dir("resume");
+    let plan = FaultPlan {
+        write: OpFaults {
+            fail_first: 2,
+            kinds: vec![FaultKind::StorageFull],
+            ..OpFaults::default()
+        },
+        ..FaultPlan::default()
+    };
+    let store = faulty_store(&dir, plan, 0);
+    let opts = StoreOptions {
+        workers: 2,
+        store: Some(&store),
+        shard: None,
+    };
+
+    // Run 1: the outage eats two puts. The campaign still completes
+    // with full, correct bytes — it just could not persist everything.
+    let interrupted = run_campaign_store(&spec, &opts).expect("spec is valid");
+    assert_eq!(interrupted.report.to_json_pretty().unwrap(), clean);
+    assert_eq!(interrupted.stats.executed, 4);
+    assert_eq!(interrupted.stats.store_errors, 2, "two puts were killed");
+    assert!(
+        interrupted.stats.degraded,
+        "compute-through is degraded mode"
+    );
+    assert_eq!(
+        interrupted.stats.store_retries, 0,
+        "StorageFull is persistent: no retry burned"
+    );
+    assert_eq!(store.len().unwrap(), 2, "only two blobs made it to disk");
+
+    // Run 2, clean backend on the same directory: the resume. Exactly
+    // the two missing scenarios execute; bytes are identical.
+    let resumed_store = Store::open(&dir).expect("store reopens");
+    let opts = StoreOptions {
+        workers: 2,
+        store: Some(&resumed_store),
+        shard: None,
+    };
+    let resumed = run_campaign_store(&spec, &opts).expect("spec is valid");
+    assert_eq!(resumed.report.to_json_pretty().unwrap(), clean);
+    assert_eq!(
+        resumed.stats.hits, 2,
+        "persisted scenarios serve from cache"
+    );
+    assert_eq!(
+        resumed.stats.executed, 2,
+        "only the missing scenarios re-run"
+    );
+    assert!(!resumed.stats.degraded);
+
+    // Run 3: fully healed.
+    let healed = run_campaign_store(&spec, &opts).expect("spec is valid");
+    assert_eq!(healed.stats.hits, 4);
+    assert_eq!(healed.stats.executed, 0);
+    assert_eq!(healed.report.to_json_pretty().unwrap(), clean);
+
+    let _ = fs::remove_dir_all(dir);
+}
+
+/// Torn writes report success but persist garbage: the checksum layer
+/// must catch every one on the next run and re-execute, never serve a
+/// truncated payload.
+#[test]
+fn torn_writes_surface_as_corrupt_and_reexecute() {
+    let spec = spec();
+    let clean = baseline_json(&spec);
+    let dir = fresh_dir("torn");
+    let plan = FaultPlan {
+        torn_write_prob: 1.0,
+        ..FaultPlan::default()
+    };
+    let store = faulty_store(&dir, plan, 7);
+    let opts = StoreOptions {
+        workers: 2,
+        store: Some(&store),
+        shard: None,
+    };
+
+    // Every put "succeeds" torn; the report is computed, not read back.
+    let cold = run_campaign_store(&spec, &opts).expect("spec is valid");
+    assert_eq!(cold.report.to_json_pretty().unwrap(), clean);
+    assert_eq!(cold.stats.store_errors, 0, "torn writes look successful");
+
+    // A clean rerun finds four unreadable blobs, re-runs them all and
+    // repairs the store.
+    let clean_store = Store::open(&dir).expect("store reopens");
+    let opts = StoreOptions {
+        workers: 2,
+        store: Some(&clean_store),
+        shard: None,
+    };
+    let repaired = run_campaign_store(&spec, &opts).expect("spec is valid");
+    assert_eq!(repaired.stats.corrupt, 4, "every torn blob detected");
+    assert_eq!(repaired.stats.executed, 4);
+    assert_eq!(repaired.stats.hits, 0);
+    assert_eq!(repaired.report.to_json_pretty().unwrap(), clean);
+
+    let healed = run_campaign_store(&spec, &opts).expect("spec is valid");
+    assert_eq!(healed.stats.hits, 4);
+    assert_eq!(healed.stats.executed, 0);
+
+    let _ = fs::remove_dir_all(dir);
+}
+
+/// A panicking scenario in a store-backed campaign is quarantined by
+/// index: siblings complete and persist, the report simply misses the
+/// poisoned grid point, and nothing aborts.
+#[test]
+fn panicking_scenario_is_quarantined_in_store_runs() {
+    let mut spec = spec();
+    spec.script.push(ScriptStep::InjectPanic {
+        fail_attempts: usize::MAX,
+        only_seed: Some(4),
+    });
+    let poisoned: Vec<usize> = spec
+        .scenarios()
+        .iter()
+        .filter(|k| k.seed == 4)
+        .map(|k| k.index)
+        .collect();
+    assert_eq!(poisoned.len(), 2, "seed 4 owns two grid points");
+
+    let dir = fresh_dir("quarantine");
+    let store = Store::open(&dir).expect("store opens");
+    let opts = StoreOptions {
+        workers: 4,
+        store: Some(&store),
+        shard: None,
+    };
+    let run = run_campaign_store(&spec, &opts).expect("spec is valid");
+
+    assert_eq!(run.stats.failed, 2);
+    let failed: Vec<usize> = run.failures.iter().map(|f| f.index).collect();
+    assert_eq!(failed, poisoned, "failures name the poisoned indices");
+    for f in &run.failures {
+        assert!(
+            f.panic_message.contains(&format!("scenario #{}", f.index)),
+            "panic identity names the scenario: {}",
+            f.panic_message
+        );
+        assert_eq!(f.attempts, 2, "default budget is one retry");
+    }
+    let reported: Vec<usize> = run.report.scenarios.iter().map(|s| s.index).collect();
+    assert_eq!(
+        reported,
+        spec.scenarios()
+            .iter()
+            .filter(|k| k.seed != 4)
+            .map(|k| k.index)
+            .collect::<Vec<_>>(),
+        "report carries exactly the surviving scenarios"
+    );
+    assert_eq!(
+        store.len().unwrap(),
+        2,
+        "survivors persist; quarantined scenarios write nothing"
+    );
+
+    // A benign script step (fail_attempts: 0) heals the campaign — and
+    // because the script is part of the fingerprint, nothing stale is
+    // served.
+    let mut healed_spec = spec.clone();
+    healed_spec.script.pop();
+    healed_spec.script.push(ScriptStep::InjectPanic {
+        fail_attempts: 0,
+        only_seed: Some(4),
+    });
+    let healed = run_campaign_store(&healed_spec, &opts).expect("spec is valid");
+    assert!(healed.failures.is_empty());
+    assert_eq!(healed.report.scenarios.len(), 4);
+
+    let _ = fs::remove_dir_all(dir);
+}

@@ -67,6 +67,7 @@ fn scenario_counters_are_identical_across_worker_counts() {
     assert_eq!(seq.outcomes.len(), 4);
     assert_eq!(seq.outcomes.len(), par.outcomes.len());
     for (a, b) in seq.outcomes.iter().zip(&par.outcomes) {
+        let (a, b) = (a.expect_completed(), b.expect_completed());
         assert_eq!(a.key.index, b.key.index);
         assert_eq!(
             a.counters, b.counters,
@@ -92,6 +93,7 @@ fn armed_phase_scopes_record_without_perturbing_counters() {
     phase::set_enabled(false);
 
     for (a, b) in plain.outcomes.iter().zip(&profiled.outcomes) {
+        let (a, b) = (a.expect_completed(), b.expect_completed());
         assert_eq!(a.counters, b.counters);
         // With the plane armed (and the `obs-wallclock` feature on for
         // tests) the scenario must have recorded real phase activity.
