@@ -394,6 +394,7 @@ pub fn run_eval_bench(
     // below measures the batching alone.
     let par = SearchParallelism::Parallel {
         threads: threads.max(1),
+        batch_cutover: 0,
         sa_chains: 1,
         sa_exchange_period: 64,
     };

@@ -60,12 +60,13 @@ struct Fingerprint {
     future_processes: usize,
     demand_factor: f64,
     check_invariants: bool,
-    /// The spec's [`SearchParallelism`] with `threads` normalized to 1:
-    /// thread count never changes report bytes (the batch protocol
-    /// reduces in candidate-index order), but Sequential vs. Parallel
-    /// does (different splice diagnostics, and the SA portfolio runs
-    /// different chains), so mode / `sa_chains` / `sa_exchange_period`
-    /// are part of the scenario's identity.
+    /// The spec's [`SearchParallelism`] with `threads` normalized to 1
+    /// and `batch_cutover` to 0: neither changes report bytes (the
+    /// batch protocol reduces in candidate-index order whether the
+    /// dispatch spawned threads or ran inline), but Sequential vs.
+    /// Parallel does (different splice diagnostics, and the SA
+    /// portfolio runs different chains), so mode / `sa_chains` /
+    /// `sa_exchange_period` are part of the scenario's identity.
     parallelism: SearchParallelism,
     script: Vec<ScriptStep>,
     size: usize,
@@ -104,6 +105,7 @@ fn store_key_with(cfg: &SynthConfig, spec: &CampaignSpec, scenario: &ScenarioKey
                 ..
             } => SearchParallelism::Parallel {
                 threads: 1,
+                batch_cutover: 0,
                 sa_chains,
                 sa_exchange_period,
             },
@@ -546,6 +548,45 @@ mod tests {
         let mut demanding = spec.clone();
         demanding.demand_factor += 0.5;
         assert_ne!(a, scenario_store_key(&demanding, &keys[0]).unwrap());
+    }
+
+    #[test]
+    fn fingerprints_normalize_execution_only_parallelism_knobs() {
+        use incdes_mapping::SearchParallelism;
+        let mut spec = CampaignSpec::small_demo();
+        spec.parallelism = SearchParallelism::Parallel {
+            threads: 1,
+            batch_cutover: 0,
+            sa_chains: 2,
+            sa_exchange_period: 16,
+        };
+        let key = spec.scenarios()[0].clone();
+        let a = scenario_store_key(&spec, &key).unwrap();
+
+        // `threads` and `batch_cutover` multiplex execution only; the
+        // report bytes (and therefore the store key) must not move.
+        let mut retuned = spec.clone();
+        retuned.parallelism = SearchParallelism::Parallel {
+            threads: 8,
+            batch_cutover: usize::MAX,
+            sa_chains: 2,
+            sa_exchange_period: 16,
+        };
+        assert_eq!(a, scenario_store_key(&retuned, &key).unwrap());
+
+        // The SA-portfolio knobs and the mode change the trajectory,
+        // so they change the key.
+        let mut rechained = spec.clone();
+        rechained.parallelism = SearchParallelism::Parallel {
+            threads: 1,
+            batch_cutover: 0,
+            sa_chains: 3,
+            sa_exchange_period: 16,
+        };
+        assert_ne!(a, scenario_store_key(&rechained, &key).unwrap());
+        let mut sequential = spec.clone();
+        sequential.parallelism = SearchParallelism::Sequential;
+        assert_ne!(a, scenario_store_key(&sequential, &key).unwrap());
     }
 
     #[test]

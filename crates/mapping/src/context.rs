@@ -48,18 +48,19 @@
 //! scratch reuse + memo, but every raw schedule re-places all jobs).
 
 use crate::solution::Solution;
+use incdes_graph::{EdgeId, NodeId};
 use incdes_metrics::objective::{self, DesignCost, Weights};
 use incdes_metrics::{C1Cache, C2Cache};
-use incdes_model::{AppId, Application, Architecture, FutureProfile, PeId, ProcRef, Time};
+use incdes_model::{AppId, Application, Architecture, FutureProfile, PeId, Time};
 use incdes_obs::counters::{self, Counter};
 use incdes_obs::phase::{self, Phase};
 use incdes_sched::engine::{check_horizon, ChangedVar, FrozenBase, Scheduler, RECORD_CACHE_CAP};
-use incdes_sched::{schedule, AppSpec, MsgRef, SchedError, ScheduleTable, SlackProfile};
+use incdes_sched::{schedule, AppSpec, SchedError, ScheduleTable, SlackProfile};
 use serde::{Deserialize, Serialize};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
-use std::hash::{Hash, Hasher};
+use std::hash::Hasher;
 use std::sync::{Arc, OnceLock};
 
 /// How a mapping strategy parallelizes trial evaluation within one
@@ -87,6 +88,16 @@ pub enum SearchParallelism {
         /// multiplexing. Clamped to ≥ 1; `1` runs the identical batch
         /// semantics inline.
         threads: usize,
+        /// Dispatched batches with fewer deduped candidates than this
+        /// run on the single inline worker instead of spawning
+        /// threads — same batch protocol, same bytes, no per-batch
+        /// thread-spawn cost that used to swamp small-system MH
+        /// batches. `0` (the serde default, so old specs keep their
+        /// key) means [`SearchParallelism::DEFAULT_BATCH_CUTOVER`].
+        /// Like `threads`, this multiplexes execution only and is
+        /// normalized out of campaign fingerprints.
+        #[serde(default)]
+        batch_cutover: usize,
         /// Number of concurrent SA chains (per-chain ChaCha8 streams,
         /// periodic best-exchange). Clamped to ≥ 1; `1` keeps the
         /// classic single-chain SA.
@@ -104,6 +115,11 @@ impl Default for SearchParallelism {
 }
 
 impl SearchParallelism {
+    /// Default [`batch_cutover`](SearchParallelism::Parallel::batch_cutover):
+    /// below ~16 deduped misses the per-batch `thread::scope` spawn
+    /// costs more than the evaluations it parallelizes.
+    pub const DEFAULT_BATCH_CUTOVER: usize = 16;
+
     /// Parallel candidate evaluation over `n` threads with the classic
     /// single-chain SA (the configuration the `INCDES_SEARCH_THREADS`
     /// differential-CI hook uses).
@@ -111,9 +127,38 @@ impl SearchParallelism {
     pub fn threads(n: usize) -> Self {
         SearchParallelism::Parallel {
             threads: n.max(1),
+            batch_cutover: 0,
             sa_chains: 1,
             sa_exchange_period: 64,
         }
+    }
+
+    /// The effective small-batch cutover: the configured value, with
+    /// `0` resolved to [`Self::DEFAULT_BATCH_CUTOVER`].
+    #[must_use]
+    pub fn effective_batch_cutover(&self) -> usize {
+        match *self {
+            SearchParallelism::Sequential => 0,
+            SearchParallelism::Parallel {
+                batch_cutover: 0, ..
+            } => Self::DEFAULT_BATCH_CUTOVER,
+            SearchParallelism::Parallel { batch_cutover, .. } => batch_cutover,
+        }
+    }
+}
+
+/// Deterministic worker count for one dispatched miss batch: one
+/// worker per job up to `threads`, capped at the machine's available
+/// parallelism (oversubscribing a batch of schedules onto fewer cores
+/// only adds context switches), and collapsed to the inline worker for
+/// batches below `cutover`. Pure so the rule is unit-testable; only
+/// wall-clock depends on it — results and counters are identical for
+/// every return value ≥ 1 by the batch-protocol contract.
+fn batch_worker_count(threads: usize, jobs: usize, cutover: usize, hw: usize) -> usize {
+    if jobs < cutover {
+        1
+    } else {
+        threads.min(jobs).min(hw.max(1)).max(1)
     }
 }
 
@@ -200,40 +245,85 @@ pub const DELTA_MIN_CHAIN: usize = 3;
 /// key produce byte-identical schedules, so memo hits are exact (no
 /// hashing-collision risk — the key stores the actual design variables,
 /// and the hash only routes to a bucket). Doubling as the predecessor
-/// snapshot the delta gate diffs against: the sorted vectors make that
-/// diff a linear slice walk instead of B-tree iteration.
-#[derive(Debug, Default, PartialEq, Eq, Hash)]
+/// snapshot the delta gate diffs against.
+///
+/// Stored flat: every variable is one `(word, value)` pair, with the
+/// three sections (mapping entries, process gap hints, message slot
+/// hints) back to back at the `split` boundaries. The word packs
+/// `graph << 32 | node-or-edge`, which preserves the per-section
+/// `(graph, index)` sort order, so the delta diff is a single-word
+/// two-pointer walk and the whole key is one contiguous allocation —
+/// one clone per memo miss, one memcmp-shaped compare per probe.
+#[derive(Debug, Default, PartialEq, Eq)]
 struct MemoKey {
-    mapping: Vec<(ProcRef, PeId)>,
-    proc_gaps: Vec<(ProcRef, u32)>,
-    msg_slots: Vec<(MsgRef, u32)>,
+    items: Vec<(u64, u32)>,
+    split: [u32; 2],
 }
 
 impl Clone for MemoKey {
     fn clone(&self) -> Self {
         MemoKey {
-            mapping: self.mapping.clone(),
-            proc_gaps: self.proc_gaps.clone(),
-            msg_slots: self.msg_slots.clone(),
+            items: self.items.clone(),
+            split: self.split,
         }
     }
 
     // The predecessor snapshot is refreshed on every raw schedule;
-    // reusing its allocations keeps that free.
+    // reusing its allocation keeps that free.
     fn clone_from(&mut self, source: &Self) {
-        self.mapping.clone_from(&source.mapping);
-        self.proc_gaps.clone_from(&source.proc_gaps);
-        self.msg_slots.clone_from(&source.msg_slots);
+        self.items.clone_from(&source.items);
+        self.split = source.split;
     }
 }
 
+/// Packs a per-graph variable index into one order-preserving word.
+/// Graph counts are bounded far below `u32::MAX` by memory alone; the
+/// assert documents the losslessness the exact-hit contract relies on.
+#[inline]
+fn pack_var(graph: usize, index: u32) -> u64 {
+    debug_assert!(graph <= u32::MAX as usize);
+    ((graph as u64) << 32) | index as u64
+}
+
 impl MemoKey {
-    fn of(solution: &Solution) -> Self {
-        MemoKey {
-            mapping: solution.mapping.iter().collect(),
-            proc_gaps: solution.hints.proc_gaps().collect(),
-            msg_slots: solution.hints.msg_slots().collect(),
-        }
+    /// Refills the key in place from `solution`, reusing the one
+    /// vector allocation — the key build runs once per evaluation
+    /// (hit or miss), so the engine keeps one scratch key alive
+    /// instead of allocating here.
+    fn assign(&mut self, solution: &Solution) {
+        self.items.clear();
+        self.items.extend(
+            solution
+                .mapping
+                .iter()
+                .map(|(pr, pe)| (pack_var(pr.graph, pr.node.0), pe.0)),
+        );
+        self.split[0] = self.items.len() as u32;
+        self.items.extend(
+            solution
+                .hints
+                .proc_gaps()
+                .map(|(pr, gap)| (pack_var(pr.graph, pr.node.0), gap)),
+        );
+        self.split[1] = self.items.len() as u32;
+        self.items.extend(
+            solution
+                .hints
+                .msg_slots()
+                .map(|(mr, slot)| (pack_var(mr.graph, mr.edge.0), slot)),
+        );
+    }
+
+    fn mapping(&self) -> &[(u64, u32)] {
+        &self.items[..self.split[0] as usize]
+    }
+
+    fn proc_gaps(&self) -> &[(u64, u32)] {
+        &self.items[self.split[0] as usize..self.split[1] as usize]
+    }
+
+    fn msg_slots(&self) -> &[(u64, u32)] {
+        &self.items[self.split[1] as usize..]
     }
 }
 
@@ -245,6 +335,65 @@ struct MemoEntry {
     stamp: u64,
 }
 
+/// The solution memo, bucketed by the 64-bit solution fingerprint —
+/// the same FxHash of the full key that routes the scheduler's record
+/// cache. One fingerprint computation per evaluation serves bucket
+/// routing, in-batch duplicate detection *and* keyed splicing, where
+/// the old `HashMap<MemoKey, _>` re-hashed the full key on every probe
+/// and again on insert. Buckets store the exact keys, so a hit still
+/// compares the actual design variables: a fingerprint collision only
+/// costs a short in-bucket scan, never a wrong answer.
+#[derive(Debug, Default)]
+struct Memo {
+    buckets: HashMap<u64, Vec<(MemoKey, MemoEntry)>, FxBuild>,
+    entries: usize,
+}
+
+impl Memo {
+    fn len(&self) -> usize {
+        self.entries
+    }
+
+    fn get_mut(&mut self, fp: u64, key: &MemoKey) -> Option<&mut MemoEntry> {
+        self.buckets
+            .get_mut(&fp)?
+            .iter_mut()
+            .find_map(|(k, e)| (k == key).then_some(e))
+    }
+
+    fn insert(&mut self, fp: u64, key: MemoKey, entry: MemoEntry) {
+        self.buckets.entry(fp).or_default().push((key, entry));
+        self.entries += 1;
+    }
+
+    #[cfg(test)]
+    fn contains(&self, fp: u64, key: &MemoKey) -> bool {
+        self.buckets
+            .get(&fp)
+            .is_some_and(|b| b.iter().any(|(k, _)| k == key))
+    }
+
+    /// Last-hit stamps of every entry, in arbitrary order (eviction
+    /// input).
+    fn stamps(&self) -> Vec<u64> {
+        self.buckets
+            .values()
+            .flatten()
+            .map(|(_, e)| e.stamp)
+            .collect()
+    }
+
+    fn retain(&mut self, mut keep: impl FnMut(&MemoKey, &MemoEntry) -> bool) {
+        let mut kept = 0;
+        self.buckets.retain(|_, bucket| {
+            bucket.retain(|(k, e)| keep(k, e));
+            kept += bucket.len();
+            !bucket.is_empty()
+        });
+        self.entries = kept;
+    }
+}
+
 /// The solution fingerprint shared with the scheduler's record cache:
 /// the FxHash of the full memo key. Collisions are harmless — the
 /// engine recomputes the exact divergence against any record it picks,
@@ -252,7 +401,12 @@ struct MemoEntry {
 /// schedule.
 fn fingerprint(key: &MemoKey) -> u64 {
     let mut h = FxHasher::default();
-    key.hash(&mut h);
+    h.add(((key.split[0] as u64) << 32) | key.split[1] as u64);
+    h.add(key.items.len() as u64);
+    for &(word, value) in &key.items {
+        h.add(word);
+        h.add(value as u64);
+    }
     h.finish()
 }
 
@@ -363,53 +517,57 @@ fn sym_diff<K: Ord + Copy, V: PartialEq>(
 
 /// Collects the design variables differing between two solution keys
 /// into `vars` (sorted, deduplicated, ready for
-/// `Scheduler::schedule_delta_hinted_with_slack`). Returns `false` —
-/// and leaves `vars` unspecified — when more than `cap` variables
-/// differ; the caller then takes the full-engine path. Both keys store
-/// their variables sorted, so this is a linear slice walk.
+/// `Scheduler::schedule_delta_hinted_with_slack`). Returns the raw
+/// symmetric-difference count — the exact number
+/// [`count_key_delta`] would report, *before* deduplication — or
+/// `None` (leaving `vars` unspecified) when more than `cap` variables
+/// differ; the caller then takes the full-engine path. Returning the
+/// count lets the ranking loop seed its branch-and-bound bound from
+/// this walk instead of counting the front record a second time. Both
+/// keys store their variables sorted, so this is a linear slice walk.
 fn collect_key_delta(
     prev: &MemoKey,
     cur: &MemoKey,
     cap: usize,
     vars: &mut Vec<ChangedVar>,
-) -> bool {
+) -> Option<usize> {
     vars.clear();
     let mut count = 0usize;
-    let proc_var = |pr: ProcRef| ChangedVar::Proc {
+    let proc_var = |word: u64| ChangedVar::Proc {
         spec: 0,
-        graph: pr.graph,
-        node: pr.node,
+        graph: (word >> 32) as usize,
+        node: NodeId(word as u32),
     };
-    if !sym_diff(&prev.mapping, &cur.mapping, cap, &mut count, |k| {
+    if !sym_diff(prev.mapping(), cur.mapping(), cap, &mut count, |k| {
         vars.push(proc_var(k))
     }) {
-        return false;
+        return None;
     }
-    if !sym_diff(&prev.proc_gaps, &cur.proc_gaps, cap, &mut count, |k| {
+    if !sym_diff(prev.proc_gaps(), cur.proc_gaps(), cap, &mut count, |k| {
         vars.push(proc_var(k))
     }) {
-        return false;
+        return None;
     }
     if !sym_diff(
-        &prev.msg_slots,
-        &cur.msg_slots,
+        prev.msg_slots(),
+        cur.msg_slots(),
         cap,
         &mut count,
-        |m: MsgRef| {
+        |word: u64| {
             vars.push(ChangedVar::Msg {
                 spec: 0,
-                graph: m.graph,
-                edge: m.edge,
+                graph: (word >> 32) as usize,
+                edge: EdgeId(word as u32),
             })
         },
     ) {
-        return false;
+        return None;
     }
     // A remap and its hint reset touch the same process twice; the
     // engine wants each variable once, in expansion order.
     vars.sort_unstable();
     vars.dedup();
-    true
+    Some(count)
 }
 
 /// Count-only twin of [`collect_key_delta`]: the number of differing
@@ -418,9 +576,9 @@ fn collect_key_delta(
 /// without materializing their variable lists.
 fn count_key_delta(prev: &MemoKey, cur: &MemoKey, cap: usize) -> Option<usize> {
     let mut count = 0usize;
-    let ok = sym_diff(&prev.mapping, &cur.mapping, cap, &mut count, |_| {})
-        && sym_diff(&prev.proc_gaps, &cur.proc_gaps, cap, &mut count, |_| {})
-        && sym_diff(&prev.msg_slots, &cur.msg_slots, cap, &mut count, |_| {});
+    let ok = sym_diff(prev.mapping(), cur.mapping(), cap, &mut count, |_| {})
+        && sym_diff(prev.proc_gaps(), cur.proc_gaps(), cap, &mut count, |_| {})
+        && sym_diff(prev.msg_slots(), cur.msg_slots(), cap, &mut count, |_| {});
     ok.then_some(count)
 }
 
@@ -432,9 +590,11 @@ struct EvalEngine {
     /// caller reuses one bake across contexts.
     base: Option<Result<Arc<FrozenBase>, SchedError>>,
     scheduler: Scheduler,
-    memo: HashMap<MemoKey, MemoEntry, FxBuild>,
+    memo: Memo,
     /// Monotone clock stamping memo hits, for the LRU-ish eviction.
     memo_clock: u64,
+    /// Reused key allocation for the per-evaluation memo probe.
+    key_scratch: MemoKey,
     /// Keys of the most recent raw schedules, most recent first — the
     /// context-side mirror of the scheduler's record cache. The front
     /// entry is the solution the scheduler's job arena currently
@@ -500,7 +660,7 @@ impl EvalEngine {
         if self.memo.len() < MEMO_CAP {
             return;
         }
-        let mut stamps: Vec<u64> = self.memo.values().map(|e| e.stamp).collect();
+        let mut stamps = self.memo.stamps();
         stamps.sort_unstable();
         let cutoff = stamps[stamps.len() / 2];
         let EvalEngine { memo, recent, .. } = self;
@@ -581,26 +741,32 @@ fn engine_evaluate(
     solution: &Solution,
 ) -> Result<Evaluation, SchedError> {
     let lookup_scope = phase::scope(Phase::Memo);
-    let key = MemoKey::of(solution);
+    let mut key = std::mem::take(&mut engine.key_scratch);
+    key.assign(solution);
+    let fp = fingerprint(&key);
     engine.memo_clock += 1;
     let stamp = engine.memo_clock;
-    if let Some(hit) = engine.memo.get_mut(&key) {
+    if let Some(hit) = engine.memo.get_mut(fp, &key) {
         hit.stamp = stamp;
         counts.memo_hits += 1;
         counters::bump(Counter::MemoHits);
-        return hit.result.clone();
+        let result = hit.result.clone();
+        engine.key_scratch = key;
+        return result;
     }
     drop(lookup_scope);
-    let result = engine_evaluate_raw(scene, engine, counts, full_engine, solution, &key);
+    let result = engine_evaluate_raw(scene, engine, counts, full_engine, solution, &key, fp);
     let _store_scope = phase::scope(Phase::Memo);
     engine.evict_if_full();
     engine.memo.insert(
-        key,
+        fp,
+        key.clone(),
         MemoEntry {
             result: result.clone(),
             stamp,
         },
     );
+    engine.key_scratch = key;
     counters::bump(Counter::MemoInserts);
     result
 }
@@ -614,6 +780,7 @@ fn engine_evaluate_raw(
     full_engine: bool,
     solution: &Solution,
     key: &MemoKey,
+    fp: u64,
 ) -> Result<Evaluation, SchedError> {
     // Spec assembly and validation are the delta machinery's
     // front-end, like expansion inside the engine: charge them to the
@@ -653,38 +820,61 @@ fn engine_evaluate_raw(
     // names a solution as its predecessor snapshots the live
     // record before the run replaces it.
     let ranking_scope = phase::scope(Phase::Splice);
-    let fp = fingerprint(key);
     let mut best: Option<(usize, usize)> = None;
+    let mut front_delta_ok = false;
     if !full_engine && counts.raw_schedules >= DELTA_MIN_CHAIN {
-        for (i, (rec_fp, rec_key)) in recent.iter().enumerate() {
-            if *rec_fp == fp {
-                // Bit-identical revisit (usually one the memo
-                // evicted, or a failed-run retry): distance zero by
-                // definition, no counting walk needed. A fingerprint
-                // collision would only pick a farther predecessor —
-                // splicing stays correct for any choice.
-                best = Some((0, i));
-                break;
+        // The job arena still describes the *front* (most recent) key,
+        // so the patch hint must diff against it no matter which record
+        // wins the ranking below. One collecting walk serves both
+        // purposes: `collect_key_delta` reports the same raw
+        // symmetric-difference count `count_key_delta` would, so
+        // seeding the ranking with it leaves the winner unchanged
+        // while sparing the front record a second full-length walk.
+        if let Some((front_fp, front_key)) = recent.first() {
+            if let Some(diff) =
+                collect_key_delta(front_key, key, DELTA_MAX_CHANGED_VARS, vars_scratch)
+            {
+                front_delta_ok = true;
+                best = Some((diff, 0));
             }
-            if let Some(diff) = count_key_delta(rec_key, key, DELTA_MAX_CHANGED_VARS) {
-                if best.is_none_or(|(best_diff, _)| diff < best_diff) {
-                    best = Some((diff, i));
-                    if diff == 0 {
-                        // An exact revisit cannot be beaten.
-                        break;
+            if *front_fp == fp {
+                // Bit-identical revisit (usually one the memo evicted,
+                // or a failed-run retry): distance zero by definition.
+                // A fingerprint collision would only pick a farther
+                // predecessor — splicing stays correct for any choice.
+                best = Some((0, 0));
+            }
+        }
+        if best.is_none_or(|(d, _)| d != 0) {
+            for (i, (rec_fp, rec_key)) in recent.iter().enumerate().skip(1) {
+                if *rec_fp == fp {
+                    // Same zero-distance shortcut as the front above.
+                    best = Some((0, i));
+                    break;
+                }
+                // Branch-and-bound: a record can only win with a
+                // strictly smaller diff, so once a best is held the
+                // counting walk may give up at `best - 1` instead of
+                // the full cap — records iterate most-recent-first and
+                // ties keep the earlier (more recent) holder, so the
+                // winner is unchanged.
+                let cap = best.map_or(DELTA_MAX_CHANGED_VARS, |(d, _)| {
+                    d.saturating_sub(1).min(DELTA_MAX_CHANGED_VARS)
+                });
+                if let Some(diff) = count_key_delta(rec_key, key, cap) {
+                    if best.is_none_or(|(best_diff, _)| diff < best_diff) {
+                        best = Some((diff, i));
+                        if diff == 0 {
+                            // An exact revisit cannot be beaten.
+                            break;
+                        }
                     }
                 }
             }
         }
     }
     let chosen = best.map(|(_, i)| recent[i].0);
-    // The job arena still describes the *front* (most recent) key;
-    // the patch hint must diff against it even when the splice source
-    // is an older record.
-    let patch_hint = chosen.is_some()
-        && recent.first().is_some_and(|(_, front)| {
-            collect_key_delta(front, key, DELTA_MAX_CHANGED_VARS, vars_scratch)
-        });
+    let patch_hint = chosen.is_some() && front_delta_ok;
     drop(ranking_scope);
     let run = match chosen {
         Some(prefer) => scheduler.schedule_delta_keyed_with_slack(
@@ -1007,7 +1197,11 @@ impl<'a> MappingContext<'a> {
     pub(crate) fn evaluate_all(&self, trials: &[Solution]) -> Vec<Result<Evaluation, SchedError>> {
         match self.parallelism {
             SearchParallelism::Parallel { threads, .. } if !self.naive && !trials.is_empty() => {
-                self.evaluate_batch(trials, threads.max(1))
+                self.evaluate_batch(
+                    trials,
+                    threads.max(1),
+                    self.parallelism.effective_batch_cutover(),
+                )
             }
             _ => trials.iter().map(|t| self.evaluate(t)).collect(),
         }
@@ -1032,11 +1226,14 @@ impl<'a> MappingContext<'a> {
     ///
     /// Every counter is a function of the hit/miss pattern alone, so the
     /// returned results *and* all diagnostics are byte-identical for any
-    /// `threads ≥ 1`.
+    /// `threads ≥ 1` and any `batch_cutover` — the cutover (and the
+    /// available-parallelism cap) only collapse the dispatch onto the
+    /// inline single-worker arm, which runs the same protocol.
     fn evaluate_batch(
         &self,
         trials: &[Solution],
         threads: usize,
+        batch_cutover: usize,
     ) -> Vec<Result<Evaluation, SchedError>> {
         struct Miss {
             idx: usize,
@@ -1053,8 +1250,9 @@ impl<'a> MappingContext<'a> {
             /// Slot in the miss queue.
             Miss(usize),
             /// Same key as an earlier in-batch miss: (source candidate
-            /// index, this candidate's stamp, the shared key).
-            Dup(usize, u64, MemoKey),
+            /// index, this candidate's stamp, the shared fingerprint
+            /// and key).
+            Dup(usize, u64, u64, MemoKey),
         }
         let scene = self.scene();
         let mut engine = self.engine.borrow_mut();
@@ -1065,12 +1263,14 @@ impl<'a> MappingContext<'a> {
         let mut misses: Vec<Miss> = Vec::new();
 
         // Pass 1: prefilter.
+        let mut scratch = std::mem::take(&mut engine.key_scratch);
         for (i, solution) in trials.iter().enumerate() {
             counts.evaluations += 1;
             engine.memo_clock += 1;
             let stamp = engine.memo_clock;
-            let key = MemoKey::of(solution);
-            if let Some(hit) = engine.memo.get_mut(&key) {
+            scratch.assign(solution);
+            let fp = fingerprint(&scratch);
+            if let Some(hit) = engine.memo.get_mut(fp, &scratch) {
                 hit.stamp = stamp;
                 counts.memo_hits += 1;
                 counters::bump(Counter::MemoHits);
@@ -1082,11 +1282,12 @@ impl<'a> MappingContext<'a> {
             // moves on one pivot), but the protocol stays correct for
             // any caller: an in-batch duplicate is a memo hit on the
             // earlier miss's (future) entry. Batches are small, so a
-            // linear scan beats building a side table.
-            if let Some(m) = misses.iter().find(|m| m.key == key) {
+            // fingerprint-gated linear scan beats building a side
+            // table.
+            if let Some(m) = misses.iter().find(|m| m.fp == fp && m.key == scratch) {
                 counts.memo_hits += 1;
                 counters::bump(Counter::MemoHits);
-                plans.push(Plan::Dup(m.idx, stamp, key));
+                plans.push(Plan::Dup(m.idx, stamp, fp, scratch.clone()));
                 continue;
             }
             let spec = AppSpec::new(scene.app_id, scene.app, &solution.mapping, &solution.hints);
@@ -1097,16 +1298,16 @@ impl<'a> MappingContext<'a> {
                     false
                 }
             };
-            let fp = fingerprint(&key);
             plans.push(Plan::Miss(misses.len()));
             misses.push(Miss {
                 idx: i,
-                key,
+                key: scratch.clone(),
                 stamp,
                 fp,
                 run,
             });
         }
+        engine.key_scratch = scratch;
 
         // Pass 2: dispatch the runnable misses to worker engines.
         if misses.iter().any(|m| m.run) {
@@ -1131,7 +1332,8 @@ impl<'a> MappingContext<'a> {
                         .map(|m| (m.idx, m.fp))
                         .collect();
                     counts.raw_schedules += jobs.len();
-                    let worker_count = threads.min(jobs.len());
+                    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+                    let worker_count = batch_worker_count(threads, jobs.len(), batch_cutover, hw);
                     let mut engines: Vec<EvalEngine> = {
                         let mut pool = self.workers.borrow_mut();
                         (0..worker_count)
@@ -1218,6 +1420,7 @@ impl<'a> MappingContext<'a> {
                     let result = out[i].clone().expect("miss evaluated in pass 2");
                     engine.evict_if_full();
                     engine.memo.insert(
+                        miss.fp,
                         std::mem::take(&mut miss.key),
                         MemoEntry {
                             result,
@@ -1226,9 +1429,9 @@ impl<'a> MappingContext<'a> {
                     );
                     counters::bump(Counter::MemoInserts);
                 }
-                Plan::Dup(of, stamp, key) => {
+                Plan::Dup(of, stamp, fp, key) => {
                     out[i] = out[*of].clone();
-                    if let Some(hit) = engine.memo.get_mut(key) {
+                    if let Some(hit) = engine.memo.get_mut(*fp, key) {
                         hit.stamp = *stamp;
                     }
                 }
@@ -1470,6 +1673,44 @@ mod tests {
     // overrides now share.
 
     #[test]
+    fn batch_worker_count_rule() {
+        // Below the cutover: inline, regardless of threads or cores.
+        assert_eq!(batch_worker_count(8, 3, 16, 64), 1);
+        assert_eq!(batch_worker_count(8, 15, 16, 64), 1);
+        // At or above the cutover: one worker per job up to threads...
+        assert_eq!(batch_worker_count(8, 16, 16, 64), 8);
+        assert_eq!(batch_worker_count(8, 100, 16, 64), 8);
+        assert_eq!(batch_worker_count(8, 20, 16, 64), 8);
+        assert_eq!(batch_worker_count(32, 20, 16, 64), 20);
+        // ...capped at the machine's parallelism.
+        assert_eq!(batch_worker_count(8, 100, 16, 2), 2);
+        assert_eq!(batch_worker_count(8, 100, 16, 1), 1);
+        // Degenerate inputs stay sane.
+        assert_eq!(batch_worker_count(8, 100, 16, 0), 1);
+        assert_eq!(batch_worker_count(0, 100, 0, 4), 1);
+        // Cutover 0 never collapses (`effective_batch_cutover` resolves
+        // the spec-level 0 to the default before this rule runs).
+        assert_eq!(batch_worker_count(4, 1, 0, 4), 1); // min(jobs)
+        assert_eq!(batch_worker_count(4, 2, 0, 4), 2);
+    }
+
+    #[test]
+    fn effective_batch_cutover_resolves_default() {
+        assert_eq!(SearchParallelism::Sequential.effective_batch_cutover(), 0);
+        assert_eq!(
+            SearchParallelism::threads(4).effective_batch_cutover(),
+            SearchParallelism::DEFAULT_BATCH_CUTOVER
+        );
+        let explicit = SearchParallelism::Parallel {
+            threads: 4,
+            batch_cutover: 7,
+            sa_chains: 1,
+            sa_exchange_period: 64,
+        };
+        assert_eq!(explicit.effective_batch_cutover(), 7);
+    }
+
+    #[test]
     fn memo_eviction_retains_recent_record_keys() {
         let arch = arch2();
         let app = one_proc_app();
@@ -1507,7 +1748,7 @@ mod tests {
         assert!(!engine.recent.is_empty());
         for (fp, key) in &engine.recent {
             assert!(
-                engine.memo.contains_key(key),
+                engine.memo.contains(*fp, key),
                 "record-cache fingerprint {fp:#x} names an evicted memo key"
             );
         }

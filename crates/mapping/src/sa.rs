@@ -125,6 +125,7 @@ pub fn simulated_annealing(
         threads,
         sa_chains,
         sa_exchange_period,
+        ..
     } = ctx.parallelism()
     {
         if sa_chains >= 2 {
@@ -615,6 +616,7 @@ mod tests {
             let ctx = ctx_with(&arch, &app, &future, &weights).with_parallelism(
                 SearchParallelism::Parallel {
                     threads,
+                    batch_cutover: 0,
                     sa_chains: 3,
                     sa_exchange_period: 16,
                 },
@@ -668,6 +670,7 @@ mod tests {
         let ctx = ctx_with(&arch, &app, &future, &weights).with_parallelism(
             SearchParallelism::Parallel {
                 threads: 2,
+                batch_cutover: 0,
                 sa_chains: 2,
                 sa_exchange_period: 8,
             },

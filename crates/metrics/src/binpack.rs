@@ -7,7 +7,6 @@
 
 use incdes_model::Time;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Which bin an item is placed into among those it fits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -109,31 +108,66 @@ pub fn pack(items: &[Time], containers: &[Time], policy: FitPolicy) -> PackOutco
     }
 }
 
-/// Inserts one container of capacity `cap` into a capacity multiset.
-pub fn multiset_insert(bins: &mut BTreeMap<Time, u32>, cap: Time) {
-    *bins.entry(cap).or_insert(0) += 1;
+/// A multiset of container capacities, flattened into one sorted `Vec`
+/// (ascending, duplicates adjacent).
+///
+/// The previous layout was a `BTreeMap<Time, u32>` of capacity →
+/// count: every packing step chased tree nodes scattered across the
+/// heap. The flat `Vec` keeps the whole multiset in one contiguous
+/// allocation — the best-fit lookup is a branch-free binary search, a
+/// packing step is one bounded `rotate_right` over adjacent memory, and
+/// the multiset stays small (one entry per slack container), so the
+/// O(n) shifts of `insert`/`remove` are cheap memmoves.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CapMultiset {
+    /// Capacities in ascending order, one entry per container.
+    caps: Vec<Time>,
 }
 
-/// Removes one container of capacity `cap` from a capacity multiset.
-///
-/// Returns `false` — leaving the multiset untouched — when no container
-/// of that capacity is present. Callers that provably inserted the
-/// capacity assert on the result; callers maintaining a long-lived
-/// multiset (the incremental C1 cache) treat `false` as proof of a
-/// stale/desynced cache and fall back to a full repack instead of
-/// killing the campaign worker.
-#[must_use]
-pub fn multiset_remove(bins: &mut BTreeMap<Time, u32>, cap: Time) -> bool {
-    match bins.get_mut(&cap) {
-        Some(n) if *n > 1 => {
-            *n -= 1;
+impl CapMultiset {
+    /// An empty multiset.
+    pub fn new() -> Self {
+        CapMultiset::default()
+    }
+
+    /// Removes every container.
+    pub fn clear(&mut self) {
+        self.caps.clear();
+    }
+
+    /// Number of containers (duplicates counted).
+    pub fn len(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Whether the multiset holds no containers.
+    pub fn is_empty(&self) -> bool {
+        self.caps.is_empty()
+    }
+
+    /// Inserts one container of capacity `cap`.
+    pub fn insert(&mut self, cap: Time) {
+        let p = self.caps.partition_point(|&c| c < cap);
+        self.caps.insert(p, cap);
+    }
+
+    /// Removes one container of capacity `cap`.
+    ///
+    /// Returns `false` — leaving the multiset untouched — when no
+    /// container of that capacity is present. Callers that provably
+    /// inserted the capacity assert on the result; callers maintaining
+    /// a long-lived multiset (the incremental C1 cache) treat `false`
+    /// as proof of a stale/desynced cache and fall back to a full
+    /// repack instead of killing the campaign worker.
+    #[must_use]
+    pub fn remove(&mut self, cap: Time) -> bool {
+        let p = self.caps.partition_point(|&c| c < cap);
+        if p < self.caps.len() && self.caps[p] == cap {
+            self.caps.remove(p);
             true
+        } else {
+            false
         }
-        Some(_) => {
-            bins.remove(&cap);
-            true
-        }
-        None => false,
     }
 }
 
@@ -158,7 +192,7 @@ pub fn multiset_remove(bins: &mut BTreeMap<Time, u32>, cap: Time) -> bool {
 /// returning.
 pub fn pack_totals_multiset(
     items_desc: &[Time],
-    bins: &mut BTreeMap<Time, u32>,
+    bins: &mut CapMultiset,
     policy: FitPolicy,
 ) -> Option<(Time, Time)> {
     if matches!(policy, FitPolicy::FirstFit) {
@@ -170,78 +204,58 @@ pub fn pack_totals_multiset(
     );
     let mut packed = Time::ZERO;
     let mut unpacked = Time::ZERO;
-    // Mutations to revert, in application order: (capacity, inserted?).
-    let mut ops: Vec<(Time, bool)> = Vec::new();
-    let mut i = 0usize;
-    while i < items_desc.len() {
-        let size = items_desc[i];
-        // Run of equal-sized items (items are sorted, and the synthetic
-        // future profiles draw from coarse histograms, so runs are long).
-        let mut run = 1usize;
-        while i + run < items_desc.len() && items_desc[i + run] == size {
-            run += 1;
-        }
-        i += run;
+    // Mutations to revert: `(taken, residual)` in application order.
+    let mut ops: Vec<(Time, Time)> = Vec::new();
+    let caps = &mut bins.caps;
+    for &size in items_desc {
         if size.is_zero() {
+            // Zero-sized items pack trivially and consume nothing.
             continue;
         }
         match policy {
             FitPolicy::BestFit => {
-                // Batched best-fit: once the minimum qualifying capacity
-                // `c` receives an item, its residual `c − size` (while
-                // still ≥ size) is strictly below every other
-                // qualifying capacity, so it stays the minimum and
-                // absorbs the next item too — a whole bin's worth of
-                // equal items is one multiset edit.
-                while run > 0 {
-                    let Some(c) = bins.range(size..).next().map(|(&c, _)| c) else {
-                        unpacked += Time::new(size.ticks() * run as u64);
-                        break;
-                    };
-                    let q = (run as u64).min(c.ticks() / size.ticks());
-                    let batch = Time::new(size.ticks() * q);
-                    let removed = multiset_remove(bins, c);
-                    debug_assert!(removed, "capacity {c} came from this multiset");
-                    ops.push((c, false));
-                    let rem = c - batch;
-                    multiset_insert(bins, rem);
-                    ops.push((rem, true));
-                    packed += batch;
-                    run -= q as usize;
+                // Best fit = smallest capacity ≥ size: one branch-free
+                // binary search on the sorted flat array.
+                let p = caps.partition_point(|&c| c < size);
+                if p == caps.len() {
+                    unpacked += size;
+                    continue;
                 }
+                let c = caps[p];
+                let rem = c - size;
+                // Replace `c` by its residual, re-sorting with a single
+                // bounded memmove: `rem < c`, so its slot is at or left
+                // of `p` and everything beyond `p` is untouched.
+                let q = caps[..p].partition_point(|&x| x < rem);
+                caps[q..=p].rotate_right(1);
+                caps[q] = rem;
+                ops.push((c, rem));
+                packed += size;
             }
             FitPolicy::WorstFit => {
-                // Worst-fit alternates bins (the maximum moves), so the
-                // run is processed item by item.
-                for _ in 0..run {
-                    let cap = bins
-                        .iter()
-                        .next_back()
-                        .and_then(|(&c, _)| (c >= size).then_some(c));
-                    match cap {
-                        Some(c) => {
-                            let removed = multiset_remove(bins, c);
-                            debug_assert!(removed, "capacity {c} came from this multiset");
-                            ops.push((c, false));
-                            let rem = c - size;
-                            multiset_insert(bins, rem);
-                            ops.push((rem, true));
-                            packed += size;
-                        }
-                        None => unpacked += size,
+                // Worst fit = largest capacity: the last element.
+                match caps.last().copied() {
+                    Some(c) if c >= size => {
+                        caps.pop();
+                        let rem = c - size;
+                        let q = caps.partition_point(|&x| x < rem);
+                        caps.insert(q, rem);
+                        ops.push((c, rem));
+                        packed += size;
                     }
+                    _ => unpacked += size,
                 }
             }
             FitPolicy::FirstFit => unreachable!("rejected above"),
         }
     }
-    for &(cap, inserted) in ops.iter().rev() {
-        if inserted {
-            let removed = multiset_remove(bins, cap);
-            debug_assert!(removed, "reverting an insertion this call made");
-        } else {
-            multiset_insert(bins, cap);
-        }
+    // Restore: undo each residual swap in reverse order.
+    for &(taken, rem) in ops.iter().rev() {
+        let q = caps.partition_point(|&x| x < rem);
+        debug_assert!(caps[q] == rem, "residual {rem} came from this call");
+        let p = caps[q + 1..].partition_point(|&x| x < taken) + q + 1;
+        caps[q..p].rotate_left(1);
+        caps[p - 1] = taken;
     }
     Some((packed, unpacked))
 }
@@ -395,9 +409,9 @@ mod tests {
 
             let mut sorted = items_t.clone();
             sorted.sort_by(|a, b| b.cmp(a));
-            let mut multiset = BTreeMap::new();
+            let mut multiset = CapMultiset::new();
             for &b in &bins_t {
-                multiset_insert(&mut multiset, b);
+                multiset.insert(b);
             }
             let snapshot = multiset.clone();
             let (packed, unpacked) =
@@ -425,9 +439,9 @@ mod tests {
 
             let mut sorted = items_t.clone();
             sorted.sort_by(|a, b| b.cmp(a));
-            let mut multiset = BTreeMap::new();
+            let mut multiset = CapMultiset::new();
             for &b in &bins_t {
-                multiset_insert(&mut multiset, b);
+                multiset.insert(b);
             }
             let snapshot = multiset.clone();
             let (packed, unpacked) =
@@ -440,9 +454,9 @@ mod tests {
         /// First-fit is order-dependent: the multiset path refuses it.
         #[test]
         fn prop_multiset_rejects_first_fit(bins in proptest::collection::vec(1u64..10, 0..5)) {
-            let mut multiset = BTreeMap::new();
+            let mut multiset = CapMultiset::new();
             for &b in &ts(&bins) {
-                multiset_insert(&mut multiset, b);
+                multiset.insert(b);
             }
             prop_assert!(
                 pack_totals_multiset(&[Time::new(1)], &mut multiset, FitPolicy::FirstFit).is_none()

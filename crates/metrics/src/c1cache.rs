@@ -20,11 +20,11 @@
 //! the order-dependent first-fit policy reports itself unsupported so
 //! callers fall back to the full packer.
 
-use crate::binpack::{multiset_insert, multiset_remove, pack_totals_multiset, FitPolicy};
+use crate::binpack::{pack_totals_multiset, CapMultiset, FitPolicy};
 use incdes_model::{Architecture, FutureProfile, Time};
 use incdes_obs::counters::{self, Counter};
+use incdes_sched::slack::GapList;
 use incdes_sched::SlackProfile;
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Percentage of total item size left unpacked (0 if there were none) —
@@ -61,11 +61,11 @@ pub struct C1Cache {
     /// Last-seen gap storage per PE. Holding the `Arc` keeps the
     /// allocation alive, which is what makes `Arc::ptr_eq` a sound
     /// unchanged-detector (no ABA through reuse of a freed address).
-    pe_seen: Vec<Arc<Vec<(Time, Time)>>>,
-    bus_seen: Option<Arc<Vec<(Time, Time)>>>,
+    pe_seen: Vec<GapList>,
+    bus_seen: Option<GapList>,
     /// Capacity multisets of all PE gaps and all bus windows.
-    pe_bins: BTreeMap<Time, u32>,
-    bus_bins: BTreeMap<Time, u32>,
+    pe_bins: CapMultiset,
+    bus_bins: CapMultiset,
     /// Diagnostics: resources patched (vs. aliased) since construction.
     patched_resources: usize,
     evaluations: usize,
@@ -152,14 +152,14 @@ impl C1Cache {
         for i in 0..slack.pe_count() {
             let shared = slack.gaps_shared(incdes_model::PeId(i as u32));
             for &(s, e) in shared.iter() {
-                multiset_insert(&mut self.pe_bins, e - s);
+                self.pe_bins.insert(e - s);
             }
             self.pe_seen.push(Arc::clone(shared));
         }
         self.bus_bins.clear();
         let shared = slack.bus_windows_shared();
         for &(s, e) in shared.iter() {
-            multiset_insert(&mut self.bus_bins, e - s);
+            self.bus_bins.insert(e - s);
         }
         self.bus_seen = Some(Arc::clone(shared));
     }
@@ -179,12 +179,12 @@ impl C1Cache {
             self.patched_resources += 1;
             counters::bump(Counter::C1Patched);
             for &(s, e) in self.pe_seen[i].iter() {
-                if !multiset_remove(&mut self.pe_bins, e - s) {
+                if !self.pe_bins.remove(e - s) {
                     return false;
                 }
             }
             for &(s, e) in shared.iter() {
-                multiset_insert(&mut self.pe_bins, e - s);
+                self.pe_bins.insert(e - s);
             }
             self.pe_seen[i] = Arc::clone(shared);
         }
@@ -198,13 +198,13 @@ impl C1Cache {
             counters::bump(Counter::C1Patched);
             if let Some(seen) = &self.bus_seen {
                 for &(s, e) in seen.iter() {
-                    if !multiset_remove(&mut self.bus_bins, e - s) {
+                    if !self.bus_bins.remove(e - s) {
                         return false;
                     }
                 }
             }
             for &(s, e) in shared.iter() {
-                multiset_insert(&mut self.bus_bins, e - s);
+                self.bus_bins.insert(e - s);
             }
             self.bus_seen = Some(Arc::clone(shared));
         }
@@ -250,8 +250,8 @@ mod tests {
         let future = profile();
         let mut cache = C1Cache::new();
 
-        let shared_pe1 = Arc::new(vec![(t(0), t(100))]);
-        let bus = Arc::new(vec![(t(0), t(10)), (t(20), t(30))]);
+        let shared_pe1: GapList = vec![(t(0), t(100))].into();
+        let bus: GapList = vec![(t(0), t(10)), (t(20), t(30))].into();
         let steps: Vec<Vec<(Time, Time)>> = vec![
             vec![(t(0), t(480))],
             vec![(t(0), t(30)), (t(60), t(480))],
@@ -261,7 +261,7 @@ mod tests {
         for pe0 in steps {
             let slack = SlackProfile::from_shared(
                 t(480),
-                vec![Arc::new(pe0), Arc::clone(&shared_pe1)],
+                vec![pe0.into(), Arc::clone(&shared_pe1)].into(),
                 Arc::clone(&bus),
             );
             let (c1p, c1m) = cache
@@ -315,11 +315,11 @@ mod tests {
         let arch = arch2();
         let future = profile();
         let mut cache = C1Cache::new();
-        let pe1 = Arc::new(vec![(t(0), t(100))]);
-        let bus = Arc::new(vec![(t(0), t(10))]);
+        let pe1: GapList = vec![(t(0), t(100))].into();
+        let bus: GapList = vec![(t(0), t(10))].into();
         let first = SlackProfile::from_shared(
             t(480),
-            vec![Arc::new(vec![(t(0), t(30))]), Arc::clone(&pe1)],
+            vec![vec![(t(0), t(30))].into(), Arc::clone(&pe1)].into(),
             Arc::clone(&bus),
         );
         cache
@@ -327,10 +327,10 @@ mod tests {
             .unwrap();
         // Simulate the raced state: PE0's seen storage is swapped for an
         // Arc whose gaps were never inserted into `pe_bins`.
-        cache.pe_seen[0] = Arc::new(vec![(t(0), t(77))]);
+        cache.pe_seen[0] = vec![(t(0), t(77))].into();
         let second = SlackProfile::from_shared(
             t(480),
-            vec![Arc::new(vec![(t(0), t(60))]), Arc::clone(&pe1)],
+            vec![vec![(t(0), t(60))].into(), Arc::clone(&pe1)].into(),
             Arc::clone(&bus),
         );
         let (c1p, c1m) = cache
@@ -344,7 +344,7 @@ mod tests {
         // And the repaired cache keeps patching correctly afterwards.
         let third = SlackProfile::from_shared(
             t(480),
-            vec![Arc::new(vec![(t(10), t(25))]), Arc::clone(&pe1)],
+            vec![vec![(t(10), t(25))].into(), Arc::clone(&pe1)].into(),
             Arc::clone(&bus),
         );
         let (c1p, _) = cache

@@ -21,7 +21,7 @@
 
 use incdes_model::Time;
 use incdes_obs::counters::{self, Counter};
-use incdes_sched::slack::window_overlap;
+use incdes_sched::slack::{window_overlap, GapList};
 use std::sync::Arc;
 
 /// One cached interval list with its per-window slack decomposition.
@@ -29,7 +29,7 @@ use std::sync::Arc;
 struct Entry {
     /// The storage the windows were measured on (holding the `Arc`
     /// keeps it alive, making pointer identity a sound cache key).
-    arc: Arc<Vec<(Time, Time)>>,
+    arc: GapList,
     /// Slack per full `t_min` window (a single `[0, horizon)` entry
     /// when the horizon is shorter than `t_min`).
     windows: Vec<Time>,
@@ -67,7 +67,7 @@ impl C2Cache {
     pub fn pe_term(
         &mut self,
         index: usize,
-        intervals: &Arc<Vec<(Time, Time)>>,
+        intervals: &GapList,
         horizon: Time,
         t_min: Time,
     ) -> Time {
@@ -86,12 +86,7 @@ impl C2Cache {
     }
 
     /// The C2 term of the bus window list — see [`Self::pe_term`].
-    pub fn bus_term(
-        &mut self,
-        intervals: &Arc<Vec<(Time, Time)>>,
-        horizon: Time,
-        t_min: Time,
-    ) -> Time {
+    pub fn bus_term(&mut self, intervals: &GapList, horizon: Time, t_min: Time) -> Time {
         self.check_grid(horizon, t_min);
         Self::term(
             &mut self.bus,
@@ -134,7 +129,7 @@ impl C2Cache {
 
     fn term(
         slot: &mut Option<Entry>,
-        intervals: &Arc<Vec<(Time, Time)>>,
+        intervals: &GapList,
         horizon: Time,
         t_min: Time,
         windows_recomputed: &mut usize,
@@ -160,7 +155,7 @@ impl C2Cache {
         }
     }
 
-    fn build(intervals: &Arc<Vec<(Time, Time)>>, horizon: Time, t_min: Time) -> Entry {
+    fn build(intervals: &GapList, horizon: Time, t_min: Time) -> Entry {
         let full_windows = horizon.ticks() / t_min.ticks();
         let mut windows = Vec::with_capacity(full_windows.max(1) as usize);
         if full_windows == 0 {
@@ -183,7 +178,7 @@ impl C2Cache {
     /// (sorted, disjoint) interval lists differ.
     fn update(
         e: &mut Entry,
-        intervals: &Arc<Vec<(Time, Time)>>,
+        intervals: &GapList,
         horizon: Time,
         t_min: Time,
         windows_recomputed: &mut usize,
@@ -324,14 +319,14 @@ mod tests {
         let mut rng = Lcg(0x9e3779b97f4a7c15);
         for &(horizon, t_min) in &[(480u64, 120u64), (480, 70), (60, 120), (997, 13)] {
             let mut cache = C2Cache::new();
-            let mut list = Arc::new(random_intervals(&mut rng, horizon));
+            let mut list: GapList = random_intervals(&mut rng, horizon).into();
             for _ in 0..200 {
                 let expect = c2_intervals(&list, t(horizon), t(t_min));
                 let got = cache.pe_term(0, &list, t(horizon), t(t_min));
                 assert_eq!(got, expect, "H={horizon} t_min={t_min} list={list:?}");
                 // Pointer-identity hit must agree too.
                 assert_eq!(cache.pe_term(0, &list, t(horizon), t(t_min)), expect);
-                list = Arc::new(mutate(&mut rng, &list, horizon));
+                list = mutate(&mut rng, &list, horizon).into();
             }
         }
     }
@@ -346,8 +341,8 @@ mod tests {
             .collect();
         let mut b = a.clone();
         b[5] = (t(515), t(555)); // only window 5 is affected
-        let a = Arc::new(a);
-        let b = Arc::new(b);
+        let a: GapList = a.into();
+        let b: GapList = b.into();
         cache.pe_term(0, &a, horizon, t_min);
         let before = cache.windows_recomputed();
         let got = cache.pe_term(0, &b, horizon, t_min);
@@ -362,8 +357,8 @@ mod tests {
     #[test]
     fn value_equal_lists_swap_storage_without_recompute() {
         let mut cache = C2Cache::new();
-        let a = Arc::new(vec![(t(0), t(50)), (t(100), t(150))]);
-        let b = Arc::new((*a).clone());
+        let a: GapList = vec![(t(0), t(50)), (t(100), t(150))].into();
+        let b: GapList = a.to_vec().into();
         let term = cache.pe_term(0, &a, t(480), t(120));
         let before = cache.windows_recomputed();
         assert_eq!(cache.pe_term(0, &b, t(480), t(120)), term);
@@ -375,14 +370,14 @@ mod tests {
     #[test]
     fn zero_t_min_and_short_horizon_edges() {
         let mut cache = C2Cache::new();
-        let a = Arc::new(vec![(t(5), t(25))]);
+        let a: GapList = vec![(t(5), t(25))].into();
         assert_eq!(cache.pe_term(0, &a, t(480), Time::ZERO), Time::ZERO);
         // Horizon shorter than t_min: the single [0, horizon) window.
         assert_eq!(
             cache.pe_term(0, &a, t(60), t(120)),
             c2_intervals(&a, t(60), t(120))
         );
-        let b = Arc::new(vec![(t(5), t(20))]);
+        let b: GapList = vec![(t(5), t(20))].into();
         assert_eq!(
             cache.pe_term(0, &b, t(60), t(120)),
             c2_intervals(&b, t(60), t(120))
@@ -392,7 +387,7 @@ mod tests {
     #[test]
     fn grid_change_invalidates() {
         let mut cache = C2Cache::new();
-        let a = Arc::new(vec![(t(0), t(50)), (t(200), t(300))]);
+        let a: GapList = vec![(t(0), t(50)), (t(200), t(300))].into();
         assert_eq!(
             cache.pe_term(0, &a, t(480), t(120)),
             c2_intervals(&a, t(480), t(120))

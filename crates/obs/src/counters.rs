@@ -102,6 +102,16 @@ counters! {
     ScenarioRetries => "scenario_retries",
     /// Campaigns that entered store-degraded (compute-through) mode.
     DegradedMode => "degraded_mode",
+    /// Freshly allocated gap-list `Vec`s (`PeTimeline::gaps()` calls) —
+    /// the hot paths build shared lists straight from the gap iterator,
+    /// so this counts only the cold/compat allocations.
+    FreshGapLists => "fresh_gap_lists",
+    /// Timeline overlay merges into the consolidated base layer.
+    TimelineConsolidations => "timeline_consolidations",
+    /// Job arenas patched in place from a changed-variable hint.
+    ArenaPatched => "arena_patched",
+    /// Job arenas rebuilt by a full expansion.
+    ArenaExpansions => "arena_expansions",
 }
 
 thread_local! {

@@ -100,14 +100,14 @@ use crate::job::JobId;
 use crate::list::{AppSpec, SchedError};
 use crate::pe_timeline::PeTimeline;
 use crate::priority::PriorityCosts;
-use crate::slack::SlackProfile;
+use crate::slack::{GapList, SlackProfile};
 use crate::table::{ScheduleTable, ScheduledJob, ScheduledMessage};
 use incdes_model::{AppId, Architecture, PeId, ProcRef, Time};
 use incdes_obs::counters::{self, Counter};
 use incdes_obs::phase::{self, Phase};
 use incdes_tdma::BusTimeline;
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
@@ -154,9 +154,9 @@ pub struct FrozenBase {
     msgs: Vec<ScheduledMessage>,
     /// Frozen-only idle intervals per PE, shared with every profile that
     /// leaves the PE untouched.
-    pe_gaps: Vec<Arc<Vec<(Time, Time)>>>,
+    pe_gaps: Vec<GapList>,
     /// Frozen-only free bus windows, in time order, shared likewise.
-    bus_windows: Arc<Vec<(Time, Time)>>,
+    bus_windows: GapList,
     /// Slot-occurrence index behind each entry of `bus_windows`.
     window_occ: Vec<u64>,
 }
@@ -217,7 +217,13 @@ impl FrozenBase {
                 msgs.push(*m);
             }
         }
-        let pe_gaps = pes.iter().map(|tl| Arc::new(tl.gaps())).collect();
+        // Consolidate the replayed reservations so every scratch
+        // timeline restored from this base starts with an empty overlay
+        // — per-reservation edits then never shift the frozen layer.
+        for tl in &mut pes {
+            tl.consolidate();
+        }
+        let pe_gaps = pes.iter().map(|tl| tl.gap_iter().collect()).collect();
         let mut bus_windows = Vec::new();
         let mut window_occ = Vec::new();
         for idx in 0..bus.occurrence_count() {
@@ -237,7 +243,7 @@ impl FrozenBase {
             jobs,
             msgs,
             pe_gaps,
-            bus_windows: Arc::new(bus_windows),
+            bus_windows: bus_windows.into(),
             window_occ,
         })
     }
@@ -285,7 +291,7 @@ impl FrozenBase {
 
     /// The shared storage behind [`gaps_of`](Self::gaps_of); profiles of
     /// evaluations that leave `pe` untouched alias it.
-    pub fn gaps_shared(&self, pe: PeId) -> &Arc<Vec<(Time, Time)>> {
+    pub fn gaps_shared(&self, pe: PeId) -> &GapList {
         &self.pe_gaps[pe.index()]
     }
 
@@ -295,7 +301,7 @@ impl FrozenBase {
     }
 
     /// The shared storage behind [`bus_windows`](Self::bus_windows).
-    pub fn bus_windows_shared(&self) -> &Arc<Vec<(Time, Time)>> {
+    pub fn bus_windows_shared(&self) -> &GapList {
         &self.bus_windows
     }
 }
@@ -328,6 +334,13 @@ pub enum ChangedVar {
 }
 
 /// Internal per-job scheduling state (one expanded process instance).
+///
+/// Deliberately *static* per run: the dynamic fields the scheduling
+/// loop rewrites on every step (`ready`, `preds_remaining`) live in
+/// dense parallel arrays on [`Scheduler`] instead, so the hot successor
+/// updates and the heap seed touch two packed arrays rather than
+/// striding through this fat record — and the loop can hold the arena
+/// immutably while mutating the per-run state.
 struct JobRec {
     id: JobId,
     pe: PeId,
@@ -339,8 +352,6 @@ struct JobRec {
     /// Static in-degree, kept so the dynamic state can be reset without
     /// consulting the graph.
     in_deg: u32,
-    preds_remaining: u32,
-    ready: Time,
     /// Index of the owning `AppSpec` in the input slice.
     spec: usize,
 }
@@ -359,12 +370,12 @@ struct ReadyEntry {
 }
 
 impl ReadyEntry {
-    fn of(jobs: &[JobRec], job_idx: usize) -> Self {
+    fn of(jobs: &[JobRec], ready: &[Time], job_idx: usize) -> Self {
         let j = &jobs[job_idx];
         ReadyEntry {
             urgency: j.deadline.saturating_sub(j.priority),
             priority: j.priority,
-            ready: j.ready,
+            ready: ready[job_idx],
             job_idx,
         }
     }
@@ -439,6 +450,31 @@ impl Clone for GraphShape {
     }
 }
 
+/// Immutable snapshot of the arena structure one expansion produced:
+/// job layout, per-spec application ids and graph shapes. Shared
+/// behind an `Arc` between the scheduler and every record expanded
+/// under the same structure, so record applicability collapses to a
+/// single pointer comparison instead of deep `Vec` equality per probe.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct ArenaTag {
+    horizon: Time,
+    graph_bases: Vec<usize>,
+    spec_offsets: Vec<usize>,
+    app_ids: Vec<AppId>,
+    shapes: Vec<GraphShape>,
+}
+
+/// Per-job static snapshot of one run — assigned PE, gap hint, WCET,
+/// priority — packed into one struct so the divergence scan touches a
+/// single cache line per job and the snapshot is one flat pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct JobSnap {
+    pe: PeId,
+    gap_hint: u32,
+    wcet: Time,
+    priority: Time,
+}
+
 /// One placement step of a recorded run, in pop order.
 #[derive(Debug, Clone, Copy)]
 struct StepRec {
@@ -472,23 +508,17 @@ struct RunRecord {
     /// Per job: first step index at which it sat in the ready heap.
     push_step: Vec<u32>,
     /// Per-job static snapshot: assigned PE, gap hint, WCET, priority.
-    pe: Vec<PeId>,
-    gap_hint: Vec<u32>,
-    wcet: Vec<Time>,
-    priority: Vec<Time>,
+    snap: Vec<JobSnap>,
     /// Per graph slot (parallel to `graph_bases`): per-edge slot hints.
     edge_hints: Vec<Vec<u32>>,
-    /// Structure guards: the job-arena layout, per-spec application
-    /// ids (spliced messages carry them verbatim) and graph shapes of
-    /// the run.
-    graph_bases: Vec<usize>,
-    spec_offsets: Vec<usize>,
-    app_ids: Vec<AppId>,
-    shapes: Vec<GraphShape>,
+    /// Structure guard: the arena snapshot the run was expanded under
+    /// (job layout, application ids, graph shapes), shared with the
+    /// scheduler's current tag while the structure is unchanged.
+    arena: Arc<ArenaTag>,
     /// Slack storage of the run, if a profile was derived — the next
     /// delta run aliases the lists of PEs it does not change.
-    gap_arcs: Option<Vec<Arc<Vec<(Time, Time)>>>>,
-    bus_arc: Option<Arc<Vec<(Time, Time)>>>,
+    gap_arcs: Option<Arc<[GapList]>>,
+    bus_arc: Option<GapList>,
 }
 
 impl Clone for RunRecord {
@@ -499,39 +529,31 @@ impl Clone for RunRecord {
             msgs: self.msgs.clone(),
             pop_step: self.pop_step.clone(),
             push_step: self.push_step.clone(),
-            pe: self.pe.clone(),
-            gap_hint: self.gap_hint.clone(),
-            wcet: self.wcet.clone(),
-            priority: self.priority.clone(),
+            snap: self.snap.clone(),
             edge_hints: self.edge_hints.clone(),
-            graph_bases: self.graph_bases.clone(),
-            spec_offsets: self.spec_offsets.clone(),
-            app_ids: self.app_ids.clone(),
-            shapes: self.shapes.clone(),
+            arena: Arc::clone(&self.arena),
             gap_arcs: self.gap_arcs.clone(),
             bus_arc: self.bus_arc.clone(),
         }
     }
+}
 
-    // Cache refreshes overwrite an entry in place; reusing its
-    // allocations keeps the steady-state snapshot allocation-free.
-    fn clone_from(&mut self, source: &Self) {
-        self.base_id = source.base_id;
-        self.steps.clone_from(&source.steps);
-        self.msgs.clone_from(&source.msgs);
-        self.pop_step.clone_from(&source.pop_step);
-        self.push_step.clone_from(&source.push_step);
-        self.pe.clone_from(&source.pe);
-        self.gap_hint.clone_from(&source.gap_hint);
-        self.wcet.clone_from(&source.wcet);
-        self.priority.clone_from(&source.priority);
-        self.edge_hints.clone_from(&source.edge_hints);
-        self.graph_bases.clone_from(&source.graph_bases);
-        self.spec_offsets.clone_from(&source.spec_offsets);
-        self.app_ids.clone_from(&source.app_ids);
-        self.shapes.clone_from(&source.shapes);
-        self.gap_arcs.clone_from(&source.gap_arcs);
-        self.bus_arc.clone_from(&source.bus_arc);
+impl RunRecord {
+    /// An empty record carrying no placements — only its allocations
+    /// matter, every field is refilled before use.
+    fn empty(arena: &Arc<ArenaTag>) -> Self {
+        RunRecord {
+            base_id: 0,
+            steps: Vec::new(),
+            msgs: Vec::new(),
+            pop_step: Vec::new(),
+            push_step: Vec::new(),
+            snap: Vec::new(),
+            edge_hints: Vec::new(),
+            arena: Arc::clone(arena),
+            gap_arcs: None,
+            bus_arc: None,
+        }
     }
 }
 
@@ -566,7 +588,7 @@ fn common_prefix_len(a: &RunRecord, b: &RunRecord) -> usize {
             || sa.end != sb.end
             || sa.msg_lo != sb.msg_lo
             || sa.msg_hi != sb.msg_hi
-            || a.pe[sa.job as usize] != b.pe[sb.job as usize]
+            || a.snap[sa.job as usize].pe != b.snap[sb.job as usize].pe
             || a.msgs[sa.msg_lo as usize..sa.msg_hi as usize]
                 != b.msgs[sb.msg_lo as usize..sb.msg_hi as usize]
         {
@@ -575,6 +597,61 @@ fn common_prefix_len(a: &RunRecord, b: &RunRecord) -> usize {
         i += 1;
     }
     i
+}
+
+/// Bus time the current run added per slot occurrence, as a sorted
+/// `(occurrence, added)` vec probed by binary search. The handful of
+/// entries a run accumulates never justifies a node-allocating tree:
+/// the flat vec clears without freeing, refills in place, and the slack
+/// patcher's per-window probe hits one cache line.
+#[derive(Default)]
+struct BusDelta {
+    entries: Vec<(u64, Time)>,
+}
+
+impl BusDelta {
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn get(&self, occ: u64) -> Option<Time> {
+        self.entries
+            .binary_search_by_key(&occ, |&(o, _)| o)
+            .ok()
+            .map(|p| self.entries[p].1)
+    }
+
+    fn add(&mut self, occ: u64, tx: Time) {
+        match self.entries.binary_search_by_key(&occ, |&(o, _)| o) {
+            Ok(p) => self.entries[p].1 += tx,
+            Err(p) => self.entries.insert(p, (occ, tx)),
+        }
+    }
+
+    /// Takes back `tx` previously [`add`](Self::add)ed for `occ`,
+    /// dropping the entry when its total reaches zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the occurrence was never accounted.
+    fn sub(&mut self, occ: u64, tx: Time) {
+        let p = self
+            .entries
+            .binary_search_by_key(&occ, |&(o, _)| o)
+            .expect("rolled-back message was accounted");
+        self.entries[p].1 -= tx;
+        if self.entries[p].1.is_zero() {
+            self.entries.remove(p);
+        }
+    }
 }
 
 /// The reusable scheduling engine: scratch arenas plus bookkeeping of
@@ -587,6 +664,19 @@ fn common_prefix_len(a: &RunRecord, b: &RunRecord) -> usize {
 #[derive(Default)]
 pub struct Scheduler {
     jobs: Vec<JobRec>,
+    /// Dynamic per-job state, parallel to `jobs`: the earliest time the
+    /// job's input data is available in the current run. Structure-of-
+    /// arrays on purpose — see [`JobRec`].
+    ready: Vec<Time>,
+    /// Dynamic per-job state, parallel to `jobs`: predecessors not yet
+    /// placed in the current run.
+    preds_remaining: Vec<u32>,
+    /// Static per-job snapshots parallel to `jobs`, filled by `expand`:
+    /// release times and in-degrees. The incremental patch resets
+    /// `ready`/`preds_remaining` from these with two flat copies
+    /// instead of strided walks over the fat job structs.
+    releases: Vec<Time>,
+    in_degs: Vec<u32>,
     /// Flattened per-(spec, graph) base index into `jobs`.
     graph_bases: Vec<usize>,
     /// Offset of each spec's first graph in `graph_bases`.
@@ -605,7 +695,7 @@ pub struct Scheduler {
     /// Which PEs the last run placed a new job on.
     touched: Vec<bool>,
     /// Bus time the last run added per slot occurrence.
-    new_bus: BTreeMap<u64, Time>,
+    new_bus: BusDelta,
     /// Record describing the live timelines (`timelines = base + live
     /// placements`) — the default splice source.
     live: Option<RunRecord>,
@@ -617,6 +707,11 @@ pub struct Scheduler {
     cache: Vec<CacheEntry>,
     /// Record-cache capacity override (`None` = [`RECORD_CACHE_CAP`]).
     cache_cap: Option<usize>,
+    /// Retired record whose allocations seed the next delta run's
+    /// scratch. Promotion moves the whole live record into the cache
+    /// (no clone); the displaced entry's record lands here, so the
+    /// steady state recycles allocations in a closed loop.
+    spare: Option<RunRecord>,
     /// LRU clock for `cache`.
     cache_clock: u64,
     /// Promotions since the cache was last probed. Chain-shaped runs
@@ -639,6 +734,11 @@ pub struct Scheduler {
     arena_apps: Vec<(usize, incdes_model::AppId)>,
     arena_horizon: Time,
     arena_valid: bool,
+    /// Shared snapshot of the current arena structure. Refreshed after
+    /// every full expansion but only *reallocated* when the structure
+    /// actually changed, so re-expansions of the same apps keep the
+    /// pointer — and with it the applicability of existing records.
+    arena_tag: Arc<ArenaTag>,
     /// Scratch: PEs whose reservations the delta run changed.
     changed_pe: Vec<bool>,
     /// Whether the delta run changed any bus reservation.
@@ -646,8 +746,8 @@ pub struct Scheduler {
     /// Whether the most recent run took the delta path.
     last_run_delta: bool,
     /// Slack storage of the *previous* run, consumed by `slack_profile`.
-    prev_gap_arcs: Option<Vec<Arc<Vec<(Time, Time)>>>>,
-    prev_bus_arc: Option<Arc<Vec<(Time, Time)>>>,
+    prev_gap_arcs: Option<Arc<[GapList]>>,
+    prev_bus_arc: Option<GapList>,
     raw_schedules: usize,
     delta_schedules: usize,
     spliced_steps: usize,
@@ -946,8 +1046,11 @@ impl Scheduler {
                 Some(vars) => self.expand_incremental(arch, apps, base.horizon, vars)?,
                 None => false,
             };
-            if !patched {
+            if patched {
+                counters::bump(Counter::ArenaPatched);
+            } else {
                 self.expand(arch, apps, base.horizon)?;
+                counters::bump(Counter::ArenaExpansions);
             }
             if try_delta {
                 self.take_splice_source(base, prefer)
@@ -956,7 +1059,9 @@ impl Scheduler {
             }
         };
         let result = match source {
-            Some((live, cached)) => self.run_delta(arch, apps, base, live, cached),
+            Some((live, cached, promote)) => {
+                self.run_delta(arch, apps, base, live, cached, promote)
+            }
             None => {
                 // A stale record cannot splice, but its allocations are
                 // recycled into the new one.
@@ -965,11 +1070,11 @@ impl Scheduler {
             }
         };
         // The live record now describes this candidate. Records enter
-        // the fingerprint-keyed cache by *promotion* in
-        // `take_splice_source` — the first trial that names the live
-        // record as its predecessor snapshots it before the run
-        // replaces it — so runs never spliced from again (the common
-        // case: rejected trials) cost no clone at all.
+        // the fingerprint-keyed cache by *promotion* — the first trial
+        // that names the live record as its predecessor moves it into
+        // the cache whole once the run that replaces it completes — so
+        // promotion never clones, and runs never spliced from again
+        // (the common case: rejected trials) cost nothing at all.
         self.live_fp = fingerprint;
         result
     }
@@ -984,7 +1089,7 @@ impl Scheduler {
         &mut self,
         base: &FrozenBase,
         prefer: Option<u64>,
-    ) -> Option<(RunRecord, Option<CacheEntry>)> {
+    ) -> Option<(RunRecord, Option<CacheEntry>, bool)> {
         if !self
             .live
             .as_ref()
@@ -992,16 +1097,19 @@ impl Scheduler {
         {
             return None;
         }
+        let mut promote = false;
         let cached = prefer.and_then(|fp| {
             if self.live_fp == Some(fp) {
                 // The preferred predecessor IS the live record: splice
-                // from it directly, and promote a snapshot into the
-                // cache — being named as a predecessor marks it as a
-                // pivot later trials will want to splice from after
-                // the live record moves on to this candidate. Throttled
-                // so chain-shaped runs don't clone a record per step.
+                // from it directly, and promote it into the cache —
+                // being named as a predecessor marks it as a pivot
+                // later trials will want to splice from after the live
+                // record moves on to this candidate. The promotion is
+                // a *move* after the run (the record survives the run
+                // intact), so it costs no clone; the throttle keeps
+                // chain-shaped runs from flooding the cache anyway.
                 if self.unprobed_promotions < 2 {
-                    self.cache_store(fp);
+                    promote = true;
                     self.unprobed_promotions += 1;
                 }
                 return None;
@@ -1026,7 +1134,7 @@ impl Scheduler {
             entry.stamp = self.cache_clock;
             Some(entry)
         });
-        Some((self.live.take().expect("checked above"), cached))
+        Some((self.live.take().expect("checked above"), cached, promote))
     }
 
     /// Whether `rec` can seed a delta run on `base` with the *current*
@@ -1035,41 +1143,36 @@ impl Scheduler {
     /// times) — so the only possible differences are the design
     /// variables the per-job dirty analysis inspects.
     fn record_applicable(&self, rec: &RunRecord, base: &FrozenBase) -> bool {
+        // Structure equality is one pointer comparison: expansion only
+        // reallocates the tag when the structure changed, so records
+        // made under the same layout keep sharing the scheduler's tag.
         rec.base_id == base.id
-            && rec.pe.len() == self.jobs.len()
-            && rec.graph_bases == self.graph_bases
-            && rec.spec_offsets == self.spec_offsets
-            && rec.app_ids.len() == self.arena_apps.len()
-            && rec
-                .app_ids
-                .iter()
-                .zip(&self.arena_apps)
-                .all(|(&id, &(_, cur))| id == cur)
-            && rec.shapes == self.shapes
+            && rec.snap.len() == self.jobs.len()
+            && Arc::ptr_eq(&rec.arena, &self.arena_tag)
     }
 
-    /// Snapshots the live record into the fingerprint-keyed cache under
-    /// `fp`, recycling an existing or evicted entry's allocations.
-    /// Slack arcs are not cached — only the live record's arcs seed the
-    /// next profile derivation.
-    fn cache_store(&mut self, fp: u64) {
+    /// Moves a retired record into the fingerprint-keyed cache under
+    /// `fp` — no clone; the displaced entry's record (if any) becomes
+    /// the spare that seeds the next run's scratch. Slack arcs are not
+    /// cached — only the live record's arcs seed the next profile
+    /// derivation (the caller already took them).
+    fn cache_insert_move(&mut self, fp: u64, mut rec: RunRecord) {
         let cap = self.cache_cap.unwrap_or(RECORD_CACHE_CAP);
         if cap == 0 {
+            self.spare = Some(rec);
             return;
         }
-        let Some(live) = self.live.take() else {
-            return;
-        };
+        debug_assert!(rec.gap_arcs.is_none() && rec.bus_arc.is_none());
         counters::bump(Counter::RecordCachePromotions);
         self.cache_clock += 1;
         let stamp = self.cache_clock;
+        rec.gap_arcs = None;
+        rec.bus_arc = None;
         if let Some(entry) = self.cache.iter_mut().find(|e| e.fp == fp) {
-            entry.rec.clone_from(&live);
-            entry.rec.gap_arcs = None;
-            entry.rec.bus_arc = None;
             entry.stamp = stamp;
+            self.spare = Some(std::mem::replace(&mut entry.rec, rec));
         } else if self.cache.len() >= cap {
-            // Evict the least recently used entry, reusing its record.
+            // Evict the least recently used entry, retiring its record.
             counters::bump(Counter::RecordCacheEvictions);
             let idx = self
                 .cache
@@ -1081,16 +1184,10 @@ impl Scheduler {
             let entry = &mut self.cache[idx];
             entry.fp = fp;
             entry.stamp = stamp;
-            entry.rec.clone_from(&live);
-            entry.rec.gap_arcs = None;
-            entry.rec.bus_arc = None;
+            self.spare = Some(std::mem::replace(&mut entry.rec, rec));
         } else {
-            let mut rec = live.clone();
-            rec.gap_arcs = None;
-            rec.bus_arc = None;
             self.cache.push(CacheEntry { fp, stamp, rec });
         }
-        self.live = Some(live);
     }
 
     /// Expands `apps` into the job arena (priorities served from the
@@ -1110,6 +1207,8 @@ impl Scheduler {
             .extend(apps.iter().map(|s| (s.app as *const _ as usize, s.id)));
         let Scheduler {
             jobs,
+            ready,
+            preds_remaining,
             graph_bases,
             spec_offsets,
             edge_hints,
@@ -1120,6 +1219,8 @@ impl Scheduler {
             ..
         } = self;
         jobs.clear();
+        ready.clear();
+        preds_remaining.clear();
         graph_bases.clear();
         spec_offsets.clear();
         for (si, spec) in apps.iter().enumerate() {
@@ -1203,18 +1304,51 @@ impl Scheduler {
                             priority: prio[n.index()],
                             gap_hint: spec.hints.proc_gap(pr),
                             in_deg,
-                            preds_remaining: in_deg,
-                            ready: release,
                             spec: si,
                         });
+                        ready.push(release);
+                        preds_remaining.push(in_deg);
                     }
                 }
             }
         }
         self.edge_hints.truncate(self.graph_bases.len());
         self.shapes.truncate(self.graph_bases.len());
+        self.releases.clear();
+        self.releases.extend(self.jobs.iter().map(|j| j.release));
+        self.in_degs.clear();
+        self.in_degs.extend(self.jobs.iter().map(|j| j.in_deg));
+        self.refresh_arena_tag();
         self.arena_valid = true;
         Ok(())
+    }
+
+    /// Re-tags the arena after a full expansion. The deep structural
+    /// comparison happens here — once per expansion — instead of per
+    /// applicability probe; when nothing changed the existing `Arc` is
+    /// kept, so records expanded under the same structure stay
+    /// pointer-equal to the scheduler's tag.
+    fn refresh_arena_tag(&mut self) {
+        let tag = &self.arena_tag;
+        let unchanged = tag.horizon == self.arena_horizon
+            && tag.graph_bases == self.graph_bases
+            && tag.spec_offsets == self.spec_offsets
+            && tag.app_ids.len() == self.arena_apps.len()
+            && tag
+                .app_ids
+                .iter()
+                .zip(&self.arena_apps)
+                .all(|(&id, &(_, cur))| id == cur)
+            && tag.shapes == self.shapes;
+        if !unchanged {
+            self.arena_tag = Arc::new(ArenaTag {
+                horizon: self.arena_horizon,
+                graph_bases: self.graph_bases.clone(),
+                spec_offsets: self.spec_offsets.clone(),
+                app_ids: self.arena_apps.iter().map(|&(_, id)| id).collect(),
+                shapes: self.shapes.clone(),
+            });
+        }
     }
 
     /// Patches the existing job arena with `changed` design variables
@@ -1255,10 +1389,8 @@ impl Scheduler {
         // validation) completed — a failed patch forces a full expand.
         self.arena_valid = false;
 
-        for j in &mut self.jobs {
-            j.ready = j.release;
-            j.preds_remaining = j.in_deg;
-        }
+        self.ready.clone_from(&self.releases);
+        self.preds_remaining.clone_from(&self.in_degs);
 
         // Apply the changed variables (sorted order = expansion order,
         // so a MappingIncomplete/NotAllowed error surfaces for the same
@@ -1288,15 +1420,22 @@ impl Scheduler {
                     let flat = self.spec_offsets[spec] + graph;
                     let nodes = g.process_count();
                     let instances = (horizon.ticks() / g.period.ticks()) as usize;
+                    // Priorities are a pure function of the graph's
+                    // mapping (node WCETs on the assigned PEs, edge
+                    // same-PE-ness) — a gap-hint-only change cannot
+                    // move them, so the cost rebuild below keys on the
+                    // PE actually changing (instance 0 still holds the
+                    // pre-patch assignment here).
+                    let remapped = self.jobs[self.graph_bases[flat] + node.index()].pe != pe;
                     for k in 0..instances {
                         let j = &mut self.jobs[self.graph_bases[flat] + k * nodes + node.index()];
                         j.pe = pe;
                         j.wcet = wcet;
                         j.gap_hint = hint;
                     }
-                    // Refresh the graph's priorities once per dirty graph
-                    // (vars are sorted, so repeats are adjacent).
-                    if flat != prio_dirty_prev {
+                    // Refresh the graph's priorities once per remapped
+                    // graph (vars are sorted, so repeats are adjacent).
+                    if remapped && flat != prio_dirty_prev {
                         prio_dirty_prev = flat;
                         let Scheduler {
                             jobs,
@@ -1314,14 +1453,21 @@ impl Scheduler {
                         );
                         cost_scratch.fill(arch, g, assign_scratch);
                         let entry = &mut prio_cache[flat];
+                        // Every expansion that touches a graph leaves its
+                        // jobs holding `entry.prio`, so when the rebuilt
+                        // costs match the cached ones the arena is
+                        // already consistent — no recompute, no rewrite.
                         if entry.costs != *cost_scratch {
-                            let _refresh = phase::scope(Phase::PriorityRefresh);
-                            entry.prio = cost_scratch.priorities(g);
-                            std::mem::swap(&mut entry.costs, cost_scratch);
-                        }
-                        for k in 0..instances {
-                            for n in 0..nodes {
-                                jobs[graph_bases[flat] + k * nodes + n].priority = entry.prio[n];
+                            {
+                                let _refresh = phase::scope(Phase::PriorityRefresh);
+                                entry.prio = cost_scratch.priorities(g);
+                                std::mem::swap(&mut entry.costs, cost_scratch);
+                            }
+                            for k in 0..instances {
+                                for n in 0..nodes {
+                                    jobs[graph_bases[flat] + k * nodes + n].priority =
+                                        entry.prio[n];
+                                }
                             }
                         }
                     }
@@ -1355,29 +1501,30 @@ impl Scheduler {
         let snap: Vec<(PeId, Time, Time, u32, u32, Time)> = self
             .jobs
             .iter()
-            .map(|j| {
+            .enumerate()
+            .map(|(i, j)| {
                 (
                     j.pe,
                     j.wcet,
                     j.priority,
                     j.gap_hint,
-                    j.preds_remaining,
-                    j.ready,
+                    self.preds_remaining[i],
+                    self.ready[i],
                 )
             })
             .collect();
         let hints_snap = self.edge_hints.clone();
         self.expand(arch, apps, horizon)?;
         assert_eq!(self.jobs.len(), snap.len(), "patched arena lost jobs");
-        for (j, s) in self.jobs.iter().zip(&snap) {
+        for (i, (j, s)) in self.jobs.iter().zip(&snap).enumerate() {
             assert_eq!(
                 (
                     j.pe,
                     j.wcet,
                     j.priority,
                     j.gap_hint,
-                    j.preds_remaining,
-                    j.ready
+                    self.preds_remaining[i],
+                    self.ready[i]
                 ),
                 *s,
                 "incremental expansion diverged from full expansion for {:?}",
@@ -1406,6 +1553,8 @@ impl Scheduler {
 
         let Scheduler {
             jobs,
+            ready,
+            preds_remaining,
             graph_bases,
             spec_offsets,
             heap,
@@ -1446,10 +1595,10 @@ impl Scheduler {
         let _replace = phase::scope(Phase::RePlace);
         heap.clear();
         let mut seeded = 0u64;
-        for (i, j) in jobs.iter().enumerate() {
-            if j.preds_remaining == 0 {
+        for (i, &p) in preds_remaining.iter().enumerate() {
+            if p == 0 {
                 push_step[i] = 0;
-                heap.push(ReadyEntry::of(jobs, i));
+                heap.push(ReadyEntry::of(jobs, ready, i));
                 seeded += 1;
             }
         }
@@ -1459,6 +1608,8 @@ impl Scheduler {
             arch,
             apps,
             jobs,
+            ready,
+            preds_remaining,
             graph_bases,
             spec_offsets,
             heap,
@@ -1499,6 +1650,7 @@ impl Scheduler {
         base: &FrozenBase,
         mut live: RunRecord,
         cached: Option<CacheEntry>,
+        promote: bool,
     ) -> Result<ScheduleTable, SchedError> {
         let n = self.jobs.len();
         let (div, keep) = {
@@ -1539,15 +1691,24 @@ impl Scheduler {
         self.prev_gap_arcs = live.gap_arcs.take();
         self.prev_bus_arc = live.bus_arc.take();
 
-        // Scratch recycled from the live record; its remaining snapshot
-        // vectors become the carcass `store_record` refills below.
-        let mut pop_step = std::mem::take(&mut live.pop_step);
-        let mut push_step = std::mem::take(&mut live.push_step);
-        let mut steps = std::mem::take(&mut live.steps);
-        let mut rec_msgs = std::mem::take(&mut live.msgs);
+        // Scratch recycled from the spare record (retired by an earlier
+        // promotion or run); its vectors become the carcass
+        // `store_record` refills below. The live record survives the
+        // run intact: it is the undo source, and a promotion moves it
+        // into the cache whole instead of cloning it.
+        let mut spare = self
+            .spare
+            .take()
+            .unwrap_or_else(|| RunRecord::empty(&self.arena_tag));
+        let mut pop_step = std::mem::take(&mut spare.pop_step);
+        let mut push_step = std::mem::take(&mut spare.push_step);
+        let mut steps = std::mem::take(&mut spare.steps);
+        let mut rec_msgs = std::mem::take(&mut spare.msgs);
 
         let Scheduler {
             jobs,
+            ready,
+            preds_remaining,
             graph_bases,
             spec_offsets,
             heap,
@@ -1566,10 +1727,10 @@ impl Scheduler {
         changed_pe.resize(pes.len(), false);
         *changed_bus = false;
 
-        let (src_steps, src_msgs, src_pe): (&[StepRec], &[ScheduledMessage], &[PeId]) =
+        let (src_steps, src_msgs, src_snap): (&[StepRec], &[ScheduledMessage], &[JobSnap]) =
             match cached.as_ref() {
-                Some(e) => (&e.rec.steps, &e.rec.msgs, &e.rec.pe),
-                None => (&steps, &rec_msgs, &live.pe),
+                Some(e) => (&e.rec.steps, &e.rec.msgs, &e.rec.snap),
+                None => (&live.steps, &live.msgs, &live.snap),
             };
 
         let replay_from = {
@@ -1579,10 +1740,10 @@ impl Scheduler {
                 // Every PE the wiped run had touched may end up with a
                 // different gap list, so its previous-profile alias is
                 // dead.
-                for step in steps.iter() {
-                    changed_pe[live.pe[step.job as usize].index()] = true;
+                for step in live.steps.iter() {
+                    changed_pe[live.snap[step.job as usize].pe.index()] = true;
                 }
-                if !rec_msgs.is_empty() {
+                if !live.msgs.is_empty() {
                     *changed_bus = true;
                 }
                 for (tl, b) in pes.iter_mut().zip(&base.pes) {
@@ -1593,15 +1754,15 @@ impl Scheduler {
             } else {
                 // --- Undo the live suffix (reverse order, frame tails
                 // unwind)
-                for step in steps[keep..].iter().rev() {
-                    for m in rec_msgs[step.msg_lo as usize..step.msg_hi as usize]
+                for step in live.steps[keep..].iter().rev() {
+                    for m in live.msgs[step.msg_lo as usize..step.msg_hi as usize]
                         .iter()
                         .rev()
                     {
                         bus.unreserve_tail(&m.reservation);
                         *changed_bus = true;
                     }
-                    let pe = live.pe[step.job as usize];
+                    let pe = live.snap[step.job as usize].pe;
                     pes[pe.index()].unreserve(step.start, step.end);
                     changed_pe[pe.index()] = true;
                 }
@@ -1614,7 +1775,7 @@ impl Scheduler {
         // (an in-place undo from the live source leaves `replay_from ==
         // keep == div` and the range is empty)
         for step in &src_steps[replay_from..div] {
-            let pe = src_pe[step.job as usize];
+            let pe = src_snap[step.job as usize].pe;
             pes[pe.index()]
                 .reserve(step.start, step.end)
                 .expect("replayed placement fits its recorded interval");
@@ -1650,8 +1811,8 @@ impl Scheduler {
         pop_step.resize(n, u32::MAX);
         push_step.clear();
         push_step.resize(n, u32::MAX);
-        for (i, j) in jobs.iter().enumerate() {
-            if j.preds_remaining == 0 {
+        for (i, &p) in preds_remaining.iter().enumerate() {
+            if p == 0 {
                 push_step[i] = 0;
             }
         }
@@ -1659,7 +1820,7 @@ impl Scheduler {
         for (s, step) in src_steps[..div].iter().enumerate() {
             let idx = step.job as usize;
             let j = &jobs[idx];
-            debug_assert_eq!(j.pe, src_pe[idx], "spliced jobs are clean");
+            debug_assert_eq!(j.pe, src_snap[idx].pe, "spliced jobs are clean");
             touched[j.pe.index()] = true;
             popped[idx] = true;
             pop_step[idx] = s as u32;
@@ -1685,15 +1846,12 @@ impl Scheduler {
                 } else {
                     let m = src_msgs[cursor];
                     cursor += 1;
-                    *new_bus
-                        .entry(m.reservation.occurrence)
-                        .or_insert(Time::ZERO) += m.reservation.duration();
+                    new_bus.add(m.reservation.occurrence, m.reservation.duration());
                     m.reservation.arrival
                 };
-                let succ = &mut jobs[succ_idx];
-                succ.ready = succ.ready.max(data_ready);
-                succ.preds_remaining -= 1;
-                if succ.preds_remaining == 0 {
+                ready[succ_idx] = ready[succ_idx].max(data_ready);
+                preds_remaining[succ_idx] -= 1;
+                if preds_remaining[succ_idx] == 0 {
                     push_step[succ_idx] = s as u32 + 1;
                 }
             }
@@ -1704,28 +1862,22 @@ impl Scheduler {
         heap.clear();
         let mut seeded = 0u64;
         for i in 0..n {
-            if !popped[i] && jobs[i].preds_remaining == 0 {
-                heap.push(ReadyEntry::of(jobs, i));
+            if !popped[i] && preds_remaining[i] == 0 {
+                heap.push(ReadyEntry::of(jobs, ready, i));
                 seeded += 1;
             }
         }
         counters::add(Counter::HeapPushes, seeded);
 
         // --- Re-place the suffix through the ordinary loop ---------------
-        // The scratch vectors become the source prefix: a truncation for
-        // the live source, a copy for a cached one.
-        match cached.as_ref() {
-            Some(e) => {
-                steps.clear();
-                steps.extend_from_slice(&e.rec.steps[..div]);
-                rec_msgs.clear();
-                rec_msgs.extend_from_slice(&e.rec.msgs[..prefix_msg_count]);
-            }
-            None => {
-                steps.truncate(div);
-                rec_msgs.truncate(prefix_msg_count);
-            }
-        }
+        // The scratch vectors receive the source prefix (the suffix is
+        // appended by the loop below). Always a copy — the source
+        // record survives the run, so the live one can be promoted
+        // into the cache by move.
+        steps.clear();
+        steps.extend_from_slice(&src_steps[..div]);
+        rec_msgs.clear();
+        rec_msgs.extend_from_slice(&src_msgs[..prefix_msg_count]);
         let before_msgs = rec_msgs.len();
         drop(splice_scope);
 
@@ -1734,6 +1886,8 @@ impl Scheduler {
             arch,
             apps,
             jobs,
+            ready,
+            preds_remaining,
             graph_bases,
             spec_offsets,
             heap,
@@ -1767,7 +1921,19 @@ impl Scheduler {
         }
         // Completed steps of a failed run still satisfy the record
         // invariant — see `run_full` for why that matters.
-        self.store_record(base, steps, rec_msgs, pop_step, push_step, Some(live));
+        self.store_record(base, steps, rec_msgs, pop_step, push_step, Some(spare));
+        // Retire the old live record: a promotion moves it into the
+        // cache whole; otherwise its allocations seed the next run's
+        // scratch. Promotion happens even for a failed run — the
+        // record describes the *previous* successful run either way.
+        if promote {
+            let fp = self
+                .live_fp
+                .expect("promotion implies a labeled live record");
+            self.cache_insert_move(fp, live);
+        } else {
+            self.spare = Some(live);
+        }
         run?;
         Ok(table.expect("run succeeded"))
     }
@@ -1800,10 +1966,10 @@ impl Scheduler {
                 deadline: j.deadline,
             }
         }));
-        cur_jobs.sort_by_key(|j| (j.pe, j.start, j.job));
+        cur_jobs.sort_by_key(crate::table::job_sort_key);
         cur_msgs.clear();
         cur_msgs.extend_from_slice(rec_msgs);
-        cur_msgs.sort_by_key(|m| (m.reservation.transmit_start, m.app, m.msg, m.instance));
+        cur_msgs.sort_by_key(crate::table::message_sort_key);
         ScheduleTable::from_sorted_merge(base.horizon, &base.jobs, cur_jobs, &base.msgs, cur_msgs)
     }
 
@@ -1819,7 +1985,8 @@ impl Scheduler {
         // jobs a patch actually moved.
         for idx in 0..jobs.len() {
             let j = &jobs[idx];
-            if j.pe != rec.pe[idx] {
+            let s = &rec.snap[idx];
+            if j.pe != s.pe {
                 div = div.min(rec.pop_step[idx]);
                 let g = &apps[j.spec].app.graphs[j.id.graph];
                 for &e in g.dag().in_edges(j.id.node) {
@@ -1834,10 +2001,10 @@ impl Scheduler {
                     );
                     div = div.min(rec.pop_step[pred_idx]);
                 }
-            } else if j.gap_hint != rec.gap_hint[idx] || j.wcet != rec.wcet[idx] {
+            } else if j.gap_hint != s.gap_hint || j.wcet != s.wcet {
                 div = div.min(rec.pop_step[idx]);
             }
-            if j.priority != rec.priority[idx] {
+            if j.priority != s.priority {
                 div = div.min(rec.push_step[idx]);
             }
         }
@@ -1885,44 +2052,21 @@ impl Scheduler {
             self.live = None;
             return;
         }
-        let mut rec = carcass.unwrap_or_else(|| RunRecord {
-            base_id: 0,
-            steps: Vec::new(),
-            msgs: Vec::new(),
-            pop_step: Vec::new(),
-            push_step: Vec::new(),
-            pe: Vec::new(),
-            gap_hint: Vec::new(),
-            wcet: Vec::new(),
-            priority: Vec::new(),
-            edge_hints: Vec::new(),
-            graph_bases: Vec::new(),
-            spec_offsets: Vec::new(),
-            app_ids: Vec::new(),
-            shapes: Vec::new(),
-            gap_arcs: None,
-            bus_arc: None,
-        });
+        let mut rec = carcass.unwrap_or_else(|| RunRecord::empty(&self.arena_tag));
         rec.base_id = base.id;
         rec.steps = steps;
         rec.msgs = msgs;
         rec.pop_step = pop_step;
         rec.push_step = push_step;
-        rec.pe.clear();
-        rec.pe.extend(self.jobs.iter().map(|j| j.pe));
-        rec.gap_hint.clear();
-        rec.gap_hint.extend(self.jobs.iter().map(|j| j.gap_hint));
-        rec.wcet.clear();
-        rec.wcet.extend(self.jobs.iter().map(|j| j.wcet));
-        rec.priority.clear();
-        rec.priority.extend(self.jobs.iter().map(|j| j.priority));
+        rec.snap.clear();
+        rec.snap.extend(self.jobs.iter().map(|j| JobSnap {
+            pe: j.pe,
+            gap_hint: j.gap_hint,
+            wcet: j.wcet,
+            priority: j.priority,
+        }));
         rec.edge_hints.clone_from(&self.edge_hints);
-        rec.graph_bases.clone_from(&self.graph_bases);
-        rec.spec_offsets.clone_from(&self.spec_offsets);
-        rec.app_ids.clear();
-        rec.app_ids
-            .extend(self.arena_apps.iter().map(|&(_, id)| id));
-        rec.shapes.clone_from(&self.shapes);
+        rec.arena = Arc::clone(&self.arena_tag);
         rec.gap_arcs = None;
         rec.bus_arc = None;
         self.live = Some(rec);
@@ -1937,7 +2081,7 @@ impl Scheduler {
         let prev_gaps = self.prev_gap_arcs.take();
         let prev_bus = self.prev_bus_arc.take();
         let mut fresh = 0usize;
-        let mut pe_gaps: Vec<Arc<Vec<(Time, Time)>>> = Vec::with_capacity(self.pes.len());
+        let mut pe_gaps: Vec<GapList> = Vec::with_capacity(self.pes.len());
         for i in 0..self.pes.len() {
             let arc = if !self.touched[i] {
                 counters::bump(Counter::SlackGapsAliased);
@@ -1953,16 +2097,21 @@ impl Scheduler {
                     None => {
                         fresh += 1;
                         counters::bump(Counter::SlackGapsMaterialized);
-                        Arc::new(self.pes[i].gaps())
+                        self.pes[i].gap_iter().collect()
                     }
                 }
             } else {
                 fresh += 1;
                 counters::bump(Counter::SlackGapsMaterialized);
-                Arc::new(self.pes[i].gaps())
+                self.pes[i].gap_iter().collect()
             };
             pe_gaps.push(arc);
         }
+        // One shared slab for the whole per-PE table: the profile, the
+        // live record's alias source and every memo clone downstream
+        // share it by reference-count bump instead of re-cloning
+        // `pe_count` inner `Arc`s each.
+        let pe_gaps: Arc<[GapList]> = pe_gaps.into();
 
         let bus_arc = if self.new_bus.is_empty() {
             counters::bump(Counter::BusWindowsAliased);
@@ -1978,9 +2127,9 @@ impl Scheduler {
             let mut patched = 0usize;
             let mut windows = Vec::with_capacity(base.bus_windows.len());
             for (k, &(ws, we)) in base.bus_windows.iter().enumerate() {
-                match self.new_bus.get(&base.window_occ[k]) {
+                match self.new_bus.get(base.window_occ[k]) {
                     None => windows.push((ws, we)),
-                    Some(&added) => {
+                    Some(added) => {
                         patched += 1;
                         let ns = ws + added;
                         if ns < we {
@@ -1994,12 +2143,12 @@ impl Scheduler {
                 self.new_bus.len(),
                 "every new message lands in a baked window"
             );
-            Arc::new(windows)
+            windows.into()
         };
 
         self.fresh_gap_lists = fresh;
         if let Some(rec) = &mut self.live {
-            rec.gap_arcs = Some(pe_gaps.clone());
+            rec.gap_arcs = Some(Arc::clone(&pe_gaps));
             rec.bus_arc = Some(Arc::clone(&bus_arc));
         }
         SlackProfile::from_shared(base.horizon, pe_gaps, bus_arc)
@@ -2075,14 +2224,16 @@ fn job_index(
 fn schedule_loop(
     arch: &Architecture,
     apps: &[AppSpec<'_>],
-    jobs: &mut [JobRec],
+    jobs: &[JobRec],
+    ready: &mut [Time],
+    preds_remaining: &mut [u32],
     graph_bases: &[usize],
     spec_offsets: &[usize],
     heap: &mut BinaryHeap<ReadyEntry>,
     pes: &mut [PeTimeline],
     bus: &mut BusTimeline,
     touched: &mut [bool],
-    new_bus: &mut BTreeMap<u64, Time>,
+    new_bus: &mut BusDelta,
     steps: &mut Vec<StepRec>,
     rec_msgs: &mut Vec<ScheduledMessage>,
     push_step: &mut [u32],
@@ -2092,12 +2243,11 @@ fn schedule_loop(
         counters::bump(Counter::HeapPops);
         let idx = entry.job_idx;
         let step_idx = steps.len() as u32;
-        let (id, pe, wcet, ready, deadline, gap_hint, si) = {
-            let j = &jobs[idx];
-            (j.id, j.pe, j.wcet, j.ready, j.deadline, j.gap_hint, j.spec)
-        };
+        let j = &jobs[idx];
+        let (id, pe, wcet, deadline, gap_hint, si) =
+            (j.id, j.pe, j.wcet, j.deadline, j.gap_hint, j.spec);
         let start = pes[pe.index()]
-            .reserve_earliest(ready, wcet, gap_hint)
+            .reserve_earliest(ready[idx], wcet, gap_hint)
             .map_err(|source| SchedError::NoGap { job: id, source })?;
         touched[pe.index()] = true;
         let end = start + wcet;
@@ -2134,7 +2284,7 @@ fn schedule_loop(
                 let tx = arch.bus().transmission_time(g.message(e).bytes);
                 match bus.schedule_message_nth(pe, end, tx, spec.hints.msg_slot(mref) as usize) {
                     Ok(r) => {
-                        *new_bus.entry(r.occurrence).or_insert(Time::ZERO) += tx;
+                        new_bus.add(r.occurrence, tx);
                         rec_msgs.push(ScheduledMessage {
                             app: spec.id,
                             msg: mref,
@@ -2149,14 +2299,7 @@ fn schedule_loop(
                         // stays a valid splice source.
                         for m in rec_msgs[msg_lo as usize..].iter().rev() {
                             bus.unreserve_tail(&m.reservation);
-                            let occ = m.reservation.occurrence;
-                            let added = new_bus
-                                .get_mut(&occ)
-                                .expect("rolled-back message was accounted");
-                            *added -= m.reservation.duration();
-                            if added.is_zero() {
-                                new_bus.remove(&occ);
-                            }
+                            new_bus.sub(m.reservation.occurrence, m.reservation.duration());
                         }
                         rec_msgs.truncate(msg_lo as usize);
                         pop_step[idx] = u32::MAX;
@@ -2169,13 +2312,11 @@ fn schedule_loop(
                     }
                 }
             };
-            let succ = &mut jobs[succ_idx];
-            succ.ready = succ.ready.max(data_ready);
-            succ.preds_remaining -= 1;
-            if succ.preds_remaining == 0 {
+            ready[succ_idx] = ready[succ_idx].max(data_ready);
+            preds_remaining[succ_idx] -= 1;
+            if preds_remaining[succ_idx] == 0 {
                 push_step[succ_idx] = step_idx + 1;
-                let e = ReadyEntry::of(jobs, succ_idx);
-                heap.push(e);
+                heap.push(ReadyEntry::of(jobs, ready, succ_idx));
                 counters::bump(Counter::HeapPushes);
             }
         }

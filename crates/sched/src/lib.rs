@@ -80,4 +80,6 @@ pub use list::{schedule, AppSpec, SchedError};
 pub use mapping::{Hints, Mapping, MsgRef};
 pub use pe_timeline::PeTimeline;
 pub use slack::SlackProfile;
-pub use table::{ScheduleTable, ScheduledJob, ScheduledMessage, TableError};
+pub use table::{
+    job_sort_key, message_sort_key, ScheduleTable, ScheduledJob, ScheduledMessage, TableError,
+};

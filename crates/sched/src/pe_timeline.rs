@@ -3,9 +3,43 @@
 //! The scheduler treats each PE as a timeline of half-open busy intervals
 //! within `[0, horizon)`. Existing (frozen) applications appear as
 //! pre-reserved intervals; the list scheduler fills the remaining gaps.
+//!
+//! # Data layout
+//!
+//! The timeline is stored in two layers:
+//!
+//! * `base` — the *consolidated* layer: a sorted `Vec` of disjoint
+//!   intervals. For the evaluation engine's scratch timelines this is
+//!   the frozen base occupancy restored by [`PeTimeline::copy_from`];
+//!   it is never shifted by per-reservation edits.
+//! * `over` — the *overlay*: the reservations made since the last
+//!   consolidation, also sorted and disjoint (and disjoint from
+//!   `base`), but small — bounded by [`CONSOLIDATE_AT`] plus one run's
+//!   placements on this PE.
+//!
+//! The delta-scheduling engine's splice inner loop only ever inserts
+//! the current candidate's placements and undoes recorded suffixes of
+//! them: with this split, every such insert/remove shifts only the
+//! overlay, so its cost is bounded by the *current application's*
+//! per-PE placement count instead of the total reservation count
+//! (frozen jobs included) that the old single sorted-`Vec` layout
+//! shifted on every edit. Reads (gap search, gap enumeration, window
+//! overlap) run a two-pointer merge of the layers; both are contiguous
+//! in memory. When the overlay outgrows [`CONSOLIDATE_AT`] (bulk
+//! from-scratch schedules, e.g. the naive pipeline), it is merged into
+//! the base in one linear pass, keeping insert cost amortized.
 
 use incdes_model::Time;
+use incdes_obs::counters::{self, Counter};
 use std::fmt;
+use std::sync::Arc;
+
+/// Overlay length that triggers a merge into the consolidated base.
+/// One evaluation places roughly (current jobs × instances) / PE-count
+/// reservations per PE — comfortably below this — so delta evaluation
+/// chains never consolidate mid-run; only bulk from-scratch schedules
+/// (bakes, the naive pipeline) do, amortizing their insert cost.
+const CONSOLIDATE_AT: usize = 64;
 
 /// Error from timeline operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,13 +98,80 @@ impl fmt::Display for PeTimelineError {
 
 impl std::error::Error for PeTimelineError {}
 
-/// The timeline of one PE: sorted, disjoint busy intervals in `[0, horizon)`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The timeline of one PE: disjoint busy intervals in `[0, horizon)`,
+/// stored as a consolidated base layer plus a small overlay (see the
+/// module docs). Equality is by *content* — two timelines holding the
+/// same intervals compare equal regardless of how the layers split
+/// them.
+#[derive(Debug, Clone)]
 pub struct PeTimeline {
     horizon: Time,
-    /// Sorted by start; intervals are disjoint (no merging of adjacent
-    /// intervals — each reservation is kept separate).
-    busy: Vec<(Time, Time)>,
+    /// Consolidated layer: sorted by start, disjoint. Shared (`Arc`)
+    /// because the engine's scratch timelines restore it from the
+    /// frozen base on every reset: with the base layer behind an `Arc`,
+    /// [`copy_from`](Self::copy_from) is a pointer bump instead of an
+    /// O(frozen jobs) memcpy. All per-reservation edits go to the
+    /// overlay; the rare paths that do rewrite the consolidated layer
+    /// replace the whole `Arc` (consolidation) or clone-on-write (the
+    /// cold `unreserve` fallback).
+    base: Arc<Vec<(Time, Time)>>,
+    /// Overlay: sorted by start, disjoint, disjoint from `base`, small.
+    over: Vec<(Time, Time)>,
+}
+
+impl PartialEq for PeTimeline {
+    fn eq(&self, other: &Self) -> bool {
+        self.horizon == other.horizon && self.intervals().eq(other.intervals())
+    }
+}
+
+impl Eq for PeTimeline {}
+
+/// Two-pointer merge cursor over the (sorted, mutually disjoint)
+/// layers. Disjointness makes starts unique, so min-by-start is a
+/// total order.
+#[derive(Clone, Copy)]
+struct Cursor<'a> {
+    a: &'a [(Time, Time)],
+    b: &'a [(Time, Time)],
+    i: usize,
+    j: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<(Time, Time)> {
+        match (self.a.get(self.i), self.b.get(self.j)) {
+            (Some(&x), Some(&y)) => Some(if x.0 < y.0 { x } else { y }),
+            (Some(&x), None) => Some(x),
+            (None, Some(&y)) => Some(y),
+            (None, None) => None,
+        }
+    }
+
+    fn advance(&mut self) {
+        match (self.a.get(self.i), self.b.get(self.j)) {
+            (Some(&x), Some(&y)) => {
+                if x.0 < y.0 {
+                    self.i += 1;
+                } else {
+                    self.j += 1;
+                }
+            }
+            (Some(_), None) => self.i += 1,
+            (None, Some(_)) => self.j += 1,
+            (None, None) => {}
+        }
+    }
+}
+
+impl<'a> Iterator for Cursor<'a> {
+    type Item = (Time, Time);
+
+    fn next(&mut self) -> Option<(Time, Time)> {
+        let cur = self.peek()?;
+        self.advance();
+        Some(cur)
+    }
 }
 
 impl PeTimeline {
@@ -78,7 +179,8 @@ impl PeTimeline {
     pub fn new(horizon: Time) -> Self {
         PeTimeline {
             horizon,
-            busy: Vec::new(),
+            base: Arc::new(Vec::new()),
+            over: Vec::new(),
         }
     }
 
@@ -89,17 +191,44 @@ impl PeTimeline {
 
     /// Number of reservations.
     pub fn reservation_count(&self) -> usize {
-        self.busy.len()
+        self.base.len() + self.over.len()
     }
 
     /// Total busy time.
     pub fn busy_time(&self) -> Time {
-        self.busy.iter().map(|&(s, e)| e - s).sum()
+        self.base
+            .iter()
+            .chain(&self.over)
+            .map(|&(s, e)| e - s)
+            .sum()
     }
 
     /// Total free time.
     pub fn free_time(&self) -> Time {
         self.horizon - self.busy_time()
+    }
+
+    /// Merge cursor positioned at the first interval (in start order)
+    /// whose end is after `ready`. Both layers have sorted ends (their
+    /// intervals are disjoint and start-sorted), so each can be
+    /// positioned by binary search independently.
+    fn cursor_from(&self, ready: Time) -> Cursor<'_> {
+        Cursor {
+            a: &self.base[..],
+            b: &self.over,
+            i: self.base.partition_point(|&(_, e)| e <= ready),
+            j: self.over.partition_point(|&(_, e)| e <= ready),
+        }
+    }
+
+    /// All busy intervals in time order.
+    pub fn intervals(&self) -> impl Iterator<Item = (Time, Time)> + '_ {
+        Cursor {
+            a: &self.base[..],
+            b: &self.over,
+            i: 0,
+            j: 0,
+        }
     }
 
     /// Reserves the exact interval `[start, end)`.
@@ -112,15 +241,24 @@ impl PeTimeline {
         if start >= end || end > self.horizon {
             return Err(PeTimelineError::OutOfRange { start, end });
         }
-        // Position of the first interval with start >= requested start.
-        let idx = self.busy.partition_point(|&(s, _)| s < start);
-        if idx > 0 && self.busy[idx - 1].1 > start {
+        let bi = self.base.partition_point(|&(s, _)| s < start);
+        if bi > 0 && self.base[bi - 1].1 > start {
             return Err(PeTimelineError::Overlap { start, end });
         }
-        if idx < self.busy.len() && self.busy[idx].0 < end {
+        if bi < self.base.len() && self.base[bi].0 < end {
             return Err(PeTimelineError::Overlap { start, end });
         }
-        self.busy.insert(idx, (start, end));
+        let oi = self.over.partition_point(|&(s, _)| s < start);
+        if oi > 0 && self.over[oi - 1].1 > start {
+            return Err(PeTimelineError::Overlap { start, end });
+        }
+        if oi < self.over.len() && self.over[oi].0 < end {
+            return Err(PeTimelineError::Overlap { start, end });
+        }
+        self.over.insert(oi, (start, end));
+        if self.over.len() >= CONSOLIDATE_AT {
+            self.consolidate();
+        }
         Ok(())
     }
 
@@ -141,8 +279,12 @@ impl PeTimeline {
         duration: Time,
         skip: u32,
     ) -> Result<Time, PeTimelineError> {
-        let (start, idx) = self.find_earliest(ready, duration, skip)?;
-        self.busy.insert(idx, (start, start + duration));
+        let start = self.find_earliest(ready, duration, skip)?;
+        let oi = self.over.partition_point(|&(s, _)| s < start);
+        self.over.insert(oi, (start, start + duration));
+        if self.over.len() >= CONSOLIDATE_AT {
+            self.consolidate();
+        }
         Ok(start)
     }
 
@@ -158,16 +300,16 @@ impl PeTimeline {
         duration: Time,
         skip: u32,
     ) -> Result<Time, PeTimelineError> {
-        self.find_earliest(ready, duration, skip).map(|(s, _)| s)
+        self.find_earliest(ready, duration, skip)
     }
 
-    /// Shared search: returns `(start, insertion index)`.
+    /// Shared gap search over the merged layers.
     fn find_earliest(
         &self,
         ready: Time,
         duration: Time,
         skip: u32,
-    ) -> Result<(Time, usize), PeTimelineError> {
+    ) -> Result<Time, PeTimelineError> {
         if duration.is_zero() {
             return Err(PeTimelineError::OutOfRange {
                 start: ready,
@@ -176,45 +318,73 @@ impl PeTimeline {
         }
         let mut remaining = skip;
         let mut cursor = ready;
-        let mut idx = self.busy.partition_point(|&(_, e)| e <= ready);
+        let mut merged = self.cursor_from(ready);
         loop {
-            let gap_end = if idx < self.busy.len() {
-                self.busy[idx].0
-            } else {
-                self.horizon
-            };
+            let next = merged.peek();
+            let gap_end = next.map_or(self.horizon, |(s, _)| s);
             if cursor + duration <= gap_end {
                 if remaining == 0 {
-                    return Ok((cursor, idx));
+                    return Ok(cursor);
                 }
                 remaining -= 1;
             }
-            if idx >= self.busy.len() {
+            let Some((_, e)) = next else {
                 return Err(PeTimelineError::NoGap {
                     ready,
                     duration,
                     skipped: skip - remaining,
                 });
-            }
-            cursor = cursor.max(self.busy[idx].1);
-            idx += 1;
+            };
+            cursor = cursor.max(e);
+            merged.advance();
         }
     }
 
-    /// The free gaps `(start, end)` in time order.
-    pub fn gaps(&self) -> Vec<(Time, Time)> {
-        let mut out = Vec::new();
+    /// The free gaps `(start, end)` in time order, as an iterator over
+    /// the merged layers — no allocation. The hot paths (slack
+    /// materialization, base bakes) collect this straight into their
+    /// shared storage.
+    pub fn gap_iter(&self) -> impl Iterator<Item = (Time, Time)> + '_ {
+        let mut merged = self.intervals();
         let mut cursor = Time::ZERO;
-        for &(s, e) in &self.busy {
-            if cursor < s {
-                out.push((cursor, s));
+        let horizon = self.horizon;
+        let mut done = false;
+        std::iter::from_fn(move || {
+            while !done {
+                match merged.next() {
+                    Some((s, e)) => {
+                        let gap = (cursor < s).then_some((cursor, s));
+                        cursor = cursor.max(e);
+                        if gap.is_some() {
+                            return gap;
+                        }
+                    }
+                    None => {
+                        done = true;
+                        if cursor < horizon {
+                            return Some((cursor, horizon));
+                        }
+                    }
+                }
             }
-            cursor = cursor.max(e);
-        }
-        if cursor < self.horizon {
-            out.push((cursor, self.horizon));
-        }
-        out
+            None
+        })
+    }
+
+    /// Writes the free gaps into `out` (cleared first), reusing its
+    /// allocation.
+    pub fn gaps_into(&self, out: &mut Vec<(Time, Time)>) {
+        out.clear();
+        out.extend(self.gap_iter());
+    }
+
+    /// The free gaps `(start, end)` in time order, freshly allocated.
+    /// Compat/cold-path convenience — counted by the `fresh_gap_lists`
+    /// probe so hot paths that should use [`gap_iter`](Self::gap_iter)
+    /// or [`gaps_into`](Self::gaps_into) show up in diagnostics.
+    pub fn gaps(&self) -> Vec<(Time, Time)> {
+        counters::bump(Counter::FreshGapLists);
+        self.gap_iter().collect()
     }
 
     /// Free time inside the window `[from, to)`.
@@ -224,7 +394,7 @@ impl PeTimeline {
             return Time::ZERO;
         }
         let mut busy_in = Time::ZERO;
-        for &(s, e) in &self.busy {
+        for (s, e) in self.intervals() {
             if s >= to {
                 break;
             }
@@ -237,24 +407,54 @@ impl PeTimeline {
         (to - from) - busy_in
     }
 
-    /// The busy intervals, sorted by start.
-    pub fn busy_intervals(&self) -> &[(Time, Time)] {
-        &self.busy
+    /// The busy intervals in time order, freshly collected.
+    pub fn busy_intervals(&self) -> Vec<(Time, Time)> {
+        self.intervals().collect()
     }
 
-    /// Resets this timeline to an exact copy of `other`, reusing the
-    /// existing allocation. The evaluation engine calls this once per
-    /// schedule to restore the baked frozen occupancy without
-    /// reallocating.
+    /// Merges the overlay into the consolidated base layer (one linear
+    /// pass). The bake path calls this after replaying a frozen
+    /// schedule so every scratch timeline restored by
+    /// [`copy_from`](Self::copy_from) starts with an empty overlay.
+    pub fn consolidate(&mut self) {
+        if self.over.is_empty() {
+            return;
+        }
+        counters::bump(Counter::TimelineConsolidations);
+        let mut merged = Vec::with_capacity(self.base.len() + self.over.len());
+        merged.extend(Cursor {
+            a: &self.base[..],
+            b: &self.over,
+            i: 0,
+            j: 0,
+        });
+        self.base = Arc::new(merged);
+        self.over.clear();
+    }
+
+    /// Resets this timeline to an exact copy of `other`. The evaluation
+    /// engine calls this once per schedule to restore the baked frozen
+    /// occupancy: when the source is consolidated (baked bases always
+    /// are), the reset aliases the shared base layer instead of copying
+    /// it. The restored overlay starts empty, so every subsequent
+    /// per-reservation edit shifts only the overlay.
     pub fn copy_from(&mut self, other: &PeTimeline) {
         self.horizon = other.horizon;
-        self.busy.clear();
-        self.busy.extend_from_slice(&other.busy);
+        if other.over.is_empty() {
+            // The hot path: baked bases are consolidated, so the reset
+            // is a shared alias of the source's base layer — no copy.
+            self.base = Arc::clone(&other.base);
+        } else {
+            self.base = Arc::new(other.intervals().collect());
+        }
+        self.over.clear();
     }
 
     /// Removes the exact reservation `[start, end)`. The delta-scheduling
     /// engine uses this to *undo* the previous evaluation's placements
-    /// instead of resetting the whole timeline from the frozen base.
+    /// instead of resetting the whole timeline from the frozen base;
+    /// those placements live in the overlay, so the removal never
+    /// shifts the consolidated base layer.
     ///
     /// # Panics
     ///
@@ -262,12 +462,29 @@ impl PeTimeline {
     /// the engine only ever undoes reservations it recorded, so a miss is
     /// a bookkeeping bug, not a recoverable condition.
     pub fn unreserve(&mut self, start: Time, end: Time) {
-        let idx = self.busy.partition_point(|&(s, _)| s < start);
+        let oi = self.over.partition_point(|&(s, _)| s < start);
+        if oi < self.over.len() && self.over[oi] == (start, end) {
+            self.over.remove(oi);
+            return;
+        }
+        // Cold fallback: a reservation consolidated into the base (or
+        // made before a consolidation). Correct for any caller, just
+        // not on the splice undo path. Clone-on-write: a shared base
+        // layer (aliased from a frozen bake) is copied before the
+        // removal so the source stays intact.
+        let bi = self.base.partition_point(|&(s, _)| s < start);
         assert!(
-            idx < self.busy.len() && self.busy[idx] == (start, end),
+            bi < self.base.len() && self.base[bi] == (start, end),
             "unreserve of [{start}, {end}) which is not reserved"
         );
-        self.busy.remove(idx);
+        Arc::make_mut(&mut self.base).remove(bi);
+    }
+
+    /// Layer occupancy `(base, overlay)` — diagnostics for the
+    /// splice-depth regression tests.
+    #[doc(hidden)]
+    pub fn layer_lens(&self) -> (usize, usize) {
+        (self.base.len(), self.over.len())
     }
 }
 
@@ -389,6 +606,9 @@ mod tests {
         tl.reserve(t(90), t(100)).unwrap();
         assert_eq!(tl.gaps(), vec![(t(0), t(10)), (t(30), t(90))]);
         assert_eq!(tl.free_time(), t(70));
+        let mut buf = vec![(t(9), t(9))];
+        tl.gaps_into(&mut buf);
+        assert_eq!(buf, vec![(t(0), t(10)), (t(30), t(90))]);
     }
 
     #[test]
@@ -415,6 +635,161 @@ mod tests {
         assert_eq!(reserved, t(20));
     }
 
+    #[test]
+    fn equality_ignores_layer_split() {
+        let mut consolidated = PeTimeline::new(t(100));
+        consolidated.reserve(t(10), t(20)).unwrap();
+        consolidated.reserve(t(40), t(50)).unwrap();
+        consolidated.consolidate();
+        let mut layered = PeTimeline::new(t(100));
+        layered.reserve(t(40), t(50)).unwrap();
+        layered.reserve(t(10), t(20)).unwrap();
+        assert_eq!(consolidated.layer_lens(), (2, 0));
+        assert_eq!(layered.layer_lens(), (0, 2));
+        assert_eq!(consolidated, layered);
+    }
+
+    #[test]
+    fn copy_from_yields_empty_overlay() {
+        let mut src = PeTimeline::new(t(100));
+        src.reserve(t(10), t(20)).unwrap();
+        src.reserve(t(30), t(40)).unwrap();
+        let mut dst = PeTimeline::new(t(5));
+        dst.reserve(t(0), t(5)).unwrap();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.layer_lens(), (2, 0));
+    }
+
+    /// The splice-depth regression: undo of recent reservations must
+    /// edit only the overlay, no matter how many consolidated
+    /// reservations the base holds.
+    #[test]
+    fn undo_touches_only_the_overlay() {
+        let mut tl = PeTimeline::new(t(1_000_000));
+        for k in 0..1000u64 {
+            tl.reserve(t(k * 10), t(k * 10 + 5)).unwrap();
+        }
+        tl.consolidate();
+        let (base_before, _) = tl.layer_lens();
+        assert_eq!(base_before, 1000);
+        // A delta run: place a handful, then undo them in reverse.
+        let mut placed = Vec::new();
+        for k in 0..5u64 {
+            let s = tl.reserve_earliest(t(k * 50), t(3), 0).unwrap();
+            placed.push((s, s + t(3)));
+        }
+        assert_eq!(tl.layer_lens(), (1000, 5), "placements go to the overlay");
+        for &(s, e) in placed.iter().rev() {
+            tl.unreserve(s, e);
+        }
+        assert_eq!(
+            tl.layer_lens(),
+            (1000, 0),
+            "undo never rewrote the consolidated base"
+        );
+    }
+
+    #[test]
+    fn overlay_overflow_consolidates() {
+        let mut tl = PeTimeline::new(t(10_000));
+        for k in 0..(CONSOLIDATE_AT as u64 + 10) {
+            tl.reserve(t(k * 10), t(k * 10 + 5)).unwrap();
+        }
+        let (base, over) = tl.layer_lens();
+        assert!(base >= CONSOLIDATE_AT, "bulk inserts consolidated");
+        assert!(over < CONSOLIDATE_AT);
+        assert_eq!(tl.reservation_count(), CONSOLIDATE_AT + 10);
+    }
+
+    /// Reference oracle: the pre-layered layout — one sorted `Vec` with
+    /// per-reservation `insert`/`remove` — whose observable behavior the
+    /// layered layout must reproduce call-for-call.
+    struct SortedVecOracle {
+        horizon: Time,
+        busy: Vec<(Time, Time)>,
+    }
+
+    impl SortedVecOracle {
+        fn new(horizon: Time) -> Self {
+            SortedVecOracle {
+                horizon,
+                busy: Vec::new(),
+            }
+        }
+
+        fn reserve(&mut self, start: Time, end: Time) -> Result<(), PeTimelineError> {
+            if start >= end || end > self.horizon {
+                return Err(PeTimelineError::OutOfRange { start, end });
+            }
+            let idx = self.busy.partition_point(|&(s, _)| s < start);
+            if idx > 0 && self.busy[idx - 1].1 > start {
+                return Err(PeTimelineError::Overlap { start, end });
+            }
+            if idx < self.busy.len() && self.busy[idx].0 < end {
+                return Err(PeTimelineError::Overlap { start, end });
+            }
+            self.busy.insert(idx, (start, end));
+            Ok(())
+        }
+
+        fn reserve_earliest(
+            &mut self,
+            ready: Time,
+            duration: Time,
+            skip: u32,
+        ) -> Result<Time, PeTimelineError> {
+            let (start, idx) = self.find_earliest(ready, duration, skip)?;
+            self.busy.insert(idx, (start, start + duration));
+            Ok(start)
+        }
+
+        fn find_earliest(
+            &self,
+            ready: Time,
+            duration: Time,
+            skip: u32,
+        ) -> Result<(Time, usize), PeTimelineError> {
+            if duration.is_zero() {
+                return Err(PeTimelineError::OutOfRange {
+                    start: ready,
+                    end: ready,
+                });
+            }
+            let mut remaining = skip;
+            let mut cursor = ready;
+            let mut idx = self.busy.partition_point(|&(_, e)| e <= ready);
+            loop {
+                let gap_end = if idx < self.busy.len() {
+                    self.busy[idx].0
+                } else {
+                    self.horizon
+                };
+                if cursor + duration <= gap_end {
+                    if remaining == 0 {
+                        return Ok((cursor, idx));
+                    }
+                    remaining -= 1;
+                }
+                if idx >= self.busy.len() {
+                    return Err(PeTimelineError::NoGap {
+                        ready,
+                        duration,
+                        skipped: skip - remaining,
+                    });
+                }
+                cursor = cursor.max(self.busy[idx].1);
+                idx += 1;
+            }
+        }
+
+        fn unreserve(&mut self, start: Time, end: Time) {
+            let idx = self.busy.partition_point(|&(s, _)| s < start);
+            assert!(idx < self.busy.len() && self.busy[idx] == (start, end));
+            self.busy.remove(idx);
+        }
+    }
+
     proptest! {
         /// Random reserve_earliest calls never overlap and stay in range.
         #[test]
@@ -425,11 +800,11 @@ mod tests {
             for (ready, dur, skip) in ops {
                 let _ = tl.reserve_earliest(t(ready), t(dur), skip);
             }
-            let b = tl.busy_intervals();
+            let b: Vec<_> = tl.intervals().collect();
             for w in b.windows(2) {
                 prop_assert!(w[0].1 <= w[1].0, "intervals overlap: {:?}", w);
             }
-            for &(s, e) in b {
+            for &(s, e) in &b {
                 prop_assert!(s < e && e <= t(500));
             }
             // gaps + busy partition the horizon.
@@ -455,6 +830,68 @@ mod tests {
                 from = to;
             }
             prop_assert_eq!(sum, tl.free_time());
+        }
+
+        /// Differential round-trip against the old sorted-`Vec` layout:
+        /// a random interleaving of exact reserves, gap-searched
+        /// reserves, undo of live reservations and consolidations must
+        /// match the oracle result-for-result and interval-for-interval.
+        #[test]
+        fn prop_layered_matches_sorted_vec_oracle(
+            ops in proptest::collection::vec((0u8..4, 0u64..480, 1u64..40, 0u32..3), 1..60)
+        ) {
+            let mut tl = PeTimeline::new(t(500));
+            let mut oracle = SortedVecOracle::new(t(500));
+            let mut live: Vec<(Time, Time)> = Vec::new();
+            for (op, a, b, skip) in ops {
+                match op {
+                    0 => {
+                        let (s, e) = (t(a), t(a) + t(b));
+                        let got = tl.reserve(s, e);
+                        let want = oracle.reserve(s, e);
+                        prop_assert_eq!(got, want);
+                        if got.is_ok() {
+                            live.push((s, e));
+                        }
+                    }
+                    1 => {
+                        let got = tl.reserve_earliest(t(a), t(b), skip);
+                        let want = oracle.reserve_earliest(t(a), t(b), skip);
+                        prop_assert_eq!(got, want);
+                        if let Ok(s) = got {
+                            live.push((s, s + t(b)));
+                        }
+                    }
+                    2 => {
+                        // Undo the most recent reservation — the splice
+                        // loop's LIFO discipline.
+                        if let Some((s, e)) = live.pop() {
+                            tl.unreserve(s, e);
+                            oracle.unreserve(s, e);
+                        }
+                    }
+                    _ => tl.consolidate(),
+                }
+                prop_assert_eq!(
+                    tl.peek_earliest(t(a), t(b), skip),
+                    oracle.find_earliest(t(a), t(b), skip).map(|(s, _)| s)
+                );
+            }
+            let merged: Vec<_> = tl.intervals().collect();
+            prop_assert_eq!(merged, oracle.busy);
+            let gaps = tl.gaps();
+            let mut want_gaps = Vec::new();
+            let mut cursor = Time::ZERO;
+            for &(s, e) in &oracle.busy {
+                if cursor < s {
+                    want_gaps.push((cursor, s));
+                }
+                cursor = cursor.max(e);
+            }
+            if cursor < t(500) {
+                want_gaps.push((cursor, t(500)));
+            }
+            prop_assert_eq!(gaps, want_gaps);
         }
     }
 }

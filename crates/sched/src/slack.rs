@@ -14,25 +14,37 @@ use incdes_model::{Architecture, PeId, Time};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
+/// One shared, immutable gap/window list: a flattened `Arc<[..]>` slab.
+///
+/// The flat slice (rather than `Arc<Vec<..>>`) drops one pointer
+/// indirection on every scan — the C1/C2 window kernels walk the spans
+/// straight off the `Arc` allocation — and makes the lists immutable by
+/// construction, which is exactly the aliasing contract the engine's
+/// CoW sharing relies on (see [`SlackProfile`]).
+pub type GapList = Arc<[(Time, Time)]>;
+
 /// The slack left by a schedule.
 ///
-/// The gap lists are `Arc`-backed copy-on-write storage: the incremental
+/// The gap lists are `Arc`-backed shared storage: the incremental
 /// evaluation engine ([`crate::engine`]) hands out profiles whose
 /// untouched-PE gap lists *share* the frozen base's (or the previous
 /// evaluation's) storage instead of deep-cloning it. Sharing is
 /// invisible through this API — reads return plain slices, equality and
-/// serialization are by content, and the only mutators
-/// ([`gaps_mut`](Self::gaps_mut), [`bus_windows_mut`](Self::bus_windows_mut))
-/// clone-on-write, so mutating one profile is never observable through a
-/// sibling profile or the engine's caches.
+/// serialization are by content, and the [`GapList`] storage is
+/// immutable (`Arc<[..]>` has no `make_mut`-style mutation path here),
+/// so no profile can be altered through a sibling profile or the
+/// engine's caches.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SlackProfile {
     horizon: Time,
     /// Per PE: maximal idle intervals `(start, end)`, in time order.
-    pe_gaps: Vec<Arc<Vec<(Time, Time)>>>,
+    /// The outer table is `Arc`-shared too: the evaluation memo clones
+    /// whole profiles on every insert and hit, so a clone must cost two
+    /// reference-count bumps, not one per PE.
+    pe_gaps: Arc<[GapList]>,
     /// Free bus windows `(start, end)` — the unused tail of each slot
     /// occurrence, in time order.
-    bus_windows: Arc<Vec<(Time, Time)>>,
+    bus_windows: GapList,
 }
 
 impl SlackProfile {
@@ -44,16 +56,16 @@ impl SlackProfile {
     /// invalid bus framing); tables produced by [`crate::schedule`] never
     /// are.
     pub fn from_table(arch: &Architecture, table: &ScheduleTable) -> Self {
-        let pe_gaps = table
+        let pe_gaps: Arc<[GapList]> = table
             .pe_timelines(arch)
             .iter()
-            .map(|tl| Arc::new(tl.gaps()))
+            .map(|tl| tl.gap_iter().collect())
             .collect();
         let bus = table.bus_timeline(arch);
         SlackProfile {
             horizon: table.horizon(),
             pe_gaps,
-            bus_windows: Arc::new(bus.free_windows()),
+            bus_windows: bus.free_windows().into(),
         }
     }
 
@@ -72,8 +84,8 @@ impl SlackProfile {
     ) -> Self {
         SlackProfile {
             horizon,
-            pe_gaps: pe_gaps.into_iter().map(Arc::new).collect(),
-            bus_windows: Arc::new(bus_windows),
+            pe_gaps: pe_gaps.into_iter().map(Into::into).collect(),
+            bus_windows: bus_windows.into(),
         }
     }
 
@@ -82,11 +94,7 @@ impl SlackProfile {
     /// previous run's) gap lists for resources the current evaluation
     /// did not change, so building a profile costs one reference-count
     /// bump per untouched resource instead of a deep clone.
-    pub fn from_shared(
-        horizon: Time,
-        pe_gaps: Vec<Arc<Vec<(Time, Time)>>>,
-        bus_windows: Arc<Vec<(Time, Time)>>,
-    ) -> Self {
+    pub fn from_shared(horizon: Time, pe_gaps: Arc<[GapList]>, bus_windows: GapList) -> Self {
         SlackProfile {
             horizon,
             pe_gaps,
@@ -97,27 +105,13 @@ impl SlackProfile {
     /// The shared storage behind [`gaps_of`](Self::gaps_of). Exposed so
     /// the incremental C1 cache (and tests) can detect unchanged gap
     /// lists by `Arc::ptr_eq` instead of comparing contents.
-    pub fn gaps_shared(&self, pe: PeId) -> &Arc<Vec<(Time, Time)>> {
+    pub fn gaps_shared(&self, pe: PeId) -> &GapList {
         &self.pe_gaps[pe.index()]
     }
 
     /// The shared storage behind [`bus_windows`](Self::bus_windows).
-    pub fn bus_windows_shared(&self) -> &Arc<Vec<(Time, Time)>> {
+    pub fn bus_windows_shared(&self) -> &GapList {
         &self.bus_windows
-    }
-
-    /// Mutable access to the gap list of `pe`, cloning the storage first
-    /// if it is shared (copy-on-write): mutations through this handle
-    /// are never observable through the engine's caches or another
-    /// profile sharing the same storage.
-    pub fn gaps_mut(&mut self, pe: PeId) -> &mut Vec<(Time, Time)> {
-        Arc::make_mut(&mut self.pe_gaps[pe.index()])
-    }
-
-    /// Mutable access to the bus windows, with the same copy-on-write
-    /// guarantee as [`gaps_mut`](Self::gaps_mut).
-    pub fn bus_windows_mut(&mut self) -> &mut Vec<(Time, Time)> {
-        Arc::make_mut(&mut self.bus_windows)
     }
 
     /// The hyperperiod the profile covers.

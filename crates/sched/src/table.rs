@@ -52,6 +52,22 @@ pub struct ScheduledMessage {
     pub reservation: BusReservation,
 }
 
+/// Canonical within-table ordering of jobs: `(pe, start, id)`.
+///
+/// The single source of truth shared by [`ScheduleTable::new`]'s sort,
+/// the engine's per-run sort and the sorted-merge fast path
+/// ([`ScheduleTable::from_sorted_merge`]) — the merge reproduces a
+/// stable sort only because all three use exactly this key.
+pub fn job_sort_key(j: &ScheduledJob) -> (PeId, Time, JobId) {
+    (j.pe, j.start, j.job)
+}
+
+/// Canonical within-table ordering of messages: transmission start,
+/// then identity. Shared for the same reason as [`job_sort_key`].
+pub fn message_sort_key(m: &ScheduledMessage) -> (Time, AppId, MsgRef, u32) {
+    (m.reservation.transmit_start, m.app, m.msg, m.instance)
+}
+
 /// Invariant violation found by [`ScheduleTable::validate`] (or a
 /// replication error).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -175,8 +191,8 @@ impl ScheduleTable {
         mut jobs: Vec<ScheduledJob>,
         mut messages: Vec<ScheduledMessage>,
     ) -> Self {
-        jobs.sort_by_key(|j| (j.pe, j.start, j.job));
-        messages.sort_by_key(|m| (m.reservation.transmit_start, m.app, m.msg, m.instance));
+        jobs.sort_by_key(job_sort_key);
+        messages.sort_by_key(message_sort_key);
         ScheduleTable {
             horizon,
             jobs: Arc::new(jobs),
@@ -214,29 +230,17 @@ impl ScheduleTable {
             out.extend_from_slice(&b[j..]);
             out
         }
-        let jobs = merge(frozen_jobs, current_jobs, |j| (j.pe, j.start, j.job));
-        let messages = merge(frozen_msgs, current_msgs, |m| {
-            (m.reservation.transmit_start, m.app, m.msg, m.instance)
-        });
+        let jobs = merge(frozen_jobs, current_jobs, job_sort_key);
+        let messages = merge(frozen_msgs, current_msgs, message_sort_key);
         debug_assert!(
             jobs.windows(2)
-                .all(|w| (w[0].pe, w[0].start, w[0].job) <= (w[1].pe, w[1].start, w[1].job)),
+                .all(|w| job_sort_key(&w[0]) <= job_sort_key(&w[1])),
             "merge inputs were not sorted"
         );
         debug_assert!(
-            messages.windows(2).all(|w| {
-                (
-                    w[0].reservation.transmit_start,
-                    w[0].app,
-                    w[0].msg,
-                    w[0].instance,
-                ) <= (
-                    w[1].reservation.transmit_start,
-                    w[1].app,
-                    w[1].msg,
-                    w[1].instance,
-                )
-            }),
+            messages
+                .windows(2)
+                .all(|w| message_sort_key(&w[0]) <= message_sort_key(&w[1])),
             "merge inputs were not sorted"
         );
         ScheduleTable {

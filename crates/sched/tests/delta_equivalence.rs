@@ -21,6 +21,7 @@ use incdes_model::{
     AppId, Application, Architecture, BusConfig, Message, PeId, Process, ProcessGraph, Time,
 };
 use incdes_sched::engine::{ChangedVar, FrozenBase, Scheduler};
+use incdes_sched::slack::GapList;
 use incdes_sched::{schedule, AppSpec, Hints, Mapping, MsgRef, SlackProfile};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -369,9 +370,11 @@ proptest! {
     }
 
     /// Shared-storage aliasing property: however a chain of evaluations
-    /// shares gap-list storage, mutating one returned profile (through
-    /// the copy-on-write accessors) is never observable through the
-    /// frozen base or a sibling profile.
+    /// shares gap-list storage, deriving a *modified* profile from one
+    /// of them (copying the storage out, editing it, rebuilding via
+    /// `from_shared` — the only way to "mutate" the immutable
+    /// `Arc<[..]>` lists) is never observable through the frozen base
+    /// or a sibling profile.
     #[test]
     fn mutating_a_profile_never_leaks_into_base_or_siblings(
         layers in proptest::collection::vec(1usize..3, 1..3),
@@ -412,9 +415,15 @@ proptest! {
         let base_bus_snapshot = base.bus_windows().to_vec();
         let sibling_snapshots: Vec<SlackProfile> = profiles.clone();
 
-        let last = profiles.last_mut().unwrap();
-        last.gaps_mut(PeId(poison_pe)).push((Time::new(7), Time::new(9)));
-        last.bus_windows_mut().clear();
+        let last = profiles.last().unwrap();
+        let mut poisoned_gaps: Vec<GapList> = (0..3)
+            .map(|i| Arc::clone(last.gaps_shared(PeId(i))))
+            .collect();
+        let mut edited = poisoned_gaps[poison_pe as usize].to_vec();
+        edited.push((Time::new(7), Time::new(9)));
+        poisoned_gaps[poison_pe as usize] = edited.into();
+        let poisoned = SlackProfile::from_shared(last.horizon(), poisoned_gaps.into(), Vec::new().into());
+        *profiles.last_mut().unwrap() = poisoned;
 
         for i in 0..3u32 {
             prop_assert_eq!(

@@ -2,8 +2,8 @@
 
 use incdes_model::{BusConfig, PeId, Time};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A flattened slot within one cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,15 +125,25 @@ struct SlotUse {
 ///
 /// Construction is cheap (occupancy is sparse); the mapping heuristics
 /// rebuild a timeline for every candidate solution they evaluate.
+/// Occupancy is a `Vec` sorted by occurrence index rather than a tree:
+/// it stays small (one entry per occupied frame), lookups are a binary
+/// search over contiguous memory, and [`reset_from`](Self::reset_from)
+/// — called once per evaluation by the delta engine — restores it with
+/// a flat `clone_from` instead of a node-by-node tree clone.
 #[derive(Debug, Clone)]
 pub struct BusTimeline {
-    flat: Vec<FlatSlot>,
+    /// Slot geometry, immutable after construction: every mutating
+    /// operation touches only `occupancy`. Shared behind `Arc`s so
+    /// clones and per-evaluation resets are pointer bumps, not deep
+    /// copies of the per-cycle slot tables.
+    flat: Arc<[FlatSlot]>,
     /// Flat indices owned by each PE, in cycle order.
-    by_owner: Vec<Vec<usize>>,
+    by_owner: Arc<[Vec<usize>]>,
     cycle: Time,
     horizon: Time,
     cycles: u64,
-    occupancy: BTreeMap<u64, SlotUse>,
+    /// Sorted by occurrence index; only occupied frames have entries.
+    occupancy: Vec<(u64, SlotUse)>,
 }
 
 impl BusTimeline {
@@ -168,13 +178,33 @@ impl BusTimeline {
         }
         let cycles = horizon.ticks() / cycle.ticks();
         Ok(BusTimeline {
-            flat,
-            by_owner,
+            flat: flat.into(),
+            by_owner: by_owner.into(),
             cycle,
             horizon,
             cycles,
-            occupancy: BTreeMap::new(),
+            occupancy: Vec::new(),
         })
+    }
+
+    /// Occupancy entry of occurrence `index`, if occupied.
+    fn occupancy_get(&self, index: u64) -> Option<&SlotUse> {
+        self.occupancy
+            .binary_search_by_key(&index, |&(i, _)| i)
+            .ok()
+            .map(|p| &self.occupancy[p].1)
+    }
+
+    /// Occupancy entry of occurrence `index`, inserted empty if absent.
+    fn occupancy_entry(&mut self, index: u64) -> &mut SlotUse {
+        let p = match self.occupancy.binary_search_by_key(&index, |&(i, _)| i) {
+            Ok(p) => p,
+            Err(p) => {
+                self.occupancy.insert(p, (index, SlotUse::default()));
+                p
+            }
+        };
+        &mut self.occupancy[p].1
     }
 
     /// The scheduling horizon.
@@ -215,12 +245,12 @@ impl BusTimeline {
 
     /// Time already used inside occurrence `index`.
     pub fn used(&self, index: u64) -> Time {
-        self.occupancy.get(&index).map_or(Time::ZERO, |u| u.used)
+        self.occupancy_get(index).map_or(Time::ZERO, |u| u.used)
     }
 
     /// Number of messages packed into occurrence `index`.
     pub fn message_count(&self, index: u64) -> u32 {
-        self.occupancy.get(&index).map_or(0, |u| u.messages)
+        self.occupancy_get(index).map_or(0, |u| u.messages)
     }
 
     /// Iterator over the occurrences owned by `pe`, in time order,
@@ -317,7 +347,7 @@ impl BusTimeline {
             ready,
             duration,
         })?;
-        let entry = self.occupancy.entry(occ.index).or_default();
+        let entry = self.occupancy_entry(occ.index);
         let transmit_start = occ.start + entry.used;
         entry.used += duration;
         entry.messages += 1;
@@ -389,7 +419,7 @@ impl BusTimeline {
         if occ.owner != pe {
             return Err(BusTimelineError::BadOccurrence { occurrence });
         }
-        let entry = self.occupancy.entry(occurrence).or_default();
+        let entry = self.occupancy_entry(occurrence);
         if entry.used + duration > occ.length {
             return Err(BusTimelineError::NoSlot {
                 owner: pe,
@@ -424,10 +454,11 @@ impl BusTimeline {
         let occ = self
             .occurrence(reservation.occurrence)
             .expect("unreserve_tail of an occurrence beyond the horizon");
-        let entry = self
+        let p = self
             .occupancy
-            .get_mut(&reservation.occurrence)
+            .binary_search_by_key(&reservation.occurrence, |&(i, _)| i)
             .expect("unreserve_tail of an empty occurrence");
+        let entry = &mut self.occupancy[p].1;
         assert_eq!(
             occ.start + entry.used,
             reservation.arrival,
@@ -436,7 +467,7 @@ impl BusTimeline {
         entry.used -= reservation.duration();
         entry.messages -= 1;
         if entry.used.is_zero() && entry.messages == 0 {
-            self.occupancy.remove(&reservation.occurrence);
+            self.occupancy.remove(p);
         }
     }
 
@@ -445,8 +476,10 @@ impl BusTimeline {
     /// evaluation to restore the baked frozen bus occupancy instead of
     /// rebuilding the timeline from the bus config.
     pub fn reset_from(&mut self, other: &BusTimeline) {
-        self.flat.clone_from(&other.flat);
-        self.by_owner.clone_from(&other.by_owner);
+        // Geometry is immutable, so the reset aliases the source's
+        // tables; only the (sparse) occupancy is actually copied.
+        self.flat = Arc::clone(&other.flat);
+        self.by_owner = Arc::clone(&other.by_owner);
         self.cycle = other.cycle;
         self.horizon = other.horizon;
         self.cycles = other.cycles;
@@ -455,7 +488,7 @@ impl BusTimeline {
 
     /// Total bus time reserved so far.
     pub fn total_used(&self) -> Time {
-        self.occupancy.values().map(|u| u.used).sum()
+        self.occupancy.iter().map(|(_, u)| u.used).sum()
     }
 
     /// Total slot capacity on the timeline (sum of slot lengths over all

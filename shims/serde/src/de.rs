@@ -154,6 +154,12 @@ impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::sync::Arc<T> {
     }
 }
 
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::sync::Arc<[T]> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(Into::into)
+    }
+}
+
 impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::rc::Rc<T> {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         T::deserialize(deserializer).map(std::rc::Rc::new)

@@ -78,10 +78,11 @@ proptest! {
             max_evaluations: 120,
             ..SaConfig::quick()
         });
-        let run = |threads: usize| {
+        let run = |threads: usize, batch_cutover: usize| {
             let ctx = MappingContext::new(&arch, AppId(0), &app, None, horizon, &future, &weights)
                 .with_parallelism(SearchParallelism::Parallel {
                     threads,
+                    batch_cutover,
                     sa_chains: 2,
                     sa_exchange_period: 16,
                 });
@@ -92,9 +93,13 @@ proptest! {
                 _ => None, // overloaded instance: infeasible at every thread count below
             }
         };
-        let baseline = run(1);
-        prop_assert_eq!(&baseline, &run(2), "2 threads diverged from 1");
-        prop_assert_eq!(&baseline, &run(8), "8 threads diverged from 1");
+        let baseline = run(1, 0);
+        prop_assert_eq!(&baseline, &run(2, 0), "2 threads diverged from 1");
+        prop_assert_eq!(&baseline, &run(8, 0), "8 threads diverged from 1");
+        // The small-batch cutover multiplexes execution only: forcing
+        // every batch inline (max) or none (1) must not change a byte.
+        prop_assert_eq!(&baseline, &run(8, usize::MAX), "always-inline cutover diverged");
+        prop_assert_eq!(&baseline, &run(8, 1), "never-inline cutover diverged");
     }
 }
 
@@ -102,10 +107,11 @@ proptest! {
 /// {1, 2, 8}, reports compared as bytes.
 #[test]
 fn campaign_reports_byte_identical_across_search_thread_counts() {
-    let with_threads = |threads: usize| {
+    let with_threads = |threads: usize, batch_cutover: usize| {
         let mut spec = CampaignSpec::small_demo();
         spec.parallelism = SearchParallelism::Parallel {
             threads,
+            batch_cutover,
             sa_chains: 2,
             sa_exchange_period: 16,
         };
@@ -115,12 +121,12 @@ fn campaign_reports_byte_identical_across_search_thread_counts() {
             .to_json_pretty()
             .expect("report serializes")
     };
-    let baseline = with_threads(1);
-    for threads in [2, 8] {
+    let baseline = with_threads(1, 0);
+    for (threads, batch_cutover) in [(2, 0), (8, 0), (8, 1), (2, usize::MAX)] {
         assert_eq!(
             baseline,
-            with_threads(threads),
-            "search thread count {threads} changed the campaign report"
+            with_threads(threads, batch_cutover),
+            "search threads={threads}/cutover={batch_cutover} changed the campaign report"
         );
     }
 }
